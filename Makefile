@@ -1,0 +1,48 @@
+# Developer entry points for the CASA reproduction. Everything is plain
+# `go` under the hood; these targets just bundle the common flows.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments ablations examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/pipeline/
+
+cover:
+	$(GO) test -cover ./...
+
+# One bench pass per table/figure plus the ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+fuzz:
+	$(GO) test ./internal/seqio/ -fuzz FuzzReadFasta -fuzztime 15s
+	$(GO) test ./internal/seqio/ -fuzz FuzzReadFastq -fuzztime 15s
+
+# Regenerate every paper table/figure (minutes; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/casa-experiments -scale default
+
+ablations:
+	$(GO) run ./cmd/casa-experiments -scale default -ablation
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/enginecompare
+	$(GO) run ./examples/ablation
+	$(GO) run ./examples/alignment
+	$(GO) run ./examples/metagenomics
+	$(GO) run ./examples/longread
+	$(GO) run ./examples/variantcalling
+
+clean:
+	$(GO) clean ./...

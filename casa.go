@@ -1,0 +1,283 @@
+// Package casa is the public API of the CASA reproduction: a CAM-based
+// SMEM seeding accelerator for genome alignment (Huang et al., MICRO
+// 2023), implemented as a behavioural + cycle-approximate architectural
+// simulator in pure Go, together with the baselines it is evaluated
+// against (BWA-MEM2 software seeding, the ERT accelerator, GenAx) and the
+// SeedEx extension stage for end-to-end alignment.
+//
+// Quick start:
+//
+//	ref := casa.GenerateReference(casa.DefaultGenome(1<<20, 1))
+//	reads := casa.Sequences(casa.Simulate(ref, casa.DefaultProfile(1000, 2)))
+//	acc, err := casa.New(ref, casa.DefaultConfig())
+//	...
+//	res := acc.SeedReads(reads)
+//	fmt.Println(res.Throughput(), res.Reads[0].Forward)
+//
+// The exported names are aliases into the implementation packages so that
+// the whole system remains usable through this single import; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results.
+package casa
+
+import (
+	"casa/internal/align"
+	"casa/internal/chain"
+	"casa/internal/core"
+	"casa/internal/cpu"
+	"casa/internal/dna"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/gencache"
+	"casa/internal/pairing"
+	"casa/internal/pipeline"
+	"casa/internal/readsim"
+	"casa/internal/seedex"
+	"casa/internal/smem"
+	"casa/internal/vcall"
+)
+
+// DNA primitives.
+type (
+	// Base is a 2-bit nucleotide (A=0, C=1, G=2, T=3).
+	Base = dna.Base
+	// Sequence is an unpacked DNA sequence.
+	Sequence = dna.Sequence
+)
+
+// FromString parses an ASCII DNA string (ambiguous bases replaced
+// deterministically).
+func FromString(s string) Sequence { return dna.FromString(s) }
+
+// SMEM model.
+type (
+	// Match is an exact match interval on a read with its hit count.
+	Match = smem.Match
+	// Finder computes SMEMs of reads against a fixed reference.
+	Finder = smem.Finder
+)
+
+// NewBruteForceFinder returns the definition-based golden SMEM finder.
+func NewBruteForceFinder(ref Sequence) Finder { return smem.BruteForce{Ref: ref} }
+
+// NewFMIndexFinder returns the BWA-MEM2-style bidirectional SMEM finder.
+func NewFMIndexFinder(ref Sequence) Finder { return smem.NewBidirectional(ref) }
+
+// CASA accelerator (the paper's contribution).
+type (
+	// Config holds CASA's architectural parameters.
+	Config = core.Config
+	// Accelerator is a full CASA instance over a partitioned reference.
+	Accelerator = core.Accelerator
+	// Result is the outcome of a seeding run (SMEMs, time, power).
+	Result = core.Result
+	// ReadResult is the per-read SMEM output (both strands).
+	ReadResult = core.ReadResult
+	// Stats is the per-partition activity breakdown.
+	Stats = core.PartStats
+)
+
+// DefaultConfig returns the paper's CASA configuration (k=19, m=10,
+// 40-base CAM entries, 20 groups, 10 computing CAMs, 55 MB on-chip).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New builds a CASA accelerator over ref.
+func New(ref Sequence, cfg Config) (*Accelerator, error) { return core.New(ref, cfg) }
+
+// Baselines.
+type (
+	// ERTConfig configures the ERT baseline accelerator.
+	ERTConfig = ert.AccelConfig
+	// ERTAccelerator is the Enumerated-Radix-Trees baseline.
+	ERTAccelerator = ert.Accelerator
+	// GenAxConfig configures the GenAx baseline.
+	GenAxConfig = genax.Config
+	// GenAxAccelerator is the seed & position table baseline.
+	GenAxAccelerator = genax.Accelerator
+	// CPUConfig configures the software BWA-MEM2 baseline model.
+	CPUConfig = cpu.Config
+	// CPUSeeder is the software baseline.
+	CPUSeeder = cpu.Seeder
+)
+
+// DefaultERTConfig returns the paper's ASIC-ERT evaluation setup.
+func DefaultERTConfig() ERTConfig { return ert.DefaultAccelConfig() }
+
+// NewERT builds the ERT baseline over ref.
+func NewERT(ref Sequence, cfg ERTConfig) (*ERTAccelerator, error) {
+	return ert.NewAccelerator(ref, cfg)
+}
+
+// DefaultGenAxConfig returns the paper's GenAx evaluation setup.
+func DefaultGenAxConfig() GenAxConfig { return genax.DefaultConfig() }
+
+// NewGenAx builds the GenAx baseline over ref.
+func NewGenAx(ref Sequence, cfg GenAxConfig) (*GenAxAccelerator, error) {
+	return genax.New(ref, cfg)
+}
+
+// GenCache baseline (GenAx + fast-seeding bypass + cached tables).
+type (
+	// GenCacheConfig configures the GenCache baseline.
+	GenCacheConfig = gencache.Config
+	// GenCacheAccelerator is the GenCache model.
+	GenCacheAccelerator = gencache.Accelerator
+)
+
+// DefaultGenCacheConfig returns the GenCache setup at the paper's scale.
+func DefaultGenCacheConfig() GenCacheConfig { return gencache.DefaultConfig() }
+
+// NewGenCache builds the GenCache baseline over ref.
+func NewGenCache(ref Sequence, cfg GenCacheConfig) (*GenCacheAccelerator, error) {
+	return gencache.New(ref, cfg)
+}
+
+// B12T and B32T return the two CPU platforms of Table 2.
+func B12T() CPUConfig { return cpu.B12T() }
+
+// B32T returns the 32-thread Xeon configuration.
+func B32T() CPUConfig { return cpu.B32T() }
+
+// NewCPUSeeder builds the software baseline over ref.
+func NewCPUSeeder(ref Sequence, cfg CPUConfig) (*CPUSeeder, error) { return cpu.New(ref, cfg) }
+
+// Seed extension and end-to-end pipeline.
+type (
+	// SeedExConfig configures the SeedEx machines.
+	SeedExConfig = seedex.Config
+	// SeedExMachine extends seeds with banded SW + edit machines.
+	SeedExMachine = seedex.Machine
+	// Seed is one positioned extension candidate.
+	Seed = seedex.Seed
+	// Alignment is a chosen read alignment.
+	Alignment = seedex.Alignment
+	// Cigar is a run-length encoded alignment description.
+	Cigar = align.Cigar
+	// PipelineConfig configures the end-to-end cost model.
+	PipelineConfig = pipeline.Config
+	// PipelineEngines bundles all engines for an end-to-end run.
+	PipelineEngines = pipeline.Engines
+	// Breakdown is one system's stacked end-to-end running time.
+	Breakdown = pipeline.Breakdown
+)
+
+// DefaultSeedExConfig returns the paper's 5-machine SeedEx arrangement.
+func DefaultSeedExConfig() SeedExConfig { return seedex.DefaultConfig() }
+
+// NewSeedEx builds the SeedEx machine array over ref.
+func NewSeedEx(ref Sequence, cfg SeedExConfig) (*SeedExMachine, error) {
+	return seedex.New(ref, cfg)
+}
+
+// DefaultPipelineConfig returns the end-to-end model defaults.
+func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
+
+// BuildPipeline constructs every engine over one reference for an
+// end-to-end comparison (Fig 14).
+func BuildPipeline(ref Sequence, casaCfg Config, ertCfg ERTConfig, genaxCfg GenAxConfig,
+	cpuCfg CPUConfig, sxCfg SeedExConfig) (*PipelineEngines, error) {
+	return pipeline.BuildEngines(ref, casaCfg, ertCfg, genaxCfg, cpuCfg, sxCfg)
+}
+
+// RunPipeline executes the end-to-end comparison on a read batch.
+func RunPipeline(e *PipelineEngines, reads []Sequence, cfg PipelineConfig) (*pipeline.Result, error) {
+	return pipeline.Run(e, reads, cfg)
+}
+
+// Seed chaining (long-read anchoring, extension preprocessing).
+type (
+	// Anchor is one exact match for chaining.
+	Anchor = chain.Anchor
+	// ChainOptions tunes the collinear chaining DP.
+	ChainOptions = chain.Options
+	// Chain is a scored collinear anchor chain.
+	Chain = chain.Chain
+)
+
+// DefaultChainOptions returns chaining parameters for short and long reads.
+func DefaultChainOptions() ChainOptions { return chain.DefaultOptions() }
+
+// BestChain returns the maximum-scoring collinear chain over the anchors.
+func BestChain(anchors []Anchor, opt ChainOptions) (Chain, error) {
+	return chain.Best(anchors, opt)
+}
+
+// Paired-end resolution.
+type (
+	// Mate is one end's placement for pairing decisions.
+	Mate = pairing.Mate
+	// PairingOptions configures proper-pair classification and rescue.
+	PairingOptions = pairing.Options
+)
+
+// DefaultPairingOptions matches common Illumina libraries.
+func DefaultPairingOptions() PairingOptions { return pairing.DefaultOptions() }
+
+// ProperPair reports FR-orientation propriety and the template length.
+func ProperPair(a, b Mate, opt PairingOptions) (bool, int) { return pairing.Proper(a, b, opt) }
+
+// RescueMate places an unaligned mate using its partner's position.
+func RescueMate(ref Sequence, mateSeq Sequence, partner Mate, opt PairingOptions) (Mate, bool) {
+	return pairing.Rescue(ref, mateSeq, partner, opt)
+}
+
+// Workload generation.
+type (
+	// GenomeConfig controls synthetic reference generation.
+	GenomeConfig = readsim.GenomeConfig
+	// ReadProfile controls the DWGSIM-like read simulator.
+	ReadProfile = readsim.ReadProfile
+	// Read is one simulated read with ground truth.
+	Read = readsim.Read
+	// PairProfile controls paired-end simulation.
+	PairProfile = readsim.PairProfile
+	// ReadPair is one simulated fragment's two mates.
+	ReadPair = readsim.ReadPair
+)
+
+// DefaultGenome returns a mammalian-like genome configuration.
+func DefaultGenome(length int, seed int64) GenomeConfig { return readsim.DefaultGenome(length, seed) }
+
+// GenerateReference builds a synthetic genome.
+func GenerateReference(cfg GenomeConfig) Sequence { return readsim.GenerateReference(cfg) }
+
+// DefaultProfile returns the paper-like read profile (101 bp, ~80% exact).
+func DefaultProfile(count int, seed int64) ReadProfile { return readsim.DefaultProfile(count, seed) }
+
+// Simulate samples reads from ref.
+func Simulate(ref Sequence, p ReadProfile) []Read { return readsim.Simulate(ref, p) }
+
+// DefaultPairProfile returns an Illumina-like paired-end profile.
+func DefaultPairProfile(count int, seed int64) PairProfile {
+	return readsim.DefaultPairProfile(count, seed)
+}
+
+// SimulatePairs samples read pairs from ref.
+func SimulatePairs(ref Sequence, p PairProfile) []ReadPair { return readsim.SimulatePairs(ref, p) }
+
+// Sequences extracts the base sequences of simulated reads.
+func Sequences(reads []Read) []Sequence { return readsim.Sequences(reads) }
+
+// Variant calling (the pipeline endpoint the paper's §1 motivates).
+type (
+	// Variant is one planted or called SNP.
+	Variant = readsim.Variant
+	// Pileup accumulates per-position allele counts from alignments.
+	Pileup = vcall.Pileup
+	// CallConfig sets the SNP-calling thresholds.
+	CallConfig = vcall.Config
+	// VariantCall is one emitted SNP call.
+	VariantCall = vcall.Call
+)
+
+// Donor derives a donor genome from ref with planted SNPs (the truth set
+// a caller should recover).
+func Donor(ref Sequence, rate float64, seed int64) (Sequence, []Variant) {
+	return readsim.Donor(ref, rate, seed)
+}
+
+// NewPileup creates an empty pileup over ref.
+func NewPileup(ref Sequence) *Pileup { return vcall.NewPileup(ref) }
+
+// DefaultCallConfig returns calling thresholds for ~20-40x coverage.
+func DefaultCallConfig() CallConfig { return vcall.DefaultConfig() }

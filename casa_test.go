@@ -1,0 +1,170 @@
+// Tests of the public facade: everything a downstream user touches must
+// work through the root package alone.
+package casa_test
+
+import (
+	"testing"
+
+	"casa"
+)
+
+// facadeWorkload builds a small genome + reads through the public API.
+func facadeWorkload(t *testing.T) (casa.Sequence, []casa.Read) {
+	t.Helper()
+	ref := casa.GenerateReference(casa.DefaultGenome(128<<10, 5))
+	if len(ref) != 128<<10 {
+		t.Fatalf("genome length = %d", len(ref))
+	}
+	sim := casa.Simulate(ref, casa.DefaultProfile(40, 9))
+	if len(sim) != 40 {
+		t.Fatalf("reads = %d", len(sim))
+	}
+	return ref, sim
+}
+
+func TestFacadeSeeding(t *testing.T) {
+	ref, sim := facadeWorkload(t)
+	cfg := casa.DefaultConfig()
+	cfg.PartitionBases = 32 << 10
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := acc.SeedReads(casa.Sequences(sim))
+	if res.Throughput() <= 0 || res.Energy.PowerW() <= 0 {
+		t.Error("model outputs missing through the facade")
+	}
+	// Cross-check one read against the golden finder, all via the facade.
+	golden := casa.NewBruteForceFinder(ref)
+	fm := casa.NewFMIndexFinder(ref)
+	checked := 0
+	for i, r := range sim {
+		if r.Errors == 0 {
+			continue // retired reads report only the matching strand
+		}
+		want := golden.FindSMEMs(r.Seq, cfg.MinSMEM)
+		got := res.Reads[i].Forward
+		if len(want) != len(got) {
+			t.Fatalf("read %d: %v vs golden %v", i, got, want)
+		}
+		fmGot := fm.FindSMEMs(r.Seq, cfg.MinSMEM)
+		if len(fmGot) != len(want) {
+			t.Fatalf("read %d: FM-index finder disagrees", i)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no inexact reads in this draw")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ref, sim := facadeWorkload(t)
+	cfg := casa.DefaultConfig()
+	cfg.PartitionBases = 32 << 10
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := casa.NewSeedEx(ref, casa.DefaultSeedExConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := casa.Sequences(sim)
+	res := acc.SeedReads(reads)
+	aligned := 0
+	for i, read := range reads {
+		var seeds []casa.Seed
+		for _, m := range res.Reads[i].Forward {
+			for _, pos := range acc.HitPositions(read, m, 4) {
+				seeds = append(seeds, casa.Seed{QStart: m.Start, QEnd: m.End, RefPos: pos})
+			}
+		}
+		if al, ok := sx.ExtendRead(read, seeds); ok {
+			aligned++
+			if al.Cigar.QueryLen() != len(read) {
+				t.Fatalf("read %d: CIGAR does not span the read: %s", i, al.Cigar)
+			}
+		}
+	}
+	if aligned < len(reads)/3 {
+		t.Errorf("only %d/%d forward-strand reads aligned", aligned, len(reads))
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ref, sim := facadeWorkload(t)
+	reads := casa.Sequences(sim)[:10]
+
+	ertCfg := casa.DefaultERTConfig()
+	ea, err := casa.NewERT(ref, ertCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ea.SeedReads(reads); r.Throughput <= 0 {
+		t.Error("ERT facade run produced no throughput")
+	}
+
+	ga, err := casa.NewGenAx(ref, casa.DefaultGenAxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ga.SeedReads(reads); r.Throughput <= 0 {
+		t.Error("GenAx facade run produced no throughput")
+	}
+
+	cs, err := casa.NewCPUSeeder(ref, casa.B12T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cs.SeedReads(reads); r.Throughput <= 0 {
+		t.Error("CPU facade run produced no throughput")
+	}
+	if casa.B32T().Threads != 32 {
+		t.Error("B32T misconfigured")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	ref, sim := facadeWorkload(t)
+	casaCfg := casa.DefaultConfig()
+	casaCfg.PartitionBases = 32 << 10
+	ertCfg := casa.DefaultERTConfig()
+	e, err := casa.BuildPipeline(ref, casaCfg, ertCfg, casa.DefaultGenAxConfig(),
+		casa.B12T(), casa.DefaultSeedExConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := casa.RunPipeline(e, casa.Sequences(sim)[:15], casa.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Breakdowns) != 4 {
+		t.Fatalf("breakdowns = %d", len(res.Breakdowns))
+	}
+}
+
+func TestFacadeChaining(t *testing.T) {
+	anchors := []casa.Anchor{
+		{Q: 0, R: 100, Len: 20},
+		{Q: 25, R: 125, Len: 20},
+	}
+	ch, err := casa.BestChain(anchors, casa.DefaultChainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Score != 40 || len(ch.Anchors) != 2 {
+		t.Errorf("chain = %+v", ch)
+	}
+}
+
+func TestFacadeSequenceHelpers(t *testing.T) {
+	s := casa.FromString("ACGT")
+	if s.ReverseComplement().String() != "ACGT" {
+		t.Error("palindrome revcomp broken")
+	}
+	m := casa.Match{Start: 2, End: 10}
+	if m.Len() != 9 {
+		t.Error("Match.Len through facade broken")
+	}
+}

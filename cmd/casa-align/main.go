@@ -1,0 +1,424 @@
+// Command casa-align is a complete single- and paired-end short-read
+// aligner built from this repository's components, mirroring the paper's
+// §5 system: CASA seeds reads (SMEMs + hit positions), 5 SeedEx machines
+// extend the seeds with banded Smith-Waterman and verify with Myers edit
+// machines, and alignments stream out as SAM.
+//
+// Usage:
+//
+//	casa-align -ref ref.fa -reads reads.fq [-out out.sam]            # single-end
+//	casa-align -ref ref.fa -reads r1.fq -reads2 r2.fq [-out out.sam] # paired-end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/pairing"
+	"casa/internal/refidx"
+	"casa/internal/sam"
+	"casa/internal/seedex"
+	"casa/internal/seqio"
+	"casa/internal/smem"
+)
+
+// Proper-pair template length window (FR orientation).
+const (
+	minInsert = 50
+	maxInsert = 2000
+)
+
+type aligner struct {
+	acc     *core.Accelerator
+	sx      *seedex.Machine
+	ix      *refidx.Index
+	maxHits int
+	writer  *sam.Writer
+	aligned int
+	total   int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-align: ")
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (required)")
+		indexPath = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference")
+		readsPath = flag.String("reads", "", "reads FASTQ (required; mate 1 in paired mode)")
+		reads2    = flag.String("reads2", "", "mate-2 FASTQ (enables paired-end mode)")
+		outPath   = flag.String("out", "-", "SAM output path (- = stdout)")
+		partition = flag.Int("partition", 4<<20, "CASA partition size in bases")
+		maxHits   = flag.Int("max-hits", 4, "extension candidates per SMEM")
+		batch     = flag.Int("batch", 4096, "reads seeded per batch")
+	)
+	flag.Parse()
+	if *refPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ix, err := loadRef(*refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acc *core.Accelerator
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err = core.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := core.DefaultConfig()
+		cfg.PartitionBases = *partition
+		var err error
+		acc, err = core.New(ix.Flat(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sx, err := seedex.New(ix.Flat(), seedex.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	var refSeqs []sam.RefSeq
+	for _, c := range ix.Chromosomes() {
+		refSeqs = append(refSeqs, sam.RefSeq{Name: c.Name, Length: c.Length})
+	}
+	a := &aligner{
+		acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
+		writer: sam.NewWriter(out, refSeqs, "casa-align"),
+	}
+
+	if *reads2 == "" {
+		err = a.runSingle(*readsPath, *batch)
+	} else {
+		err = a.runPaired(*readsPath, *reads2, *batch)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.writer.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "casa-align: %d/%d reads aligned\n", a.aligned, a.total)
+}
+
+// runSingle streams single-end reads in batches.
+func (a *aligner) runSingle(path string, batch int) error {
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	var recs []seqio.Record
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		reads := make([]dna.Sequence, len(recs))
+		for i := range recs {
+			reads[i] = recs[i].Seq
+		}
+		res := a.acc.SeedReads(reads)
+		for i, rec := range recs {
+			p := a.place(rec.Seq, res.Reads[i])
+			out := a.recordSingle(rec, p)
+			if out.Flag&sam.FlagUnmapped == 0 {
+				a.aligned++
+			}
+			if err := a.writer.Write(out); err != nil {
+				return err
+			}
+		}
+		a.total += len(recs)
+		recs = recs[:0]
+		return nil
+	}
+	err = seqio.ForEachFastq(in, func(rec seqio.Record) error {
+		recs = append(recs, rec)
+		if len(recs) >= batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// runPaired streams mate pairs in lockstep batches.
+func (a *aligner) runPaired(path1, path2 string, batch int) error {
+	r1, err := readAllFastq(path1)
+	if err != nil {
+		return err
+	}
+	r2, err := readAllFastq(path2)
+	if err != nil {
+		return err
+	}
+	if len(r1) != len(r2) {
+		return fmt.Errorf("casa-align: mate files differ in length: %d vs %d", len(r1), len(r2))
+	}
+	for lo := 0; lo < len(r1); lo += batch {
+		hi := min(lo+batch, len(r1))
+		var reads []dna.Sequence
+		for i := lo; i < hi; i++ {
+			reads = append(reads, r1[i].Seq, r2[i].Seq)
+		}
+		res := a.acc.SeedReads(reads)
+		for i := lo; i < hi; i++ {
+			p1 := a.place(r1[i].Seq, res.Reads[2*(i-lo)])
+			p2 := a.place(r2[i].Seq, res.Reads[2*(i-lo)+1])
+			p1, p2 = a.rescuePair(r1[i], r2[i], p1, p2)
+			rec1, rec2 := a.recordPair(r1[i], r2[i], p1, p2)
+			for _, rec := range []sam.Record{rec1, rec2} {
+				if rec.Flag&sam.FlagUnmapped == 0 {
+					a.aligned++
+				}
+				if err := a.writer.Write(rec); err != nil {
+					return err
+				}
+			}
+			a.total += 2
+		}
+	}
+	return nil
+}
+
+// placement is one read's resolved alignment.
+type placement struct {
+	ok     bool
+	chrom  refidx.Chromosome
+	local  int
+	rev    bool
+	al     seedex.Alignment
+	second int
+}
+
+// place extends both strands of one read and resolves the winner to a
+// chromosome.
+func (a *aligner) place(read dna.Sequence, rr core.ReadResult) placement {
+	toSeeds := func(strand dna.Sequence, smems []smem.Match) []seedex.Seed {
+		var seeds []seedex.Seed
+		for _, m := range smems {
+			for _, pos := range a.acc.HitPositions(strand, m, a.maxHits) {
+				seeds = append(seeds, seedex.Seed{QStart: m.Start, QEnd: m.End, RefPos: pos})
+			}
+		}
+		return seeds
+	}
+	type cand struct {
+		al  seedex.Alignment
+		rev bool
+	}
+	var cands []cand
+	if al, ok := a.sx.ExtendRead(read, toSeeds(read, rr.Forward)); ok {
+		cands = append(cands, cand{al, false})
+	}
+	rc := read.ReverseComplement()
+	if al, ok := a.sx.ExtendRead(rc, toSeeds(rc, rr.Reverse)); ok {
+		cands = append(cands, cand{al, true})
+	}
+	if len(cands) == 0 {
+		return placement{}
+	}
+	best := cands[0]
+	second := best.al.SecondScore
+	for _, c := range cands[1:] {
+		if c.al.Score > best.al.Score {
+			second = max(second, best.al.Score)
+			best = c
+		} else {
+			second = max(second, c.al.Score)
+		}
+	}
+	chrom, local, ok := a.ix.ResolveSpan(best.al.RefStart, best.al.Cigar.RefLen())
+	if !ok {
+		return placement{} // crosses a chromosome spacer: not a real locus
+	}
+	return placement{ok: true, chrom: chrom, local: local, rev: best.rev, al: best.al, second: second}
+}
+
+// recordSingle builds the SAM record for a single-end read.
+func (a *aligner) recordSingle(rec seqio.Record, p placement) sam.Record {
+	if !p.ok {
+		return sam.Unmapped(rec.Name, rec.Seq, rec.Qual)
+	}
+	return a.baseRecord(rec, p, 0)
+}
+
+// baseRecord fills the mapped fields shared by single and paired records.
+func (a *aligner) baseRecord(rec seqio.Record, p placement, extraFlags int) sam.Record {
+	out := sam.Record{
+		QName:        rec.Name,
+		Flag:         extraFlags,
+		RName:        p.chrom.Name,
+		Pos:          p.local + 1,
+		MapQ:         sam.MapQFromScores(p.al.Score, p.second, len(rec.Seq)),
+		Cigar:        p.al.Cigar,
+		EditDistance: p.al.EditDist,
+		Score:        p.al.Score,
+		HasTags:      true,
+	}
+	if p.rev {
+		out.Flag |= sam.FlagReverse
+		out.Seq = rec.Seq.ReverseComplement()
+		out.Qual = reverseQual(rec.Qual)
+	} else {
+		out.Seq = rec.Seq
+		out.Qual = rec.Qual
+	}
+	return out
+}
+
+// recordPair builds both mates' records with pair flags, mate fields and
+// the proper-pair determination (same chromosome, FR orientation, insert
+// within [minInsert, maxInsert]).
+func (a *aligner) recordPair(rec1, rec2 seqio.Record, p1, p2 placement) (sam.Record, sam.Record) {
+	build := func(rec seqio.Record, p placement, mateFlag int, mate placement) sam.Record {
+		var out sam.Record
+		if p.ok {
+			out = a.baseRecord(rec, p, sam.FlagPaired|mateFlag)
+		} else {
+			out = sam.Unmapped(rec.Name, rec.Seq, rec.Qual)
+			out.Flag |= sam.FlagPaired | mateFlag
+		}
+		if !mate.ok {
+			out.Flag |= sam.FlagMateUnmapped
+			return out
+		}
+		if mate.rev {
+			out.Flag |= sam.FlagMateReverse
+		}
+		if p.ok && mate.chrom.Name == p.chrom.Name {
+			out.RNext = "="
+		} else {
+			out.RNext = mate.chrom.Name
+		}
+		out.PNext = mate.local + 1
+		return out
+	}
+	rec1Out := build(rec1, p1, sam.FlagFirstInPair, p2)
+	rec2Out := build(rec2, p2, sam.FlagLastInPair, p1)
+
+	if proper, tlen := properPair(p1, p2); proper {
+		rec1Out.Flag |= sam.FlagProperPair
+		rec2Out.Flag |= sam.FlagProperPair
+		if p1.local <= p2.local {
+			rec1Out.TLen, rec2Out.TLen = tlen, -tlen
+		} else {
+			rec1Out.TLen, rec2Out.TLen = -tlen, tlen
+		}
+	}
+	return rec1Out, rec2Out
+}
+
+// properPair checks FR orientation on one chromosome with a plausible
+// template length, returning the length.
+func properPair(p1, p2 placement) (bool, int) {
+	if !p1.ok || !p2.ok || p1.chrom.Name != p2.chrom.Name {
+		return false, 0
+	}
+	opt := pairing.DefaultOptions()
+	opt.MinInsert, opt.MaxInsert = minInsert, maxInsert
+	return pairing.Proper(toMate(p1), toMate(p2), opt)
+}
+
+// toMate converts a placement into pairing's flat-coordinate view.
+func toMate(p placement) pairing.Mate {
+	return pairing.Mate{
+		Mapped:   p.ok,
+		Pos:      p.al.RefStart,
+		RefLen:   p.al.Cigar.RefLen(),
+		Reverse:  p.rev,
+		Score:    p.al.Score,
+		EditDist: p.al.EditDist,
+		Cigar:    p.al.Cigar,
+	}
+}
+
+// rescuePair attempts mate rescue when exactly one mate placed: the
+// partner's position implies a window for the missing mate, searched with
+// a banded fit (internal/pairing).
+func (a *aligner) rescuePair(rec1, rec2 seqio.Record, p1, p2 placement) (placement, placement) {
+	opt := pairing.DefaultOptions()
+	opt.MinInsert, opt.MaxInsert = minInsert, maxInsert
+	switch {
+	case p1.ok && !p2.ok:
+		if m, ok := pairing.Rescue(a.ix.Flat(), rec2.Seq, toMate(p1), opt); ok {
+			p2 = a.fromMate(m)
+		}
+	case p2.ok && !p1.ok:
+		if m, ok := pairing.Rescue(a.ix.Flat(), rec1.Seq, toMate(p2), opt); ok {
+			p1 = a.fromMate(m)
+		}
+	}
+	return p1, p2
+}
+
+// fromMate converts a rescued mate back into a placement (resolving the
+// chromosome); rescues landing on a spacer are dropped.
+func (a *aligner) fromMate(m pairing.Mate) placement {
+	chrom, local, ok := a.ix.ResolveSpan(m.Pos, m.RefLen)
+	if !ok {
+		return placement{}
+	}
+	return placement{
+		ok: true, chrom: chrom, local: local, rev: m.Reverse,
+		al: seedex.Alignment{
+			Score: m.Score, RefStart: m.Pos, Cigar: m.Cigar, EditDist: m.EditDist,
+		},
+	}
+}
+
+func reverseQual(q []byte) []byte {
+	out := make([]byte, len(q))
+	for i, c := range q {
+		out[len(q)-1-i] = c
+	}
+	return out
+}
+
+func readAllFastq(path string) ([]seqio.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return seqio.ReadFastq(f)
+}
+
+func loadRef(path string) (*refidx.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := seqio.ReadFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	return refidx.Build(recs)
+}

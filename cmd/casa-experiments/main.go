@@ -1,0 +1,257 @@
+// Command casa-experiments regenerates the tables and figures of the CASA
+// paper's evaluation (§6-§7) on synthetic workloads.
+//
+// Usage:
+//
+//	casa-experiments [-scale small|default] [-fig 5|12|13|14|15|16] [-table 3|4] [-summary] [-all]
+//
+// Without selection flags it runs everything (-all). Output is plain text,
+// one section per artifact; EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"casa/internal/energy"
+	"casa/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-experiments: ")
+	var (
+		scaleName = flag.String("scale", "default", "workload scale: small or default")
+		fig       = flag.Int("fig", 0, "regenerate one figure (5, 12, 13, 14, 15, 16)")
+		table     = flag.Int("table", 0, "regenerate one table (3, 4)")
+		summary   = flag.Bool("summary", false, "print the headline ratio summary (§7.1/§7.2)")
+		ablation  = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
+		all       = flag.Bool("all", false, "run every artifact")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *fig == 0 && *table == 0 && !*summary && !*ablation {
+		*all = true
+	}
+
+	s := experiments.NewSuite(scale)
+	fmt.Printf("workloads: %d genomes x %d bases, %d reads each (seed %d)\n\n",
+		len(s.Workloads), scale.GenomeBases, scale.Reads, scale.Seed)
+
+	run := func(want int, sel *int, fn func() error) {
+		if *all || *sel == want {
+			if err := fn(); err != nil {
+				log.Fatalf("artifact %d: %v", want, err)
+			}
+		}
+	}
+	run(5, fig, func() error { return fig5(s) })
+	run(12, fig, func() error { return fig12(s) })
+	run(13, fig, func() error { return fig13(s) })
+	run(14, fig, func() error { return fig14(s) })
+	run(15, fig, func() error { return fig15(s) })
+	run(16, fig, func() error { return fig16(s) })
+	run(3, table, func() error { return table3() })
+	run(4, table, func() error { return table4(s) })
+	if *all || *summary {
+		if err := printSummary(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *all || *ablation {
+		if err := printAblations(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_ = os.Stdout.Sync()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+func fig5(s *experiments.Suite) error {
+	res, err := s.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 5: hit pivots per read per partition vs k ==")
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{strconv.Itoa(r.K), f(r.HitPivots)})
+	}
+	fmt.Print(experiments.RenderTable([]string{"k", "hit pivots/read/part"}, rows))
+	fmt.Printf("k=12 over k=19 ratio: %.2fx (paper: 6.04x)\n\n", res.Ratio12to19)
+	return nil
+}
+
+func fig12(s *experiments.Suite) error {
+	all, err := s.Fig12All()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 12: seeding throughput (reads/s, paper-scale projected) ==")
+	for _, res := range all {
+		fmt.Printf("-- %s --\n", res.Workload)
+		var rows [][]string
+		for _, e := range res.Engines {
+			rows = append(rows, []string{e.Name, f(e.Throughput)})
+		}
+		fmt.Print(experiments.RenderTable([]string{"engine", "reads/s"}, rows))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig13(s *experiments.Suite) error {
+	res, err := s.Fig12(s.Workloads[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 13: power (W) and energy efficiency (reads/mJ) ==")
+	var rows [][]string
+	for _, name := range []string{"CASA", "ERT", "GenAx"} {
+		m := res.Metric(name)
+		rows = append(rows, []string{name, f(m.PowerW), f(m.ReadsPerMJ), f(m.DRAMGBs)})
+	}
+	fmt.Print(experiments.RenderTable([]string{"engine", "power(W)", "reads/mJ", "DRAM GB/s"}, rows))
+	fmt.Println()
+	return nil
+}
+
+func fig14(s *experiments.Suite) error {
+	res, err := s.Fig14(s.Workloads[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 14: end-to-end normalized running time (BWA-MEM2 = 1.0) ==")
+	var rows [][]string
+	for _, b := range res.Breakdowns {
+		rows = append(rows, []string{
+			b.System, f(b.IO), f(b.Seeding), f(b.PreProcessing),
+			f(b.Extension), f(b.Overlapped), f(b.PostProcessing), f(b.Total()),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"system", "IO", "seeding", "preproc", "extension", "seed||ext", "postproc", "total"}, rows))
+	fmt.Printf("CASA+SeedEx speedup: %.2fx over BWA-MEM2 (paper 6x), %.2fx over ERT+SeedEx (paper 2.4x), %.2fx over GenAx+SeedEx (paper 1.4x)\n\n",
+		res.SpeedupVs["BWA-MEM2"], res.SpeedupVs["ERT+SeedEx"], res.SpeedupVs["GenAx+SeedEx"])
+	return nil
+}
+
+func fig15(s *experiments.Suite) error {
+	res, err := s.Fig15()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 15: avg pivots triggering SMEM computation per read ==")
+	fmt.Print(experiments.RenderTable([]string{"design", "pivots/read"}, [][]string{
+		{"naive", f(res.Naive)},
+		{"table", f(res.Table)},
+		{"table+analysis", f(res.TableAnalysis)},
+	}))
+	fmt.Printf("filter rates: table %.1f%% (paper 98.9%%), table+analysis %.1f%% (paper 99.9%%)\n\n",
+		res.TableFilterRate*100, res.AnalysisFilterRate*100)
+	return nil
+}
+
+func fig16(s *experiments.Suite) error {
+	res, err := s.Fig16()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 16: inexact-matching throughput normalized to GenAx ==")
+	fmt.Print(experiments.RenderTable([]string{"engine", "normalized"}, [][]string{
+		{"CASA", f(res.CASA)},
+		{"ERT", f(res.ERT)},
+		{"GenAx", "1"},
+	}))
+	fmt.Printf("CASA vs GenAx: %.2fx (paper 3.86x); CASA vs ERT: %.2fx (paper 0.72x); %d inexact reads\n\n",
+		res.CASA, res.CASAOverERT, res.InexactReads)
+	return nil
+}
+
+func table3() error {
+	fmt.Println("== Table 3: circuit models in 28 nm ==")
+	var rows [][]string
+	for _, m := range experiments.Table3() {
+		rows = append(rows, []string{
+			m.Name, f(m.DelayPS), f(m.AreaUM2), f(m.EnergyPJ), f(m.LeakUA),
+			fmt.Sprintf("%dx%d", m.Rows, m.Bits),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"component", "delay(ps)", "area(um2)", "energy(pJ)", "leakage(uA)", "size"}, rows))
+	fmt.Println()
+	return nil
+}
+
+func table4(s *experiments.Suite) error {
+	res, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 4: power and area breakdown (model at paper geometry) ==")
+	fmt.Print(res.Report.String())
+	fmt.Println("\npaper's published rows:")
+	var rows [][]string
+	for _, r := range energy.PaperTable4() {
+		rows = append(rows, []string{r.Component, f(r.AreaMM2), f(r.PowerW)})
+	}
+	fmt.Print(experiments.RenderTable([]string{"component", "area(mm2)", "power(W)"}, rows))
+	fmt.Printf("total area: %.1f mm^2 (paper %.1f); +%.1f%% vs GenAx (paper +33.9%%)\n\n",
+		res.TotalArea, res.PaperArea, res.AreaVsGenAx*100)
+	return nil
+}
+
+func printSummary(s *experiments.Suite) error {
+	sum, err := s.Summarize()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Headline summary (§7.1/§7.2) ==")
+	fmt.Print(experiments.RenderTable([]string{"metric", "measured", "paper"}, [][]string{
+		{"CASA throughput vs B-12T", f(sum.CASAOverB12) + "x", "17.26x"},
+		{"CASA throughput vs B-32T", f(sum.CASAOverB32) + "x", "7.53x"},
+		{"CASA throughput vs GenAx", f(sum.CASAOverGenAx) + "x", "5.47x"},
+		{"CASA throughput vs ERT", f(sum.CASAOverERT) + "x", "1.2x"},
+		{"CASA efficiency vs GenAx", f(sum.EffOverGenAx) + "x", "6.69x"},
+		{"CASA efficiency vs ERT", f(sum.EffOverERT) + "x", "2.57x"},
+		{"CASA DRAM bandwidth", f(sum.CASADRAMGBs) + " GB/s", "< 30 GB/s"},
+		{"exact-match read fraction", f(sum.ExactFraction*100) + "%", "~80%"},
+	}))
+	fmt.Println()
+	return nil
+}
+
+func printAblations(s *experiments.Suite) error {
+	sweeps, err := s.Ablations()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Design-choice ablations (DESIGN.md §6) ==")
+	for _, sw := range sweeps {
+		fmt.Printf("-- %s --\n", sw.Sweep)
+		var rows [][]string
+		for _, r := range sw.Rows {
+			rows = append(rows, []string{
+				r.Name, f(r.Throughput), f(r.ReadsPerMJ),
+				f(float64(r.CAMRowsEnabled)), f(float64(r.PivotsComputed)), f(r.OnChipMB),
+			})
+		}
+		fmt.Print(experiments.RenderTable(
+			[]string{"config", "reads/s", "reads/mJ", "CAM rows", "pivots", "on-chip MB"}, rows))
+	}
+	fmt.Println()
+	return nil
+}

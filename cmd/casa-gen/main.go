@@ -1,0 +1,103 @@
+// Command casa-gen generates a synthetic reference genome (FASTA) and a
+// simulated read set (FASTQ), the workload substitutes for GRCh38/GRCm39
+// and ERR194147/DWGSIM (see DESIGN.md).
+//
+// Usage:
+//
+//	casa-gen -bases 4194304 -reads 10000 -out ref.fa -reads-out reads.fq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"casa/internal/dna"
+	"casa/internal/readsim"
+	"casa/internal/seqio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-gen: ")
+	var (
+		bases    = flag.Int("bases", 4<<20, "reference length in bases (split across chromosomes)")
+		chroms   = flag.Int("chroms", 1, "number of chromosomes (FASTA records)")
+		nReads   = flag.Int("reads", 10000, "number of simulated reads")
+		readLen  = flag.Int("read-len", 101, "read length in bp")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		errRate  = flag.Float64("err", 0.001, "per-base sequencing error rate")
+		mutRate  = flag.Float64("mut", 0.001, "per-base haplotype SNP rate")
+		refOut   = flag.String("out", "ref.fa", "reference FASTA output path")
+		readsOut = flag.String("reads-out", "reads.fq", "reads FASTQ output path")
+		paired   = flag.Bool("paired", false, "emit paired-end reads (mate files <reads-out> and <reads-out>.2)")
+		insert   = flag.Int("insert", 350, "paired-end mean fragment length")
+	)
+	flag.Parse()
+
+	if *chroms < 1 {
+		log.Fatal("chroms must be >= 1")
+	}
+	var recs []seqio.Record
+	per := *bases / *chroms
+	var all dna.Sequence
+	for c := 0; c < *chroms; c++ {
+		g := readsim.GenerateReference(readsim.DefaultGenome(per, *seed+int64(c)*13))
+		recs = append(recs, seqio.Record{
+			Name: fmt.Sprintf("chr%d", c+1),
+			Desc: "casa-gen synthetic chromosome",
+			Seq:  g,
+		})
+		all = append(all, g...)
+	}
+	profile := readsim.ReadProfile{
+		Length:  *readLen,
+		Count:   *nReads,
+		Seed:    *seed + 1,
+		MutRate: *mutRate,
+		ErrRate: *errRate,
+		RevComp: true,
+	}
+	rf, err := os.Create(*refOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	if err := seqio.WriteFasta(rf, recs, 70); err != nil {
+		log.Fatal(err)
+	}
+
+	if *paired {
+		pp := readsim.PairProfile{Read: profile, InsertMean: *insert, InsertSD: *insert / 7}
+		pp.Read.RevComp = false
+		pairs := readsim.SimulatePairs(all, pp)
+		r1, r2 := readsim.PairRecords(pairs)
+		if err := writeFastq(*readsOut, r1); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeFastq(*readsOut+".2", r2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d chromosomes, %d bases) and %s/.2 (%d pairs)\n",
+			*refOut, len(recs), len(all), *readsOut, len(pairs))
+		return
+	}
+
+	reads := readsim.Simulate(all, profile)
+	if err := writeFastq(*readsOut, readsim.Records(reads)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %s (%d chromosomes, %d bases) and %s (%d reads, %.1f%% exact)\n",
+		*refOut, len(recs), len(all), *readsOut, len(reads), readsim.ExactFraction(reads)*100)
+}
+
+func writeFastq(path string, recs []seqio.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return seqio.WriteFastq(f, recs)
+}

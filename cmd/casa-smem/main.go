@@ -1,0 +1,206 @@
+// Command casa-smem computes SMEMs for reads against a reference with a
+// selectable engine (casa, fmindex, genax, ert, brute) and optionally
+// cross-checks two engines against each other, mirroring the paper's §6
+// validation ("CASA produces identical SMEMs to GenAx and 100% SMEMs of
+// BWA-MEM2 are contained").
+//
+// Usage:
+//
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/gencache"
+	"casa/internal/seqio"
+	"casa/internal/smem"
+)
+
+// engine computes forward-strand SMEMs for one read.
+type engine interface {
+	find(read dna.Sequence, minLen int) []smem.Match
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-smem: ")
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (required)")
+		readsPath = flag.String("reads", "", "reads FASTQ (required)")
+		engName   = flag.String("engine", "casa", "engine: casa, fmindex, genax, gencache, ert, brute")
+		verify    = flag.String("verify", "", "second engine to cross-check against")
+		minSMEM   = flag.Int("min-smem", 19, "minimum SMEM length")
+		maxReads  = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
+		quiet     = flag.Bool("quiet", false, "suppress per-read output (counts only)")
+	)
+	flag.Parse()
+	if *refPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ref, reads, names, err := load(*refPath, *readsPath, *maxReads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := build(*engName, ref, *minSMEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ver engine
+	if *verify != "" {
+		if ver, err = build(*verify, ref, *minSMEM); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	totalSMEMs, mismatches := 0, 0
+	for i, read := range reads {
+		ms := eng.find(read, *minSMEM)
+		totalSMEMs += len(ms)
+		if !*quiet {
+			fmt.Printf("%s\t%d SMEMs", names[i], len(ms))
+			for _, m := range ms {
+				fmt.Printf("\t%s", m)
+			}
+			fmt.Println()
+		}
+		if ver != nil {
+			want := ver.find(read, *minSMEM)
+			if !smem.SameIntervals(ms, want) {
+				mismatches++
+				fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  %s: %v\n  %s: %v\n", names[i], *engName, ms, *verify, want)
+			}
+		}
+	}
+	fmt.Printf("\n%d reads, %d SMEMs via %s", len(reads), totalSMEMs, *engName)
+	if ver != nil {
+		fmt.Printf("; %d mismatches vs %s", mismatches, *verify)
+	}
+	fmt.Println()
+	if mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
+	switch name {
+	case "casa":
+		cfg := core.DefaultConfig()
+		cfg.MinSMEM = minSMEM
+		if cfg.PartitionBases > len(ref) {
+			// Shrink to one partition for small references.
+			for cfg.PartitionBases/2 >= len(ref) && cfg.PartitionBases > 1024 {
+				cfg.PartitionBases /= 2
+			}
+		}
+		a, err := core.New(ref, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return casaEngine{a}, nil
+	case "fmindex":
+		return finderEngine{smem.NewBidirectional(ref)}, nil
+	case "brute":
+		return finderEngine{smem.BruteForce{Ref: ref}}, nil
+	case "genax":
+		cfg := genax.DefaultConfig()
+		cfg.MinSMEM = minSMEM
+		a, err := genax.New(ref, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return genaxEngine{a}, nil
+	case "gencache":
+		cfg := gencache.DefaultConfig()
+		cfg.GenAx.MinSMEM = minSMEM
+		a, err := gencache.New(ref, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return gencacheEngine{a}, nil
+	case "ert":
+		cfg := ert.DefaultConfig()
+		cfg.MinSMEM = minSMEM
+		ix, err := ert.Build(ref, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return finderEngine{ertFinder{ix}}, nil
+	default:
+		return nil, fmt.Errorf("casa-smem: unknown engine %q", name)
+	}
+}
+
+type finderEngine struct{ f smem.Finder }
+
+func (e finderEngine) find(read dna.Sequence, minLen int) []smem.Match {
+	return e.f.FindSMEMs(read, minLen)
+}
+
+type ertFinder struct{ ix *ert.Index }
+
+func (f ertFinder) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
+	return f.ix.FindSMEMs(read, minLen)
+}
+
+type casaEngine struct{ a *core.Accelerator }
+
+func (e casaEngine) find(read dna.Sequence, minLen int) []smem.Match {
+	res := e.a.SeedReads([]dna.Sequence{read})
+	return res.Reads[0].Forward
+}
+
+type gencacheEngine struct{ a *gencache.Accelerator }
+
+func (e gencacheEngine) find(read dna.Sequence, minLen int) []smem.Match {
+	res := e.a.SeedReads([]dna.Sequence{read})
+	return res.Reads[0]
+}
+
+type genaxEngine struct{ a *genax.Accelerator }
+
+func (e genaxEngine) find(read dna.Sequence, minLen int) []smem.Match {
+	res := e.a.SeedReads([]dna.Sequence{read})
+	return res.Reads[0]
+}
+
+func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence, []string, error) {
+	rf, err := os.Open(refPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer rf.Close()
+	recs, err := seqio.ReadFasta(rf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var ref dna.Sequence
+	for _, r := range recs {
+		ref = append(ref, r.Seq...)
+	}
+	qf, err := os.Open(readsPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer qf.Close()
+	var reads []dna.Sequence
+	var names []string
+	err = seqio.ForEachFastq(qf, func(rec seqio.Record) error {
+		if maxReads > 0 && len(reads) >= maxReads {
+			return nil
+		}
+		reads = append(reads, rec.Seq)
+		names = append(names, rec.Name)
+		return nil
+	})
+	return ref, reads, names, err
+}

@@ -1,0 +1,71 @@
+// Ablation: reproduce the spirit of Fig 15 interactively — run the same
+// workload through the naive design, the pre-seeding filter table alone,
+// and the full filter-enabled algorithm (table + CRkM/alignment analyses),
+// and show how many pivots each one sends into SMEM computation, alongside
+// the modelled throughput and energy impact of the CAM gating levels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casa"
+)
+
+func main() {
+	ref := casa.GenerateReference(casa.DefaultGenome(512<<10, 21))
+	reads := casa.Sequences(casa.Simulate(ref, casa.DefaultProfile(200, 23)))
+
+	base := casa.DefaultConfig()
+	base.PartitionBases = 128 << 10
+	base.ExactMatchPrepass = false // isolate the pivot filters, as Fig 15 does
+
+	type variant struct {
+		name   string
+		mutate func(*casa.Config)
+	}
+	fmt.Println("== pivot filtering (Fig 15) ==")
+	fmt.Printf("%-18s %14s %14s %12s\n", "design", "pivots/read", "filtered", "reads/s")
+	for _, v := range []variant{
+		{"naive", func(c *casa.Config) { c.UseFilterTable = false; c.UseAnalysis = false }},
+		{"table", func(c *casa.Config) { c.UseAnalysis = false }},
+		{"table+analysis", func(c *casa.Config) {}},
+	} {
+		cfg := base
+		v.mutate(&cfg)
+		res := run(ref, reads, cfg)
+		perRead := float64(res.Stats.PivotsComputed) / float64(res.Stats.ReadsSeeded)
+		filtered := 100 * (1 - float64(res.Stats.PivotsComputed)/float64(res.Stats.PivotsTotal))
+		fmt.Printf("%-18s %14.2f %13.1f%% %12.3g\n", v.name, perRead, filtered, res.Throughput())
+	}
+
+	fmt.Println("\n== CAM power gating (§4.1) ==")
+	fmt.Printf("%-18s %16s %14s\n", "design", "rows enabled", "reads/mJ")
+	for _, v := range []variant{
+		{"no gating", func(c *casa.Config) { c.GroupGating = false; c.EntryGating = false }},
+		{"group gating", func(c *casa.Config) { c.EntryGating = false }},
+		{"group+entry", func(c *casa.Config) {}},
+	} {
+		cfg := base
+		v.mutate(&cfg)
+		res := run(ref, reads, cfg)
+		fmt.Printf("%-18s %16d %14.1f\n", v.name, res.Stats.CAMRowsEnabled, res.ReadsPerMJ())
+	}
+
+	fmt.Println("\n== exact-match prepass (§4.3) ==")
+	for _, prepass := range []bool{false, true} {
+		cfg := base
+		cfg.ExactMatchPrepass = prepass
+		res := run(ref, reads, cfg)
+		fmt.Printf("prepass=%-5v  exact reads: %4d  throughput: %.3g reads/s\n",
+			prepass, res.Stats.ReadsExact, res.Throughput())
+	}
+}
+
+func run(ref casa.Sequence, reads []casa.Sequence, cfg casa.Config) *casa.Result {
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return acc.SeedReads(reads)
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a synthetic reference, construct a CASA accelerator,
+// seed a handful of simulated reads, and print the SMEMs with the modelled
+// throughput and power — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casa"
+)
+
+func main() {
+	// A 1 Mbase synthetic genome with mammalian-like repeat content.
+	ref := casa.GenerateReference(casa.DefaultGenome(1<<20, 42))
+
+	// 101 bp reads with the paper's error profile (~80% exact matches).
+	sim := casa.Simulate(ref, casa.DefaultProfile(50, 7))
+	reads := casa.Sequences(sim)
+
+	// CASA with the paper's architecture, shrunk to 256 Kbase partitions
+	// so this example builds instantly.
+	cfg := casa.DefaultConfig()
+	cfg.PartitionBases = 256 << 10
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %d bases in %d partitions (on-chip budget %.1f MB)\n\n",
+		len(ref), acc.Partitions(), float64(cfg.OnChipBytes())/(1<<20))
+
+	res := acc.SeedReads(reads)
+	for i := 0; i < 5; i++ {
+		rr := res.Reads[i]
+		fmt.Printf("%s\n  forward SMEMs: %v\n  reverse SMEMs: %v\n", sim[i].Name, rr.Forward, rr.Reverse)
+	}
+
+	fmt.Printf("\nseeded %d reads (both strands x %d partitions)\n", len(reads), acc.Partitions())
+	fmt.Printf("modelled throughput: %.3g reads/s\n", res.Throughput())
+	fmt.Printf("modelled power:      %.2f W (%.0f reads/mJ)\n", res.Energy.PowerW(), res.ReadsPerMJ())
+	fmt.Printf("pivot filtering:     %d of %d pivots computed (%.2f%% filtered)\n",
+		res.Stats.PivotsComputed, res.Stats.PivotsTotal,
+		100*(1-float64(res.Stats.PivotsComputed)/float64(res.Stats.PivotsTotal)))
+}

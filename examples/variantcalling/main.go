@@ -1,0 +1,110 @@
+// Variantcalling: the genome-analysis pipeline the paper's introduction
+// motivates, end to end — plant SNPs into a donor genome, sequence it,
+// align the reads with CASA seeding + SeedEx extension, pile up the
+// alignments, call variants, and score the calls against the planted
+// truth set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casa"
+)
+
+func main() {
+	// Reference and a donor carrying ~1 SNP per kilobase.
+	ref := casa.GenerateReference(casa.DefaultGenome(128<<10, 51))
+	donor, truth := casa.Donor(ref, 0.001, 53)
+	fmt.Printf("reference: %d bases; donor carries %d SNPs\n", len(ref), len(truth))
+
+	cfg := casa.DefaultConfig()
+	cfg.PartitionBases = 32 << 10
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sx, err := casa.NewSeedEx(ref, casa.DefaultSeedExConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ~30x coverage with a light sequencing-error rate.
+	profile := casa.ReadProfile{Length: 101, Count: len(ref) * 30 / 101, Seed: 55, ErrRate: 0.002, RevComp: true}
+	reads := casa.Simulate(donor, profile)
+	fmt.Printf("sequenced %d reads (~30x)\n", len(reads))
+
+	res := acc.SeedReads(casa.Sequences(reads))
+	pile := casa.NewPileup(ref)
+	aligned := 0
+	for i, r := range reads {
+		al, rev, ok := bestStrand(acc, sx, r.Seq, res.Reads[i])
+		if !ok {
+			continue
+		}
+		aligned++
+		oriented := r.Seq
+		if rev {
+			oriented = r.Seq.ReverseComplement()
+		}
+		if err := pile.Add(al.RefStart, al.Cigar, oriented, rev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("aligned %d/%d reads\n", aligned, len(reads))
+
+	calls, err := pile.Call(casa.DefaultCallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	truthSet := map[int]casa.Base{}
+	for _, v := range truth {
+		truthSet[v.Pos] = v.Alt
+	}
+	tp, fp := 0, 0
+	for _, c := range calls {
+		if alt, ok := truthSet[c.Pos]; ok && alt == c.Alt {
+			tp++
+		} else {
+			fp++
+			fmt.Printf("  false positive at %d: %s>%s (depth %d, alt %d)\n",
+				c.Pos, c.Ref, c.Alt, c.Depth, c.AltDepth)
+		}
+	}
+	fmt.Printf("\ncalled %d variants: %d true, %d false\n", len(calls), tp, fp)
+	fmt.Printf("recall %.1f%%  precision %.1f%%\n",
+		100*float64(tp)/float64(len(truth)), 100*float64(tp)/float64(maxInt(tp+fp, 1)))
+	if tp*10 < len(truth)*8 {
+		log.Fatal("recall unexpectedly low")
+	}
+}
+
+// bestStrand extends both strands and returns the winner.
+func bestStrand(acc *casa.Accelerator, sx *casa.SeedExMachine, read casa.Sequence, rr casa.ReadResult) (casa.Alignment, bool, bool) {
+	collect := func(strand casa.Sequence, smems []casa.Match) (casa.Alignment, bool) {
+		var seeds []casa.Seed
+		for _, m := range smems {
+			for _, pos := range acc.HitPositions(strand, m, 4) {
+				seeds = append(seeds, casa.Seed{QStart: m.Start, QEnd: m.End, RefPos: pos})
+			}
+		}
+		return sx.ExtendRead(strand, seeds)
+	}
+	var best casa.Alignment
+	rev, found := false, false
+	if al, ok := collect(read, rr.Forward); ok {
+		best, found = al, true
+	}
+	rc := read.ReverseComplement()
+	if al, ok := collect(rc, rr.Reverse); ok && (!found || al.Score > best.Score) {
+		best, rev, found = al, true, true
+	}
+	return best, rev, found
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

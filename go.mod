@@ -1,0 +1,3 @@
+module casa
+
+go 1.22

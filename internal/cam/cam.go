@@ -1,0 +1,256 @@
+// Package cam models binary content-addressable memory (BCAM) arrays
+// (§2.3 of the paper): fixed-width words searched in parallel against a
+// key, producing a match line per row. The model is bit-accurate and
+// tracks the activity statistics CASA's energy accounting needs:
+//
+//   - selective row enabling ("the entries within each CAM array are
+//     selectively enabled based on the automata matching results in the
+//     last cycle", §4.1) — energy scales with *enabled* rows, not rows;
+//   - don't-care search bits, used for the padded queries that align a
+//     k-mer within a non-overlapped 40-base CAM entry (X bases, §3);
+//   - segmented search, used by the 9-mer tag array where four 18-bit
+//     9-mers share one 72-bit word with shared sense amplifiers (§5).
+package cam
+
+import "fmt"
+
+// Word is a CAM word of up to 128 bits (bit i of the word is bit i%64 of
+// Lo for i<64, of Hi otherwise). 128 bits cover both CASA word shapes:
+// 80-bit computing-CAM entries (40 bases) and 72-bit tag entries.
+type Word struct {
+	Lo, Hi uint64
+}
+
+// SetBits returns w with bits [off, off+n) set to the low n bits of v.
+func (w Word) SetBits(off, n int, v uint64) Word {
+	for i := 0; i < n; i++ {
+		bit := (v >> uint(i)) & 1
+		pos := off + i
+		if pos < 64 {
+			w.Lo = w.Lo&^(1<<uint(pos)) | bit<<uint(pos)
+		} else {
+			w.Hi = w.Hi&^(1<<uint(pos-64)) | bit<<uint(pos-64)
+		}
+	}
+	return w
+}
+
+// Bits returns bits [off, off+n) as a uint64 (n <= 64).
+func (w Word) Bits(off, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		pos := off + i
+		var bit uint64
+		if pos < 64 {
+			bit = w.Lo >> uint(pos) & 1
+		} else {
+			bit = w.Hi >> uint(pos-64) & 1
+		}
+		v |= bit << uint(i)
+	}
+	return v
+}
+
+// and, xor, isZero are 128-bit helpers.
+func and(a, b Word) Word { return Word{a.Lo & b.Lo, a.Hi & b.Hi} }
+func xor(a, b Word) Word { return Word{a.Lo ^ b.Lo, a.Hi ^ b.Hi} }
+func isZero(a Word) bool { return a.Lo == 0 && a.Hi == 0 }
+
+// Mask returns a Word with bits [0, n) set — a care mask covering the low
+// n bits.
+func Mask(n int) Word {
+	var w Word
+	switch {
+	case n <= 0:
+	case n < 64:
+		w.Lo = 1<<uint(n) - 1
+	case n == 64:
+		w.Lo = ^uint64(0)
+	case n < 128:
+		w.Lo = ^uint64(0)
+		w.Hi = 1<<uint(n-64) - 1
+	default:
+		w.Lo, w.Hi = ^uint64(0), ^uint64(0)
+	}
+	return w
+}
+
+// MaskRange returns a Word with bits [off, off+n) set.
+func MaskRange(off, n int) Word {
+	full := Mask(off + n)
+	lo := Mask(off)
+	return Word{full.Lo &^ lo.Lo, full.Hi &^ lo.Hi}
+}
+
+// Stats records the activity of a CAM array for the energy model.
+type Stats struct {
+	Searches    int64 // search operations issued
+	RowsEnabled int64 // total match-line activations (rows x searches)
+	Matches     int64 // rows that matched
+	Writes      int64 // words written
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Searches += other.Searches
+	s.RowsEnabled += other.RowsEnabled
+	s.Matches += other.Matches
+	s.Writes += other.Writes
+}
+
+// Array is one BCAM array: Rows words of Width bits.
+type Array struct {
+	Width int
+	rows  []Word
+	valid []bool
+	Stats Stats
+}
+
+// NewArray creates an array with the given geometry. The paper's macros
+// are 256 rows; the model accepts any size so tests can use small arrays.
+func NewArray(rows, width int) *Array {
+	if width <= 0 || width > 128 {
+		panic(fmt.Sprintf("cam: unsupported width %d", width))
+	}
+	return &Array{Width: width, rows: make([]Word, rows), valid: make([]bool, rows)}
+}
+
+// Rows returns the array height.
+func (a *Array) Rows() int { return len(a.rows) }
+
+// Write stores w at row r and marks it valid.
+func (a *Array) Write(r int, w Word) {
+	a.rows[r] = w
+	a.valid[r] = true
+	a.Stats.Writes++
+}
+
+// Invalidate marks row r empty (it will not match any search).
+func (a *Array) Invalidate(r int) { a.valid[r] = false }
+
+// Row returns the stored word (for diagnostics and model cross-checks).
+func (a *Array) Row(r int) (Word, bool) { return a.rows[r], a.valid[r] }
+
+// Search compares key against every enabled, valid row under the care
+// mask: row r matches iff (rows[r] XOR key) AND care == 0. enabled==nil
+// enables every row (the naive, power-hungry mode); otherwise only rows
+// with enabled[r] participate. The returned slice lists matching row
+// indices in ascending order.
+func (a *Array) Search(key, care Word, enabled []bool) []int {
+	a.Stats.Searches++
+	var out []int
+	for r := range a.rows {
+		if enabled != nil && !enabled[r] {
+			continue
+		}
+		if !a.valid[r] {
+			continue
+		}
+		a.Stats.RowsEnabled++
+		if isZero(and(xor(a.rows[r], key), care)) {
+			out = append(out, r)
+			a.Stats.Matches++
+		}
+	}
+	return out
+}
+
+// SearchSegmented treats each word as nSeg equal segments and matches the
+// low segBits bits of key against every segment of every enabled row,
+// returning (row, segment) pairs. This is the tag-array search: "CASA
+// stores four 9-mers ... in one CAM entry ... due to the shared sense
+// amplifiers among the four 9-mers" (§5).
+func (a *Array) SearchSegmented(key uint64, segBits, nSeg int, enabled []bool) []SegMatch {
+	if segBits*nSeg > a.Width {
+		panic(fmt.Sprintf("cam: %d segments of %d bits exceed width %d", nSeg, segBits, a.Width))
+	}
+	a.Stats.Searches++
+	var out []SegMatch
+	for r := range a.rows {
+		if enabled != nil && !enabled[r] {
+			continue
+		}
+		if !a.valid[r] {
+			continue
+		}
+		a.Stats.RowsEnabled++
+		for s := 0; s < nSeg; s++ {
+			if a.rows[r].Bits(s*segBits, segBits) == key {
+				out = append(out, SegMatch{Row: r, Seg: s})
+				a.Stats.Matches++
+			}
+		}
+	}
+	return out
+}
+
+// SegMatch identifies one matching segment within a segmented search.
+type SegMatch struct {
+	Row, Seg int
+}
+
+// Bank is a group of arrays searched together with group-level power
+// gating: a search enables only the arrays of the selected groups ("we
+// cluster computing CAM arrays into groups and use a one-hot bit vector
+// (termed group indicator) to indicate which group the k-mer belongs to",
+// §4.1).
+type Bank struct {
+	arrays []*Array
+	groups int
+}
+
+// NewBank builds nArrays arrays of the given geometry, assigned
+// round-robin to groups.
+func NewBank(nArrays, rows, width, groups int) *Bank {
+	if groups <= 0 {
+		groups = 1
+	}
+	b := &Bank{groups: groups}
+	for i := 0; i < nArrays; i++ {
+		b.arrays = append(b.arrays, NewArray(rows, width))
+	}
+	return b
+}
+
+// Arrays returns the number of arrays.
+func (b *Bank) Arrays() int { return len(b.arrays) }
+
+// Groups returns the number of power-gating groups.
+func (b *Bank) Groups() int { return b.groups }
+
+// Array returns array i for direct writes during index construction.
+func (b *Bank) Array(i int) *Array { return b.arrays[i] }
+
+// GroupOf returns the group of array i (round-robin assignment).
+func (b *Bank) GroupOf(i int) int { return i % b.groups }
+
+// SearchGroups searches only the arrays belonging to groups whose bit is
+// set in groupMask (a one-hot or multi-hot indicator), returning matches
+// as (array, row) pairs. Arrays outside the mask stay idle and consume no
+// search energy.
+func (b *Bank) SearchGroups(key, care Word, groupMask uint64) []BankMatch {
+	var out []BankMatch
+	for i, a := range b.arrays {
+		if groupMask>>uint(b.GroupOf(i))&1 == 0 {
+			continue
+		}
+		for _, r := range a.Search(key, care, nil) {
+			out = append(out, BankMatch{Array: i, Row: r})
+		}
+	}
+	return out
+}
+
+// BankMatch identifies one matching row within a bank search.
+type BankMatch struct {
+	Array, Row int
+}
+
+// Stats sums the statistics of every array in the bank.
+func (b *Bank) Stats() Stats {
+	var s Stats
+	for _, a := range b.arrays {
+		s.Add(a.Stats)
+	}
+	return s
+}

@@ -1,0 +1,246 @@
+package cam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordSetGetBits(t *testing.T) {
+	var w Word
+	w = w.SetBits(0, 8, 0xAB)
+	w = w.SetBits(60, 8, 0xCD) // straddles the Lo/Hi boundary
+	w = w.SetBits(120, 8, 0xEF)
+	if got := w.Bits(0, 8); got != 0xAB {
+		t.Errorf("Bits(0,8) = %#x", got)
+	}
+	if got := w.Bits(60, 8); got != 0xCD {
+		t.Errorf("Bits(60,8) = %#x", got)
+	}
+	if got := w.Bits(120, 8); got != 0xEF {
+		t.Errorf("Bits(120,8) = %#x", got)
+	}
+}
+
+func TestWordBitsRoundTripQuick(t *testing.T) {
+	f := func(v uint64, off8 uint8, n8 uint8) bool {
+		off := int(off8) % 100
+		n := 1 + int(n8)%28
+		v &= 1<<uint(n) - 1
+		var w Word
+		w = w.SetBits(off, n, v)
+		return w.Bits(off, n) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSetBitsPreservesOthers(t *testing.T) {
+	w := Word{Lo: ^uint64(0), Hi: ^uint64(0)}
+	w = w.SetBits(10, 4, 0)
+	if got := w.Bits(10, 4); got != 0 {
+		t.Errorf("cleared bits = %#x", got)
+	}
+	if got := w.Bits(0, 10); got != 0x3FF {
+		t.Errorf("lower bits disturbed: %#x", got)
+	}
+	if got := w.Bits(14, 10); got != 0x3FF {
+		t.Errorf("upper bits disturbed: %#x", got)
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n      int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{63, 1<<63 - 1, 0},
+		{64, ^uint64(0), 0},
+		{65, ^uint64(0), 1},
+		{80, ^uint64(0), 1<<16 - 1},
+		{128, ^uint64(0), ^uint64(0)},
+	}
+	for _, c := range cases {
+		got := Mask(c.n)
+		if got.Lo != c.lo || got.Hi != c.hi {
+			t.Errorf("Mask(%d) = %x,%x want %x,%x", c.n, got.Lo, got.Hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestMaskRange(t *testing.T) {
+	w := MaskRange(4, 8)
+	if w.Lo != 0xFF0 || w.Hi != 0 {
+		t.Errorf("MaskRange(4,8) = %x,%x", w.Lo, w.Hi)
+	}
+	w2 := MaskRange(60, 8)
+	if w2.Bits(60, 8) != 0xFF || w2.Bits(0, 60) != 0 {
+		t.Errorf("MaskRange(60,8) wrong")
+	}
+}
+
+func TestArraySearchExact(t *testing.T) {
+	a := NewArray(4, 16)
+	a.Write(0, Word{Lo: 0x1234})
+	a.Write(2, Word{Lo: 0x5678})
+	got := a.Search(Word{Lo: 0x5678}, Mask(16), nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Search = %v, want [2]", got)
+	}
+	// Invalid rows must not match, even a zero key.
+	if got := a.Search(Word{}, Mask(16), nil); len(got) != 0 {
+		t.Errorf("invalid rows matched: %v", got)
+	}
+}
+
+func TestArraySearchDontCare(t *testing.T) {
+	a := NewArray(2, 16)
+	a.Write(0, Word{Lo: 0xAB12})
+	a.Write(1, Word{Lo: 0xCD12})
+	// Care only about the low byte: both match.
+	got := a.Search(Word{Lo: 0xFF12}, Mask(8), nil)
+	if len(got) != 2 {
+		t.Errorf("don't-care search = %v, want both rows", got)
+	}
+}
+
+func TestArraySelectiveEnable(t *testing.T) {
+	a := NewArray(4, 8)
+	for i := 0; i < 4; i++ {
+		a.Write(i, Word{Lo: 0x42})
+	}
+	enabled := []bool{false, true, false, true}
+	got := a.Search(Word{Lo: 0x42}, Mask(8), enabled)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("selective search = %v", got)
+	}
+	// Energy accounting: only the 2 enabled rows were activated.
+	if a.Stats.RowsEnabled != 2 {
+		t.Errorf("RowsEnabled = %d, want 2", a.Stats.RowsEnabled)
+	}
+}
+
+func TestArrayStats(t *testing.T) {
+	a := NewArray(8, 8)
+	for i := 0; i < 8; i++ {
+		a.Write(i, Word{Lo: uint64(i)})
+	}
+	a.Search(Word{Lo: 3}, Mask(8), nil)
+	a.Search(Word{Lo: 99}, Mask(8), nil)
+	s := a.Stats
+	if s.Searches != 2 || s.RowsEnabled != 16 || s.Matches != 1 || s.Writes != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestArrayInvalidate(t *testing.T) {
+	a := NewArray(2, 8)
+	a.Write(0, Word{Lo: 7})
+	a.Invalidate(0)
+	if got := a.Search(Word{Lo: 7}, Mask(8), nil); len(got) != 0 {
+		t.Errorf("invalidated row matched: %v", got)
+	}
+}
+
+func TestNewArrayWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 129 accepted")
+		}
+	}()
+	NewArray(1, 129)
+}
+
+func TestSearchSegmented(t *testing.T) {
+	// Four 18-bit 9-mers per 72-bit word, like the tag array.
+	a := NewArray(2, 72)
+	var w Word
+	w = w.SetBits(0, 18, 0x11)
+	w = w.SetBits(18, 18, 0x22)
+	w = w.SetBits(36, 18, 0x11)
+	w = w.SetBits(54, 18, 0x33)
+	a.Write(0, w)
+	a.Write(1, Word{}.SetBits(18, 18, 0x11))
+	got := a.SearchSegmented(0x11, 18, 4, nil)
+	want := []SegMatch{{0, 0}, {0, 2}, {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("segmented = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segmented = %v, want %v", got, want)
+		}
+	}
+	// Row 1 segments 0,2,3 are zero; key 0 would match them. Key 0x11 must
+	// not match zero segments of row 0.
+	if a.Stats.Matches != 3 {
+		t.Errorf("Matches = %d", a.Stats.Matches)
+	}
+}
+
+func TestSearchSegmentedPanics(t *testing.T) {
+	a := NewArray(1, 72)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized segmentation accepted")
+		}
+	}()
+	a.SearchSegmented(0, 20, 4, nil)
+}
+
+func TestBankGrouping(t *testing.T) {
+	b := NewBank(10, 4, 16, 5)
+	if b.Arrays() != 10 || b.Groups() != 5 {
+		t.Fatalf("bank geometry wrong")
+	}
+	// Round-robin group assignment.
+	if b.GroupOf(0) != 0 || b.GroupOf(7) != 2 {
+		t.Errorf("GroupOf wrong: %d %d", b.GroupOf(0), b.GroupOf(7))
+	}
+	// Write the same word into arrays 1 (group 1) and 6 (group 1) and
+	// array 2 (group 2).
+	b.Array(1).Write(0, Word{Lo: 0xAA})
+	b.Array(6).Write(3, Word{Lo: 0xAA})
+	b.Array(2).Write(0, Word{Lo: 0xAA})
+	got := b.SearchGroups(Word{Lo: 0xAA}, Mask(16), 1<<1)
+	if len(got) != 2 || got[0] != (BankMatch{1, 0}) || got[1] != (BankMatch{6, 3}) {
+		t.Errorf("SearchGroups = %v", got)
+	}
+	// Only the two arrays of group 1 were searched: 2 arrays x 4 rows but
+	// only valid rows count toward RowsEnabled, so 2.
+	if s := b.Stats(); s.RowsEnabled != 2 {
+		t.Errorf("RowsEnabled = %d, want 2 (group gating failed)", s.RowsEnabled)
+	}
+}
+
+func TestBankGroupGatingSavesEnergy(t *testing.T) {
+	// The paper's claim: group-gated search consumes a small fraction of
+	// the naive all-enable search. Model check: rows enabled with a single
+	// group selected must be ~1/groups of all-enable.
+	rng := rand.New(rand.NewSource(1))
+	const groups = 20
+	b := NewBank(40, 32, 80, groups)
+	for i := 0; i < b.Arrays(); i++ {
+		for r := 0; r < 32; r++ {
+			b.Array(i).Write(r, Word{Lo: rng.Uint64(), Hi: rng.Uint64() & 0xFFFF})
+		}
+	}
+	b.SearchGroups(Word{Lo: 1}, Mask(80), 1<<7)
+	gated := b.Stats().RowsEnabled
+	b.SearchGroups(Word{Lo: 1}, Mask(80), ^uint64(0))
+	all := b.Stats().RowsEnabled - gated
+	if gated*int64(groups) != all {
+		t.Errorf("gated rows %d x %d != all rows %d", gated, groups, all)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{1, 2, 3, 4}
+	a.Add(Stats{10, 20, 30, 40})
+	if a != (Stats{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,174 @@
+// Package chain implements collinear seed chaining: given exact-match
+// anchors between a read and the reference (SMEMs with their hit
+// positions), find the highest-scoring subset that is consistent with one
+// alignment — increasing in both read and reference coordinates, with
+// bounded gaps. This is the "chaining" step of Fig 14's seed-extension
+// preprocessing (done on the CPU for ERT, folded into the accelerator for
+// CASA/GenAx) and the anchor-chaining core of long-read alignment, one of
+// the §9 extension domains.
+//
+// The algorithm is the classic O(n^2) chaining DP (as in minimap2 with a
+// linear gap cost): anchors sorted by reference position, each anchor's
+// best chain score extends the best compatible predecessor.
+package chain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Anchor is one exact match: read[Q : Q+Len) == ref[R : R+Len).
+type Anchor struct {
+	Q   int32 // read position
+	R   int32 // reference position
+	Len int32
+}
+
+// Diagonal returns R - Q, the anchor's alignment diagonal.
+func (a Anchor) Diagonal() int32 { return a.R - a.Q }
+
+// Options tunes the chaining DP.
+type Options struct {
+	// MaxGap is the largest allowed gap (in read or reference bases)
+	// between consecutive anchors in a chain.
+	MaxGap int32
+	// GapCostNum/GapCostDen scale the penalty per gap base
+	// (num/den per base; integer arithmetic keeps scores exact).
+	GapCostNum int32
+	GapCostDen int32
+	// MaxAnchors caps the DP input (largest-first selection) so
+	// pathological repeat pileups stay bounded.
+	MaxAnchors int
+}
+
+// DefaultOptions returns chaining parameters suited to short and long
+// reads alike: gaps to 5 kb, 1/2 penalty per gap base.
+func DefaultOptions() Options {
+	return Options{MaxGap: 5000, GapCostNum: 1, GapCostDen: 2, MaxAnchors: 5000}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.MaxGap <= 0 || o.GapCostDen <= 0 || o.GapCostNum < 0 || o.MaxAnchors <= 0 {
+		return fmt.Errorf("chain: invalid options %+v", o)
+	}
+	return nil
+}
+
+// Chain is one scored collinear chain.
+type Chain struct {
+	Anchors []Anchor // in read/reference order
+	Score   int32    // matched bases minus gap costs
+}
+
+// QSpan returns the read interval [start, end) covered by the chain.
+func (c Chain) QSpan() (int32, int32) {
+	if len(c.Anchors) == 0 {
+		return 0, 0
+	}
+	first, last := c.Anchors[0], c.Anchors[len(c.Anchors)-1]
+	return first.Q, last.Q + last.Len
+}
+
+// RSpan returns the reference interval [start, end) covered by the chain.
+func (c Chain) RSpan() (int32, int32) {
+	if len(c.Anchors) == 0 {
+		return 0, 0
+	}
+	first, last := c.Anchors[0], c.Anchors[len(c.Anchors)-1]
+	return first.R, last.R + last.Len
+}
+
+// Best returns the maximum-scoring chain over the anchors (empty chain
+// for no anchors). Deterministic: ties break toward the smaller
+// reference coordinate.
+func Best(anchors []Anchor, opt Options) (Chain, error) {
+	if err := opt.Validate(); err != nil {
+		return Chain{}, err
+	}
+	if len(anchors) == 0 {
+		return Chain{}, nil
+	}
+	as := append([]Anchor(nil), anchors...)
+	if len(as) > opt.MaxAnchors {
+		// Keep the longest anchors: they carry the most evidence.
+		sort.Slice(as, func(i, j int) bool { return as[i].Len > as[j].Len })
+		as = as[:opt.MaxAnchors]
+	}
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].R != as[j].R {
+			return as[i].R < as[j].R
+		}
+		return as[i].Q < as[j].Q
+	})
+
+	score := make([]int32, len(as))
+	prev := make([]int, len(as))
+	bestIdx := 0
+	for i := range as {
+		score[i] = as[i].Len
+		prev[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			s, ok := link(as[j], as[i], opt)
+			if !ok {
+				continue
+			}
+			if cand := score[j] + s; cand > score[i] {
+				score[i] = cand
+				prev[i] = j
+			}
+		}
+		if score[i] > score[bestIdx] {
+			bestIdx = i
+		}
+	}
+
+	var out []Anchor
+	for i := bestIdx; i >= 0; i = prev[i] {
+		out = append(out, as[i])
+	}
+	// Reverse into read order.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return Chain{Anchors: out, Score: score[bestIdx]}, nil
+}
+
+// link scores appending b after a: the gained matched bases (b.Len,
+// clipped for overlap) minus the gap cost; ok is false when the pair is
+// not collinear within the gap bound.
+func link(a, b Anchor, opt Options) (int32, bool) {
+	dq := b.Q - a.Q
+	dr := b.R - a.R
+	if dq <= 0 || dr <= 0 {
+		return 0, false // must advance in both coordinates
+	}
+	gap := dq - dr
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > opt.MaxGap {
+		return 0, false
+	}
+	span := min32(dq, dr)
+	if span > opt.MaxGap {
+		return 0, false
+	}
+	gain := b.Len
+	// Overlap on the read or reference shrinks the new contribution.
+	if overlap := a.Len - min32(dq, dr); overlap > 0 {
+		gain -= overlap
+		if gain <= 0 {
+			return 0, false
+		}
+	}
+	cost := gap * opt.GapCostNum / opt.GapCostDen
+	return gain - cost, true
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

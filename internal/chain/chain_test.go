@@ -1,0 +1,200 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultOptions()
+	bad.MaxGap = 0
+	if bad.Validate() == nil {
+		t.Error("zero gap accepted")
+	}
+	bad = DefaultOptions()
+	bad.GapCostDen = 0
+	if bad.Validate() == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	c, err := Best(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors) != 0 || c.Score != 0 {
+		t.Errorf("empty input chain = %+v", c)
+	}
+}
+
+func TestBestSingleAnchor(t *testing.T) {
+	c, err := Best([]Anchor{{Q: 10, R: 100, Len: 25}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 25 || len(c.Anchors) != 1 {
+		t.Errorf("single-anchor chain = %+v", c)
+	}
+	qs, qe := c.QSpan()
+	rs, re := c.RSpan()
+	if qs != 10 || qe != 35 || rs != 100 || re != 125 {
+		t.Errorf("spans = q[%d,%d) r[%d,%d)", qs, qe, rs, re)
+	}
+}
+
+func TestBestChainsCollinearAnchors(t *testing.T) {
+	// Three collinear anchors on one diagonal plus one far-away decoy.
+	anchors := []Anchor{
+		{Q: 0, R: 1000, Len: 20},
+		{Q: 30, R: 1030, Len: 20},
+		{Q: 60, R: 1060, Len: 20},
+		{Q: 10, R: 90000, Len: 25}, // decoy: longer but alone
+	}
+	c, err := Best(anchors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors) != 3 {
+		t.Fatalf("chained %d anchors, want 3: %+v", len(c.Anchors), c)
+	}
+	if c.Score != 60 {
+		t.Errorf("score = %d, want 60 (no gaps on the diagonal)", c.Score)
+	}
+	for i := 1; i < len(c.Anchors); i++ {
+		if c.Anchors[i].Q <= c.Anchors[i-1].Q || c.Anchors[i].R <= c.Anchors[i-1].R {
+			t.Fatalf("chain not increasing: %+v", c.Anchors)
+		}
+	}
+}
+
+func TestBestPenalizesGaps(t *testing.T) {
+	// A 20-base diagonal shift costs 20*1/2 = 10: linking still wins.
+	anchors := []Anchor{
+		{Q: 0, R: 0, Len: 30},
+		{Q: 40, R: 60, Len: 30},
+	}
+	c, err := Best(anchors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 30+30-10 {
+		t.Errorf("score = %d, want 50", c.Score)
+	}
+	// A 100-base shift costs 50 > the 30 gained: the DP must prefer the
+	// single anchor over a losing link.
+	worse := []Anchor{
+		{Q: 0, R: 0, Len: 30},
+		{Q: 40, R: 140, Len: 30},
+	}
+	c, err = Best(worse, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 30 || len(c.Anchors) != 1 {
+		t.Errorf("losing link accepted: %+v", c)
+	}
+}
+
+func TestBestRespectsMaxGap(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxGap = 50
+	anchors := []Anchor{
+		{Q: 0, R: 0, Len: 30},
+		{Q: 10, R: 500, Len: 30}, // 490-base diagonal jump: unlinkable
+	}
+	c, err := Best(anchors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors) != 1 {
+		t.Errorf("gap-violating anchors chained: %+v", c)
+	}
+}
+
+func TestBestHandlesOverlap(t *testing.T) {
+	// Overlapping anchors on one diagonal: the second contributes only
+	// its non-overlapping tail.
+	anchors := []Anchor{
+		{Q: 0, R: 0, Len: 30},
+		{Q: 10, R: 10, Len: 30}, // 20 bases overlap
+	}
+	c, err := Best(anchors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 40 {
+		t.Errorf("score = %d, want 40 (30 + 10 new)", c.Score)
+	}
+}
+
+func TestBestFindsPlantedChainInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var anchors []Anchor
+	// Planted chain: 8 anchors along diagonal 5000.
+	for i := 0; i < 8; i++ {
+		q := int32(i * 120)
+		anchors = append(anchors, Anchor{Q: q, R: q + 5000, Len: 40})
+	}
+	// Noise: 200 random anchors.
+	for i := 0; i < 200; i++ {
+		anchors = append(anchors, Anchor{
+			Q:   int32(rng.Intn(1000)),
+			R:   int32(rng.Intn(1 << 20)),
+			Len: int32(15 + rng.Intn(20)),
+		})
+	}
+	rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+	c, err := Best(anchors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors) < 8 {
+		t.Fatalf("planted chain not recovered: %d anchors, score %d", len(c.Anchors), c.Score)
+	}
+	onDiag := 0
+	for _, a := range c.Anchors {
+		if a.Diagonal() == 5000 {
+			onDiag++
+		}
+	}
+	if onDiag < 8 {
+		t.Errorf("only %d planted anchors in the best chain", onDiag)
+	}
+}
+
+func TestBestCapsAnchors(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxAnchors = 10
+	var anchors []Anchor
+	for i := 0; i < 100; i++ {
+		anchors = append(anchors, Anchor{Q: int32(i), R: int32(i * 7), Len: int32(10 + i%5)})
+	}
+	c, err := Best(anchors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors) > 10 {
+		t.Errorf("cap ignored: %d anchors", len(c.Anchors))
+	}
+}
+
+func TestBestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var anchors []Anchor
+	for i := 0; i < 150; i++ {
+		anchors = append(anchors, Anchor{
+			Q: int32(rng.Intn(500)), R: int32(rng.Intn(5000)), Len: int32(10 + rng.Intn(30)),
+		})
+	}
+	a, _ := Best(anchors, DefaultOptions())
+	rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+	b, _ := Best(anchors, DefaultOptions())
+	if a.Score != b.Score || len(a.Anchors) != len(b.Anchors) {
+		t.Errorf("chaining depends on input order: %d/%d vs %d/%d",
+			a.Score, len(a.Anchors), b.Score, len(b.Anchors))
+	}
+}

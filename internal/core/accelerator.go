@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"casa/internal/dna"
+	"casa/internal/dram"
+	"casa/internal/energy"
+	"casa/internal/smem"
+)
+
+// Accelerator is a full CASA instance: the reference split into partitions
+// (each with its pre-seeding filter and computing-CAM image), the DRAM
+// subsystem streaming read batches, and the power/area model. Reads are
+// seeded against every partition in turn, exactly as the hardware
+// timeshares its on-chip memory across the genome ("the same batch of
+// reads should conduct such an expensive process repeatedly ... in the
+// human genome due to the limited on-chip memory", §2.2).
+type Accelerator struct {
+	cfg     Config
+	overlap int
+	parts   []*Partition
+	starts  []int // global offset of each partition
+	refLen  int
+}
+
+// DefaultPartitionOverlap is the number of bases adjacent partitions
+// share so that no exact match of up to that length is lost at a cut.
+// Matches the 101 bp read length of the evaluation datasets.
+const DefaultPartitionOverlap = 100
+
+// New splits ref into partitions of cfg.PartitionBases (overlapping by
+// DefaultPartitionOverlap) and builds each partition's filter.
+func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
+	return NewWithOverlap(ref, cfg, DefaultPartitionOverlap)
+}
+
+// NewWithOverlap is New with an explicit partition overlap.
+func NewWithOverlap(ref dna.Sequence, cfg Config, overlap int) (*Accelerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	if overlap < 0 || overlap >= cfg.PartitionBases {
+		return nil, fmt.Errorf("core: overlap %d out of range [0, %d)", overlap, cfg.PartitionBases)
+	}
+	a := &Accelerator{cfg: cfg, overlap: overlap, refLen: len(ref)}
+	step := cfg.PartitionBases - overlap
+	for start := 0; ; start += step {
+		end := min(start+cfg.PartitionBases, len(ref))
+		p, err := NewPartition(ref[start:end], cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.parts = append(a.parts, p)
+		a.starts = append(a.starts, start)
+		if end == len(ref) {
+			break
+		}
+	}
+	return a, nil
+}
+
+// Partitions returns the number of reference partitions.
+func (a *Accelerator) Partitions() int { return len(a.parts) }
+
+// Partition returns partition i for inspection.
+func (a *Accelerator) Partition(i int) *Partition { return a.parts[i] }
+
+// Config returns the accelerator configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// ReadResult holds the seeding output for one read: the merged SMEM sets
+// for the forward sequence and its reverse complement.
+type ReadResult struct {
+	Forward []smem.Match
+	Reverse []smem.Match
+}
+
+// Result is the outcome of seeding a read batch.
+type Result struct {
+	Reads []ReadResult
+
+	Stats   PartStats     // aggregated activity over all partitions
+	Seconds float64       // modelled seeding time
+	Cycles  int64         // modelled controller cycles (sum over partitions)
+	DRAM    *dram.Traffic // read-streaming traffic
+	Energy  energy.Report // per-component energy/power/area
+}
+
+// Throughput returns reads per second.
+func (r *Result) Throughput() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(len(r.Reads)) / r.Seconds
+}
+
+// ReadsPerMJ returns the paper's energy-efficiency metric (Fig 13b).
+func (r *Result) ReadsPerMJ() float64 {
+	j := r.Energy.TotalJ()
+	if j <= 0 {
+		return 0
+	}
+	return float64(len(r.Reads)) / (j * 1e3)
+}
+
+// SeedReads runs the full seeding flow for a batch of reads with the
+// paper's two-stage approach (§4.3):
+//
+//  1. Exact-match stage: every partition is swept with the cheap
+//     anchor-based ExactCheck; a strand that matches exactly retires at
+//     its first matching partition (its single SMEM is the whole read),
+//     so it never costs another partition pass.
+//  2. SMEM stage: the remaining strands run Algorithm 1 against every
+//     partition, with per-partition SMEM sets merged per strand.
+//
+// The returned Result carries the modelled time, power and DRAM traffic.
+// A read streams from DRAM for a partition pass while at least one of its
+// strands is still live.
+func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
+	res := &Result{
+		Reads: make([]ReadResult, len(reads)),
+		DRAM:  dram.NewTraffic(dram.CASAConfig()),
+	}
+
+	// Strand s covers read s/2: even = forward, odd = reverse complement.
+	n := len(reads)
+	seqs := make([]dna.Sequence, 2*n)
+	bytesOf := make([]int64, n)
+	for i, r := range reads {
+		seqs[2*i] = r
+		seqs[2*i+1] = r.ReverseComplement()
+		bytesOf[i] = int64((len(r) + 3) / 4) // 2-bit packed
+	}
+	retired := make([]bool, 2*n)
+	exactRes := make([][]smem.Match, 2*n)
+	var totalCycles int64
+
+	// Stage 1: exact-match sweep with retirement (sequential over
+	// partitions — retirement in partition i changes partition i+1's
+	// active set, exactly as the hardware scan does).
+	if a.cfg.ExactMatchPrepass {
+		for _, p := range a.parts {
+			var passBytes int64
+			for i := range reads {
+				if !retired[2*i] || !retired[2*i+1] {
+					passBytes += bytesOf[i]
+				}
+			}
+			before := p.Stats
+			for s := range seqs {
+				if retired[s] || len(seqs[s]) < a.cfg.MinSMEM {
+					continue
+				}
+				if hits, ok := p.ExactCheck(seqs[s]); ok {
+					// The read is resolved: its exact placement is known,
+					// so BOTH strands retire (the opposite strand reports
+					// no SMEMs — the aligner already has the position).
+					retired[s] = true
+					retired[s^1] = true
+					exactRes[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
+				}
+			}
+			delta := diffStats(p.Stats, before)
+			res.Stats.add(delta)
+			totalCycles += stageCycles(delta, a.cfg)
+			res.DRAM.Read(passBytes)
+		}
+	}
+
+	// Stage 2: full SMEM computing for the remaining strands. Partitions
+	// are independent now (no retirement), so the host simulation runs
+	// them on a bounded worker pool; the modelled hardware still visits
+	// them sequentially, which the cycle accounting reflects.
+	type partResult struct {
+		matches [][]smem.Match
+		delta   PartStats
+	}
+	results := make([]partResult, len(a.parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for pi, p := range a.parts {
+		wg.Add(1)
+		go func(pi int, p *Partition) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr := partResult{matches: make([][]smem.Match, 2*n)}
+			before := p.Stats
+			for s := range seqs {
+				if !retired[s] {
+					pr.matches[s] = p.seedRead(seqs[s], false)
+				}
+			}
+			pr.delta = diffStats(p.Stats, before)
+			results[pi] = pr
+		}(pi, p)
+	}
+	wg.Wait()
+
+	strandMatches := make([][]smem.Match, 2*n)
+	copy(strandMatches, exactRes)
+	for _, pr := range results {
+		for s := range seqs {
+			strandMatches[s] = append(strandMatches[s], pr.matches[s]...)
+		}
+		// Per-partition phase overlap: the pre-seeding filter and the SMEM
+		// computing unit pipeline across read batches, so a partition pass
+		// costs the longer of the two phases (Fig 9).
+		totalCycles += stageCycles(pr.delta, a.cfg)
+		res.Stats.add(pr.delta)
+		// Read streaming: a read fetched for a partition pass serves both
+		// its exact check and its SMEM computation, so with the prepass on
+		// the stage-1 loop above already charged this partition's bytes;
+		// without it, the SMEM stage is the only fetch.
+		if !a.cfg.ExactMatchPrepass {
+			var passBytes int64
+			for i := range reads {
+				if !retired[2*i] || !retired[2*i+1] {
+					passBytes += bytesOf[i]
+				}
+			}
+			res.DRAM.Read(passBytes)
+		}
+	}
+
+	res.Cycles = totalCycles
+	res.Seconds = float64(totalCycles) / a.cfg.ClockHz
+	if d := res.DRAM.MinSeconds(); d > res.Seconds {
+		res.Seconds = d
+	}
+	for i := range reads {
+		res.Reads[i] = ReadResult{
+			Forward: MergeSMEMs(strandMatches[2*i]),
+			Reverse: MergeSMEMs(strandMatches[2*i+1]),
+		}
+	}
+	res.Energy = a.energyReport(res)
+	return res
+}
+
+// stageCycles converts one partition pass's activity delta into cycles:
+// the longer of the banked filter phase and the CAM-lane compute phase.
+func stageCycles(delta PartStats, cfg Config) int64 {
+	computeCycles := (delta.ComputeCycles + int64(cfg.ComputeCAMs) - 1) / int64(cfg.ComputeCAMs)
+	filterCycles := (delta.Filter.Lookups + int64(cfg.FilterBanks) - 1) / int64(cfg.FilterBanks)
+	return max64(filterCycles, computeCycles)
+}
+
+// HitPositions resolves the global reference positions of an SMEM on a
+// read: the occurrences of read[m.Start..m.End], collected across the
+// partitions (duplicates from overlap regions removed), up to max
+// positions (max <= 0 means all). This is the "location of hits" the
+// hardware forwards to the SeedEx machines with each SMEM (§3).
+func (a *Accelerator) HitPositions(read dna.Sequence, m smem.Match, max int) []int32 {
+	if m.Start < 0 || m.End >= len(read) || m.Len() < a.cfg.K {
+		return nil
+	}
+	kmer := dna.PackKmer(read, m.Start, a.cfg.K)
+	seen := make(map[int32]struct{})
+	var out []int32
+	for pi, p := range a.parts {
+		base := int32(a.starts[pi])
+		for _, pos := range p.filter.Positions(kmer) {
+			if p.lce(read, m.Start+a.cfg.K, int(pos)+a.cfg.K) < m.Len()-a.cfg.K {
+				continue
+			}
+			g := base + pos
+			if _, dup := seen[g]; dup {
+				continue
+			}
+			seen[g] = struct{}{}
+			out = append(out, g)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// MergeSMEMs merges per-partition SMEM sets for one read strand: exact
+// duplicate intervals have their hits summed (the same match found in the
+// overlap region of two partitions), and intervals contained in a longer
+// reported interval are dropped. With a partition overlap of at least the
+// read length, the result equals the whole-reference SMEM set.
+func MergeSMEMs(ms []smem.Match) []smem.Match {
+	if len(ms) == 0 {
+		return nil
+	}
+	smem.Sort(ms)
+	merged := ms[:0:0]
+	for _, m := range ms {
+		if n := len(merged); n > 0 && merged[n-1].Start == m.Start && merged[n-1].End == m.End {
+			merged[n-1].Hits += m.Hits
+			continue
+		}
+		merged = append(merged, m)
+	}
+	var out []smem.Match
+	for i, m := range merged {
+		contained := false
+		for j, o := range merged {
+			if i != j && o.Contains(m) && (o.Start != m.Start || o.End != m.End) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// energyReport converts accumulated activity into the Table 4 style
+// power/area breakdown.
+func (a *Accelerator) energyReport(res *Result) energy.Report {
+	m := energy.NewMeter()
+	cfg := a.cfg
+
+	// Macro counts from the configured capacities (bits / macro bits).
+	miniBits := int64(dna.NumKmers(cfg.M)) * 48
+	tagBits := int64(cfg.PartitionBases) * 18
+	dataBits := int64(cfg.PartitionBases) * int64(cfg.IndicatorBits())
+	camBits := cfg.ComputeCAMBytes() * 8
+
+	mini, tag, data, cam := energy.SRAM256x24, energy.BCAM256x72, energy.SRAM256x60, energy.BCAM256x80
+	m.RegisterArrays("pre-seeding filter: mini index", mini, macros(miniBits, mini))
+	m.RegisterArrays("pre-seeding filter: tag array", tag, macros(tagBits, tag))
+	m.RegisterArrays("pre-seeding filter: data array", data, macros(dataBits, data))
+	m.RegisterArrays("computing CAMs", cam, macros(camBits, cam))
+
+	// Controllers: synthesized blocks; area and average active power come
+	// from the paper's Design Compiler results (Table 4) since we cannot
+	// synthesize here. Modelled as constant power while seeding runs.
+	m.Register("pre-seeding controller", 4.102, 13.764)
+	m.Register("computing controllers", 0.354, 4.049)
+
+	st := res.Stats
+	// Mini index: one 48-bit read touches two 24-bit banks.
+	m.Charge("pre-seeding filter: mini index", st.Filter.MiniAccesses*2, mini.EnergyPJ)
+	// Tag array: four 18-bit 9-mers share a 72-bit word, so four enabled
+	// tag entries cost one physical row; per-row energy is E/256.
+	m.Charge("pre-seeding filter: tag array", (st.Filter.TagRowsEnabled+3)/4, tag.EnergyPJ/256)
+	m.Charge("pre-seeding filter: data array", st.Filter.DataAccesses, data.EnergyPJ)
+	m.Charge("computing CAMs", st.CAMRowsEnabled, cam.EnergyPJ/256)
+
+	// DRAM + PHY.
+	m.ChargeJ("DDR4", res.DRAM.DynamicJ())
+	m.Register("DDR4", res.DRAM.BackgroundW(), 0)
+	m.Register("DRAM controller PHY", res.DRAM.Config().PHYW, 0)
+
+	return m.Report(res.Seconds)
+}
+
+// macros returns the number of memory macros needed for the given bits.
+func macros(bits int64, model energy.ArrayModel) int {
+	per := int64(model.Rows * model.Bits)
+	return int((bits + per - 1) / per)
+}
+
+func diffStats(after, before PartStats) PartStats {
+	d := after
+	d.ReadsSeeded -= before.ReadsSeeded
+	d.ReadsDiscarded -= before.ReadsDiscarded
+	d.ReadsExact -= before.ReadsExact
+	d.PivotsTotal -= before.PivotsTotal
+	d.PivotsFilteredTable -= before.PivotsFilteredTable
+	d.PivotsFilteredCRkM -= before.PivotsFilteredCRkM
+	d.PivotsFilteredAlign -= before.PivotsFilteredAlign
+	d.PivotsComputed -= before.PivotsComputed
+	d.RMEMSearches -= before.RMEMSearches
+	d.StrideSteps -= before.StrideSteps
+	d.BinSearchSteps -= before.BinSearchSteps
+	d.CAMSearches -= before.CAMSearches
+	d.CAMRowsEnabled -= before.CAMRowsEnabled
+	d.ComputeCycles -= before.ComputeCycles
+	d.Filter.Lookups -= before.Filter.Lookups
+	d.Filter.Hits -= before.Filter.Hits
+	d.Filter.MiniAccesses -= before.Filter.MiniAccesses
+	d.Filter.TagSearches -= before.Filter.TagSearches
+	d.Filter.TagRowsEnabled -= before.Filter.TagRowsEnabled
+	d.Filter.DataAccesses -= before.Filter.DataAccesses
+	return d
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"casa/internal/dna"
+)
+
+func randCosts(rng *rand.Rand, n int, filterMax, computeMax int64, discardP float64) []ReadCost {
+	costs := make([]ReadCost, n)
+	for i := range costs {
+		costs[i] = ReadCost{
+			FilterCycles:  1 + rng.Int63n(filterMax),
+			ComputeCycles: 1 + rng.Int63n(computeMax),
+			Discarded:     rng.Float64() < discardP,
+		}
+	}
+	return costs
+}
+
+func TestEventSimNeverBeatsClosedForm(t *testing.T) {
+	// The closed form assumes perfect phase decoupling, so it is a lower
+	// bound on the event-simulated makespan.
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 100; trial++ {
+		costs := randCosts(rng, 1+rng.Intn(300), 10, 200, rng.Float64())
+		got := SimulatePartitionPass(costs, cfg)
+		lb := ClosedFormCycles(costs, cfg)
+		if got.Cycles < lb {
+			t.Fatalf("trial %d: event sim %d below closed form %d", trial, got.Cycles, lb)
+		}
+	}
+}
+
+func TestEventSimFilterBoundMatchesClosedForm(t *testing.T) {
+	// When the filter dominates (heavy lookups, light compute), the FIFO
+	// never backs up and the makespan is the filter total plus at most
+	// the final read's compute tail.
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	costs := randCosts(rng, 500, 50, 3, 0)
+	got := SimulatePartitionPass(costs, cfg)
+	lb := ClosedFormCycles(costs, cfg)
+	if got.FilterStall != 0 {
+		t.Errorf("filter-bound pass stalled %d cycles", got.FilterStall)
+	}
+	if got.Cycles > lb+3 {
+		t.Errorf("filter-bound makespan %d exceeds closed form %d by more than a tail", got.Cycles, lb)
+	}
+}
+
+func TestEventSimComputeBoundWithinPipelineFill(t *testing.T) {
+	// Compute-bound: the lanes dominate; the event makespan exceeds the
+	// closed form only by the pipeline fill (the filter time of the reads
+	// needed to occupy the lanes) and load imbalance at the tail.
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	costs := randCosts(rng, 400, 2, 400, 0)
+	got := SimulatePartitionPass(costs, cfg)
+	lb := ClosedFormCycles(costs, cfg)
+	if float64(got.Cycles) > 1.25*float64(lb) {
+		t.Errorf("compute-bound makespan %d more than 25%% above closed form %d", got.Cycles, lb)
+	}
+}
+
+func TestEventSimTinyFIFOStalls(t *testing.T) {
+	// A depth-1 FIFO with compute-bound reads must back-pressure the
+	// filter; the 512-entry FIFO must not.
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig()
+	costs := randCosts(rng, 200, 1, 500, 0)
+	small := cfg
+	small.FIFODepth = 1
+	if got := SimulatePartitionPass(costs, small); got.FilterStall == 0 {
+		t.Error("depth-1 FIFO never stalled a compute-bound pass")
+	}
+	if got := SimulatePartitionPass(costs, cfg); got.PeakFIFODepth > cfg.FIFODepth {
+		t.Errorf("FIFO exceeded its capacity: %d > %d", got.PeakFIFODepth, cfg.FIFODepth)
+	}
+}
+
+func TestEventSimDiscardedReadsSkipFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	costs := []ReadCost{
+		{FilterCycles: 5, ComputeCycles: 100, Discarded: true},
+		{FilterCycles: 5, ComputeCycles: 100, Discarded: true},
+	}
+	got := SimulatePartitionPass(costs, cfg)
+	if got.Cycles != 10 {
+		t.Errorf("discarded-only pass = %d cycles, want 10 (filter only)", got.Cycles)
+	}
+	if got.PeakFIFODepth != 0 {
+		t.Errorf("discarded reads entered the FIFO")
+	}
+}
+
+func TestEventSimEmpty(t *testing.T) {
+	got := SimulatePartitionPass(nil, DefaultConfig())
+	if got.Cycles != 0 || got.FilterStall != 0 {
+		t.Errorf("empty pass = %+v", got)
+	}
+}
+
+func TestEventSimValidatesSeedReadsModel(t *testing.T) {
+	// End-to-end fidelity check: measure real per-read costs from a
+	// partition pass (stats deltas around SeedRead), then confirm the
+	// closed-form model SeedReads uses stays within 25% of the
+	// event-simulated makespan on that workload.
+	rng := rand.New(rand.NewSource(5))
+	cfg := testConfig()
+	ref := randSeq(rng, 4000)
+	p, err := NewPartition(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costs []ReadCost
+	for i := 0; i < 120; i++ {
+		var read dna.Sequence
+		if i%3 == 0 {
+			read = randSeq(rng, 60) // mostly-foreign read
+		} else {
+			read = plantedRead(rng, ref, 60, rng.Intn(4))
+		}
+		before := p.Stats
+		p.SeedRead(read)
+		delta := diffStats(p.Stats, before)
+		costs = append(costs, ReadCost{
+			FilterCycles:  (delta.Filter.Lookups + int64(cfg.FilterBanks) - 1) / int64(cfg.FilterBanks),
+			ComputeCycles: delta.ComputeCycles,
+			Discarded:     delta.ReadsDiscarded > 0,
+		})
+	}
+	got := SimulatePartitionPass(costs, cfg)
+	lb := ClosedFormCycles(costs, cfg)
+	if got.Cycles < lb {
+		t.Fatalf("event sim %d below closed form %d", got.Cycles, lb)
+	}
+	if float64(got.Cycles) > 1.25*float64(lb) {
+		t.Errorf("closed form underestimates the real pass by >25%%: %d vs %d", lb, got.Cycles)
+	}
+}

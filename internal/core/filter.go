@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"casa/internal/dna"
+)
+
+// FilterStats counts pre-seeding filter activity for the cycle and energy
+// models. Tag rows searched reflects the range decoder's power gating:
+// only the rows between the mini-index start/end pointers are enabled
+// (§4.1, "the start and end pointers fetched from the mini-index table are
+// decoded in a range decoder to power-gating corresponding entries").
+type FilterStats struct {
+	Lookups        int64 // k-mer existence queries
+	Hits           int64 // queries that found the k-mer
+	MiniAccesses   int64 // mini index table reads
+	TagSearches    int64 // tag-array search operations
+	TagRowsEnabled int64 // tag rows activated across all searches
+	DataAccesses   int64 // data-array (search indicator) reads
+}
+
+// add accumulates o into s.
+func (s *FilterStats) add(o FilterStats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.MiniAccesses += o.MiniAccesses
+	s.TagSearches += o.TagSearches
+	s.TagRowsEnabled += o.TagRowsEnabled
+	s.DataAccesses += o.DataAccesses
+}
+
+// Filter is the pre-seeding filter table for one reference partition: a
+// mini index over m-mers, a tag array of (k-m)-mers, and a data array of
+// search indicators (Fig 8). It stores only the k-mers that exist in the
+// partition, so capacity grows linearly in the partition size (O(4^m + n))
+// instead of exponentially in k.
+//
+// The behavioural model additionally keeps, per distinct k-mer, the sorted
+// occurrence positions; the hardware equivalent is the computing CAM
+// itself (positions are recovered by CAM matching), but the SMEM computing
+// model needs them to resolve hits without a bit-level search of millions
+// of entries per pivot.
+type Filter struct {
+	cfg Config
+
+	mini      []tagRange // len 4^M
+	tags      []uint64   // sorted (k-m)-mer values, grouped by m-mer prefix
+	data      []SearchIndicator
+	posIndex  []int32 // len(tags)+1: range of positions per tag entry
+	positions []int32 // occurrence start positions, sorted per k-mer
+
+	// Stats accumulates lookup activity; reset by the caller per batch.
+	Stats FilterStats
+}
+
+// tagRange is one mini-index entry: the start/end pointers into the tag
+// array for all (k-m)-mers sharing this m-mer prefix.
+type tagRange struct {
+	start, end int32
+}
+
+// BuildFilter constructs the filter for one reference partition. Building
+// happens offline in the paper (§4.1, "CASA builds the mini index table
+// and the tag table offline for each reference partition").
+func BuildFilter(part dna.Sequence, cfg Config) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(part) > cfg.PartitionBases {
+		return nil, fmt.Errorf("core: partition of %d bases exceeds configured %d", len(part), cfg.PartitionBases)
+	}
+	posBits := bitsFor(len(part))
+	if 2*cfg.K+posBits > 64 {
+		return nil, fmt.Errorf("core: k=%d with %d-base partition does not fit the packed build key", cfg.K, len(part))
+	}
+
+	// Pack (k-mer, position) pairs and sort once: lexicographic k-mer
+	// order, then position order within a k-mer.
+	n := len(part) - cfg.K + 1
+	if n < 0 {
+		n = 0
+	}
+	keys := make([]uint64, 0, n)
+	for x := 0; x < n; x++ {
+		keys = append(keys, uint64(dna.PackKmer(part, x, cfg.K))<<uint(posBits)|uint64(x))
+	}
+	slices.Sort(keys)
+
+	f := &Filter{
+		cfg:  cfg,
+		mini: make([]tagRange, dna.NumKmers(cfg.M)),
+	}
+	posMask := uint64(1)<<uint(posBits) - 1
+	suffixBits := 2 * (cfg.K - cfg.M)
+	suffixMask := uint64(1)<<uint(suffixBits) - 1
+
+	var prefixes []uint64 // m-mer prefix of each distinct k-mer, in order
+	var prevKmer uint64
+	havePrev := false
+	for _, key := range keys {
+		kmer := key >> uint(posBits)
+		x := int(key & posMask)
+		if !havePrev || kmer != prevKmer {
+			f.tags = append(f.tags, kmer&suffixMask)
+			f.data = append(f.data, SearchIndicator{})
+			f.posIndex = append(f.posIndex, int32(len(f.positions)))
+			prefixes = append(prefixes, kmer>>uint(suffixBits))
+			prevKmer, havePrev = kmer, true
+		}
+		last := len(f.data) - 1
+		f.data[last] = f.data[last].addOccurrence(x, cfg.Stride, cfg.Groups)
+		f.positions = append(f.positions, int32(x))
+	}
+	f.posIndex = append(f.posIndex, int32(len(f.positions)))
+
+	// Mini index ranges: one pass over the distinct k-mers' prefixes
+	// (already in ascending order because the keys were sorted).
+	idx := 0
+	for p := range f.mini {
+		start := idx
+		for idx < len(prefixes) && prefixes[idx] == uint64(p) {
+			idx++
+		}
+		f.mini[p] = tagRange{start: int32(start), end: int32(idx)}
+	}
+	return f, nil
+}
+
+// DistinctKmers returns the number of distinct k-mers stored.
+func (f *Filter) DistinctKmers() int { return len(f.tags) }
+
+// Lookup reports whether kmer exists in the partition and returns its
+// search indicator. It charges the mini-index access, the gated tag-array
+// search, and (on a hit) the data-array access.
+func (f *Filter) Lookup(kmer dna.Kmer) (SearchIndicator, bool) {
+	idx, ok := f.find(kmer)
+	if !ok {
+		return SearchIndicator{}, false
+	}
+	f.Stats.DataAccesses++
+	return f.data[idx], true
+}
+
+// Positions returns the sorted occurrence positions of kmer without
+// charging filter activity (the computing phase resolves positions inside
+// the computing CAM, not the filter).
+func (f *Filter) Positions(kmer dna.Kmer) []int32 {
+	idx, ok := f.findQuiet(kmer)
+	if !ok {
+		return nil
+	}
+	return f.positions[f.posIndex[idx]:f.posIndex[idx+1]]
+}
+
+// Contains reports existence without returning the indicator (still
+// charges the lookup: the hardware performs the same accesses).
+func (f *Filter) Contains(kmer dna.Kmer) bool {
+	_, ok := f.find(kmer)
+	return ok
+}
+
+// find locates kmer's tag entry, charging filter activity.
+func (f *Filter) find(kmer dna.Kmer) (int, bool) {
+	f.Stats.Lookups++
+	f.Stats.MiniAccesses++
+	suffixBits := 2 * (f.cfg.K - f.cfg.M)
+	prefix := uint64(kmer) >> uint(suffixBits)
+	r := f.mini[prefix]
+	f.Stats.TagSearches++
+	f.Stats.TagRowsEnabled += int64(r.end - r.start)
+	idx, ok := f.search(r, uint64(kmer)&(uint64(1)<<uint(suffixBits)-1))
+	if ok {
+		f.Stats.Hits++
+	}
+	return idx, ok
+}
+
+// findQuiet locates kmer's tag entry without touching Stats.
+func (f *Filter) findQuiet(kmer dna.Kmer) (int, bool) {
+	suffixBits := 2 * (f.cfg.K - f.cfg.M)
+	prefix := uint64(kmer) >> uint(suffixBits)
+	return f.search(f.mini[prefix], uint64(kmer)&(uint64(1)<<uint(suffixBits)-1))
+}
+
+func (f *Filter) search(r tagRange, suffix uint64) (int, bool) {
+	lo, hi := int(r.start), int(r.end)
+	i := lo + sort.Search(hi-lo, func(i int) bool { return f.tags[lo+i] >= suffix })
+	if i < hi && f.tags[i] == suffix {
+		return i, true
+	}
+	return 0, false
+}
+
+// bitsFor returns the number of bits needed to represent values < n.
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

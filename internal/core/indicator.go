@@ -1,0 +1,55 @@
+package core
+
+import "math/bits"
+
+// SearchIndicator is the per-k-mer word stored in the pre-seeding filter's
+// data array (§3, "search indicator ... a tuple that combines the start
+// position and the group indicator of a k-mer"). StartMask bit s is set
+// when some occurrence x of the k-mer has x mod Stride == s (how many X
+// bases to pad, §3 "Non-overlapped Storage"); GroupMask bit g is set when
+// some occurrence lives in computing-CAM group g. With the default
+// Stride=40 and Groups=20 the indicator is the paper's 60-bit data-array
+// word.
+type SearchIndicator struct {
+	StartMask uint64 // Stride bits: start offsets within a CAM entry
+	GroupMask uint64 // Groups bits: CAM groups containing the k-mer
+}
+
+// Empty reports whether the k-mer has no recorded occurrence.
+func (s SearchIndicator) Empty() bool { return s.StartMask == 0 && s.GroupMask == 0 }
+
+// StartCount returns the number of distinct start offsets.
+func (s SearchIndicator) StartCount() int { return bits.OnesCount64(s.StartMask) }
+
+// GroupCount returns the number of CAM groups to enable.
+func (s SearchIndicator) GroupCount() int { return bits.OnesCount64(s.GroupMask) }
+
+// addOccurrence records an occurrence at partition position x.
+func (s SearchIndicator) addOccurrence(x, stride, groups int) SearchIndicator {
+	s.StartMask |= 1 << uint(x%stride)
+	s.GroupMask |= 1 << uint((x/stride)%groups)
+	return s
+}
+
+// rotateMask rotates a stride-bit mask left by d (mod stride).
+func rotateMask(mask uint64, d, stride int) uint64 {
+	d = ((d % stride) + stride) % stride
+	full := uint64(1)<<uint(stride) - 1
+	return ((mask << uint(d)) | (mask >> uint(stride-d))) & full
+}
+
+// Aligned implements the paper's Analysis 2 alignment test (§4.2) between
+// the k-mer starting at pivot z and the CRkM starting at read index
+// crkmStart: the pair is *possibly aligned* iff some occurrence offset a of
+// z's k-mer and some offset b of the CRkM satisfy
+//
+//	(b - a) mod stride == (crkmStart - z) mod stride.
+//
+// This is the necessary condition |b_j - a_i| mod s == (d_r) mod s the
+// CAM architecture evaluates with a shifted-AND on the start masks; it may
+// over-approximate (report aligned for a truly unaligned pair), never the
+// reverse, so discarding unaligned pivots is always safe.
+func Aligned(pivotInd, crkmInd SearchIndicator, z, crkmStart, stride int) bool {
+	d := crkmStart - z
+	return rotateMask(pivotInd.StartMask, d, stride)&crkmInd.StartMask != 0
+}

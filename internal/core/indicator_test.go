@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndicatorAddOccurrence(t *testing.T) {
+	var s SearchIndicator
+	s = s.addOccurrence(85, 40, 20) // 85 mod 40 = 5; entry 85/40=2, group 2
+	if s.StartMask != 1<<5 {
+		t.Errorf("StartMask = %b", s.StartMask)
+	}
+	if s.GroupMask != 1<<2 {
+		t.Errorf("GroupMask = %b", s.GroupMask)
+	}
+	s = s.addOccurrence(5, 40, 20) // same offset, group 0
+	if s.StartCount() != 1 || s.GroupCount() != 2 {
+		t.Errorf("counts = %d, %d", s.StartCount(), s.GroupCount())
+	}
+	if s.Empty() {
+		t.Error("non-empty indicator reported empty")
+	}
+	if (SearchIndicator{}).Empty() != true {
+		t.Error("zero indicator not empty")
+	}
+}
+
+func TestRotateMask(t *testing.T) {
+	if got := rotateMask(1<<39, 1, 40); got != 1 {
+		t.Errorf("rotate wrap = %b", got)
+	}
+	if got := rotateMask(1, -1, 40); got != 1<<39 {
+		t.Errorf("negative rotate = %b", got)
+	}
+	if got := rotateMask(0b101, 40, 40); got != 0b101 {
+		t.Errorf("full rotate = %b", got)
+	}
+	if got := rotateMask(0b11, 2, 40); got != 0b1100 {
+		t.Errorf("rotate 2 = %b", got)
+	}
+}
+
+func TestAlignedPaperExample(t *testing.T) {
+	// Example 2 of Fig 10 with CAM entry size 5: ATTG (pivot 4's k-mer)
+	// starts at offset 4 in its entry, TCAT (the CRkM) at offset 4. The
+	// read distance is 4, 4 mod 5 = 4, but the hit distance mod 5 is 0:
+	// unaligned, pivot 4 is disposable. (1-based indices in the paper;
+	// 0-based below: z=3, crkmStart=7.)
+	pivotInd := SearchIndicator{StartMask: 1 << 4}
+	crkmInd := SearchIndicator{StartMask: 1 << 4}
+	if Aligned(pivotInd, crkmInd, 3, 7, 5) {
+		t.Error("paper example 2 must be unaligned")
+	}
+	// If TCAT instead started at offset 3 = (4+4) mod 5, they would align.
+	crkmAligned := SearchIndicator{StartMask: 1 << 3}
+	if !Aligned(pivotInd, crkmAligned, 3, 7, 5) {
+		t.Error("offset (4+4) mod 5 = 3 must align")
+	}
+}
+
+func TestAlignedNeverFalseNegative(t *testing.T) {
+	// Safety property: whenever true occurrence positions are at the exact
+	// read distance, Aligned must report aligned. Random trials.
+	rng := rand.New(rand.NewSource(1))
+	const stride = 40
+	for trial := 0; trial < 2000; trial++ {
+		z := rng.Intn(80)
+		crkmStart := z + 1 + rng.Intn(80)
+		d := crkmStart - z
+		a := rng.Intn(1 << 20) // pivot k-mer hit position
+		b := a + d             // CRkM hit at the exact distance
+		pivotInd := SearchIndicator{StartMask: 1 << uint(a%stride)}
+		crkmInd := SearchIndicator{StartMask: 1 << uint(b%stride)}
+		// Noise offsets must not break the guarantee.
+		pivotInd.StartMask |= 1 << uint(rng.Intn(stride))
+		crkmInd.StartMask |= 1 << uint(rng.Intn(stride))
+		if !Aligned(pivotInd, crkmInd, z, crkmStart, stride) {
+			t.Fatalf("trial %d: exact-distance hits reported unaligned (z=%d, crkm=%d, a=%d, b=%d)",
+				trial, z, crkmStart, a, b)
+		}
+	}
+}
+
+func TestAlignedDetectsImpossibleDistances(t *testing.T) {
+	// A single offset pair whose congruence differs from the read distance
+	// must be unaligned.
+	pivotInd := SearchIndicator{StartMask: 1 << 0}
+	crkmInd := SearchIndicator{StartMask: 1 << 10}
+	// Read distance 5: need offset b = (0+5) mod 40 = 5, but only 10 set.
+	if Aligned(pivotInd, crkmInd, 0, 5, 40) {
+		t.Error("impossible congruence reported aligned")
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"math/bits"
+
+	"casa/internal/dna"
+	"casa/internal/smem"
+)
+
+// PartStats counts SMEM-computing activity for one partition. Pivot
+// counters are the Fig 15 quantities; CAM counters feed the energy model.
+type PartStats struct {
+	ReadsSeeded    int64 // reads that entered SeedRead
+	ReadsDiscarded int64 // reads with no k-mer hit (dropped before the FIFO)
+	ReadsExact     int64 // reads resolved by the exact-match prepass
+
+	PivotsTotal         int64 // pivot slots examined
+	PivotsFilteredTable int64 // discarded: k-mer absent from the filter
+	PivotsFilteredCRkM  int64 // discarded: Analysis 1 (non-extendable SMEM)
+	PivotsFilteredAlign int64 // discarded: Analysis 2 (unaligned k-mer)
+	PivotsComputed      int64 // pivots that triggered an RMEM search
+
+	RMEMSearches   int64 // RMEM searches started
+	StrideSteps    int64 // full-stride CAM match cycles
+	BinSearchSteps int64 // binary-search CAM cycles for SMEM ends
+	CAMSearches    int64 // computing-CAM search operations
+	CAMRowsEnabled int64 // computing-CAM match-line activations
+
+	ComputeCycles int64 // SMEM-computing phase cycles
+
+	Filter FilterStats // pre-seeding filter activity
+}
+
+// add accumulates o into s.
+func (s *PartStats) add(o PartStats) {
+	s.ReadsSeeded += o.ReadsSeeded
+	s.ReadsDiscarded += o.ReadsDiscarded
+	s.ReadsExact += o.ReadsExact
+	s.PivotsTotal += o.PivotsTotal
+	s.PivotsFilteredTable += o.PivotsFilteredTable
+	s.PivotsFilteredCRkM += o.PivotsFilteredCRkM
+	s.PivotsFilteredAlign += o.PivotsFilteredAlign
+	s.PivotsComputed += o.PivotsComputed
+	s.RMEMSearches += o.RMEMSearches
+	s.StrideSteps += o.StrideSteps
+	s.BinSearchSteps += o.BinSearchSteps
+	s.CAMSearches += o.CAMSearches
+	s.CAMRowsEnabled += o.CAMRowsEnabled
+	s.ComputeCycles += o.ComputeCycles
+	s.Filter.add(o.Filter)
+}
+
+// Partition is one reference partition loaded into a CASA instance: the
+// packed reference held by the SMEM computing CAMs plus its pre-seeding
+// filter. SeedRead executes Algorithm 1 against it.
+type Partition struct {
+	cfg    Config
+	ref    dna.Sequence
+	packed *dna.PackedSeq
+	filter *Filter
+
+	// Stats accumulates activity across SeedRead calls.
+	Stats PartStats
+}
+
+// NewPartition builds the filter and CAM image for one partition.
+func NewPartition(ref dna.Sequence, cfg Config) (*Partition, error) {
+	f, err := BuildFilter(ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{cfg: cfg, ref: ref, packed: dna.Pack(ref), filter: f}, nil
+}
+
+// Ref returns the partition's reference sequence.
+func (p *Partition) Ref() dna.Sequence { return p.ref }
+
+// Filter exposes the partition's pre-seeding filter.
+func (p *Partition) Filter() *Filter { return p.filter }
+
+// Config returns the partition's configuration.
+func (p *Partition) Config() Config { return p.cfg }
+
+// SeedRead runs CASA's filter-enabled SMEM seeding (Algorithm 1) for one
+// read against this partition, returning the SMEMs (length >= MinSMEM)
+// with their hit counts. Strand handling lives in the Accelerator: pass
+// the reverse complement separately for the other strand.
+func (p *Partition) SeedRead(read dna.Sequence) []smem.Match {
+	return p.seedRead(read, p.cfg.ExactMatchPrepass)
+}
+
+// seedRead is SeedRead with the exact-match prepass controlled by the
+// caller: the Accelerator's two-stage flow (§4.3) performs the exact
+// check separately (ExactCheck) and runs the SMEM stage without it.
+func (p *Partition) seedRead(read dna.Sequence, prepass bool) []smem.Match {
+	p.Stats.ReadsSeeded++
+	L := len(read)
+	maxPivot := L - p.cfg.K
+	if maxPivot < 0 {
+		return nil
+	}
+
+	// Pre-seeding phase: fetch the search indicators of every pivot's
+	// k-mer (both the pivot checks and the CRkM checks of Algorithm 1 read
+	// from this array; the hardware ships it through the FIFO with the
+	// read). Without the filter table the naive design skips this phase.
+	kmers := rollingKmers(read, p.cfg.K)
+	inds := make([]SearchIndicator, maxPivot+1)
+	exists := make([]bool, maxPivot+1)
+	anyHit := false
+	if p.cfg.UseFilterTable {
+		for i := 0; i <= maxPivot; i++ {
+			inds[i], exists[i] = p.filter.Lookup(kmers[i])
+			anyHit = anyHit || exists[i]
+		}
+		// The filter streams lookups from several reads at once ("three
+		// reads (together with the reverse strands) are sent to the
+		// pre-seeding filter each time", §4.1), so its cycle cost is
+		// computed at batch granularity in the Accelerator: lookups are
+		// counted here, divided by the bank width there.
+		if !anyHit {
+			// The read never reaches the FIFO or the computing CAMs.
+			p.Stats.ReadsDiscarded++
+			p.Stats.PivotsTotal += int64(maxPivot + 1)
+			p.Stats.PivotsFilteredTable += int64(maxPivot + 1)
+			return nil
+		}
+	} else {
+		for i := 0; i <= maxPivot; i++ {
+			exists[i] = true
+		}
+	}
+
+	// Exact-match pre-processing (§4.3): if the whole read matches the
+	// partition, its single SMEM is the read itself and the expensive
+	// pivot loop is skipped. Reads shorter than the minimum SMEM length
+	// cannot be resolved this way (their full-read match is unreportable).
+	if prepass && L >= p.cfg.MinSMEM {
+		if hits, ok := p.exactMatch(read, kmers, inds, exists); ok {
+			p.Stats.ReadsExact++
+			return []smem.Match{{Start: 0, End: L - 1, Hits: hits}}
+		}
+	}
+
+	var out []smem.Match
+	var last smem.Match
+	haveLast := false
+	for pivot := 0; pivot <= maxPivot; pivot++ {
+		p.Stats.PivotsTotal++
+		if !exists[pivot] {
+			// Table-filtered pivots never reach the FIFO: only existing
+			// pivots ship with the read ("sent to the 512-entry FIFO
+			// together with its pivots' search indicators", §4.1), so the
+			// computing controller never sees them.
+			p.Stats.PivotsFilteredTable++
+			continue
+		}
+		p.Stats.ComputeCycles++ // computing controller examines the pivot
+		if haveLast && p.cfg.UseAnalysis {
+			y := last.End
+			crkmStart := y - p.cfg.K + 2 // start of the closest right k-mer
+			if pivot <= crkmStart {
+				// Analysis 1: is the last SMEM non-extendable? If its CRkM
+				// runs off the read or has no hit, every RMEM from this
+				// pivot is contained in the last SMEM.
+				if y == L-1 || !exists[crkmStart] {
+					p.Stats.PivotsFilteredCRkM++
+					continue
+				}
+				// Analysis 2: shifted-AND alignment test between the
+				// pivot's k-mer and the CRkM (over-approximates "aligned",
+				// never "unaligned", so discarding is safe).
+				if !Aligned(inds[pivot], inds[crkmStart], pivot, crkmStart, p.cfg.Stride) {
+					p.Stats.PivotsFilteredAlign++
+					continue
+				}
+			}
+		}
+		p.Stats.PivotsComputed++
+		p.Stats.ComputeCycles++ // controller issues the RMEM search
+		m, ok := p.rmemSearch(read, pivot, kmers[pivot], inds[pivot])
+		if !ok {
+			continue
+		}
+		// OVERLAP_Check: discard RMEMs fully contained in the last SMEM.
+		// RMEM ends are non-decreasing in the pivot, so containment in any
+		// previous SMEM reduces to containment in the last one.
+		if haveLast && m.End <= last.End {
+			continue
+		}
+		out = append(out, m)
+		last, haveLast = m, true
+	}
+	out = smem.FilterMinLen(out, p.cfg.MinSMEM)
+	smem.Sort(out)
+	return out
+}
+
+// rmemSearch performs the unidirectional right-maximal exact match search
+// for the k-mer starting at pivot: a padded first search locates the
+// k-mer's entries (only the groups named by the indicator are enabled),
+// consecutive full-stride matches extend it, and a final binary search
+// pins the exact SMEM end (§4.1 "Energy-efficient SMEM Computing CAMs").
+func (p *Partition) rmemSearch(read dna.Sequence, pivot int, kmer dna.Kmer, ind SearchIndicator) (smem.Match, bool) {
+	positions := p.filter.Positions(kmer)
+	p.Stats.RMEMSearches++
+
+	// First search: the padded k-mer query against the enabled groups.
+	// groupRows is the match-line cost of a non-entry-gated search: the
+	// k-mer's groups when group gating is on, the whole CAM otherwise.
+	entries := int64(p.cfg.EntriesPerPartition())
+	groupRows := entries
+	if p.cfg.GroupGating && p.cfg.UseFilterTable {
+		groups := int64(ind.GroupCount())
+		if groups == 0 {
+			groups = int64(bits.OnesCount64(occupiedGroups(positions, p.cfg)))
+		}
+		groupRows = entries / int64(p.cfg.Groups) * groups
+	}
+	p.Stats.CAMSearches++
+	p.Stats.ComputeCycles++
+	p.Stats.CAMRowsEnabled += groupRows
+	if len(positions) == 0 {
+		return smem.Match{}, false
+	}
+
+	// Behavioural extension: the longest right extension over every hit.
+	// The hardware realizes this as stride-by-stride CAM matching; the
+	// result is identical because a stride matches iff the reference
+	// extends the read at that hit.
+	best := 0
+	extLens := make([]int, len(positions))
+	for i, pos := range positions {
+		ext := p.lce(read, pivot+p.cfg.K, int(pos)+p.cfg.K)
+		extLens[i] = p.cfg.K + ext
+		if extLens[i] > best {
+			best = extLens[i]
+		}
+	}
+	hits := 0
+	for _, l := range extLens {
+		if l == best {
+			hits++
+		}
+	}
+
+	// Cost model: full-stride match cycles. Stride t (1-based) is matched
+	// by the entries that survived stride t-1; with entry gating only the
+	// successors of matched entries are enabled, otherwise the whole
+	// enabled group stays on.
+	fullStrides := best / p.cfg.Stride
+	for t := 1; t <= fullStrides; t++ {
+		p.Stats.CAMSearches++
+		p.Stats.StrideSteps++
+		p.Stats.ComputeCycles++
+		if p.cfg.EntryGating {
+			survivors := int64(0)
+			for _, l := range extLens {
+				if l >= t*p.cfg.Stride {
+					survivors++
+				}
+			}
+			p.Stats.CAMRowsEnabled += survivors
+		} else {
+			p.Stats.CAMRowsEnabled += groupRows
+		}
+	}
+	// Binary search for the exact end inside the first mismatched stride,
+	// unless the match ran to the end of the read.
+	if pivot+best < len(read) {
+		steps := int64(bits.Len(uint(p.cfg.Stride)))
+		p.Stats.BinSearchSteps += steps
+		p.Stats.CAMSearches += steps
+		p.Stats.ComputeCycles += steps
+		if p.cfg.EntryGating {
+			p.Stats.CAMRowsEnabled += steps * int64(hits)
+		} else {
+			p.Stats.CAMRowsEnabled += steps * groupRows
+		}
+	}
+	return smem.Match{Start: pivot, End: pivot + best - 1, Hits: hits}, true
+}
+
+// exactMatch implements the §4.3 pre-processing: gather the indicators of
+// non-overlapping k-mers across the read, check that they can be mutually
+// aligned (shifted-AND, §4.2's machinery), and only then attempt the full
+// whole-read CAM match. Aborts at the first unaligned k-mer or mismatch.
+func (p *Partition) exactMatch(read dna.Sequence, kmers []dna.Kmer, inds []SearchIndicator, exists []bool) (hits int, ok bool) {
+	L := len(read)
+	maxPivot := L - p.cfg.K
+	// Non-overlapping k-mer anchor offsets: 0, K, 2K, ..., plus the final
+	// k-mer so the tail is covered.
+	var anchors []int
+	for off := 0; off <= maxPivot; off += p.cfg.K {
+		anchors = append(anchors, off)
+	}
+	if anchors[len(anchors)-1] != maxPivot {
+		anchors = append(anchors, maxPivot)
+	}
+	for _, a := range anchors {
+		p.Stats.ComputeCycles++ // controller gathers and checks one anchor
+		if !exists[a] {
+			return 0, false
+		}
+		if a > 0 && !Aligned(inds[0], inds[a], 0, a, p.cfg.Stride) {
+			// The anchor cannot be at distance a from the first k-mer in
+			// any CAM alignment: the read cannot match exactly.
+			return 0, false
+		}
+	}
+
+	// Whole-read match: extend every hit of the first k-mer.
+	positions := p.filter.Positions(kmers[0])
+	strides := (L + p.cfg.Stride - 1) / p.cfg.Stride
+	p.Stats.CAMSearches += int64(strides)
+	p.Stats.ComputeCycles += int64(strides)
+	if p.cfg.GroupGating {
+		p.Stats.CAMRowsEnabled += int64(strides) * int64(len(positions))
+	} else {
+		p.Stats.CAMRowsEnabled += int64(strides) * int64(p.cfg.EntriesPerPartition())
+	}
+	for _, pos := range positions {
+		if p.lce(read, p.cfg.K, int(pos)+p.cfg.K) >= L-p.cfg.K {
+			hits++
+		}
+	}
+	return hits, hits > 0
+}
+
+// lce returns the longest common extension: the number of bases for which
+// read[ri:] equals ref[pi:], bounded by both lengths.
+func (p *Partition) lce(read dna.Sequence, ri, pi int) int {
+	n := 0
+	for ri+n < len(read) && pi+n < len(p.ref) && read[ri+n] == p.ref[pi+n] {
+		n++
+	}
+	return n
+}
+
+// ExactCheck is the standalone exact-match test of the two-stage flow
+// (§4.3): it fetches search indicators for a handful of non-overlapping
+// anchor k-mers only (not every pivot), checks that the anchors can be
+// mutually aligned with the shifted-AND test, and verifies candidates by
+// whole-read CAM matching. Its filter cost is therefore ~L/k lookups per
+// read instead of the L-k+1 of a full pre-seeding pass — the saving that
+// lets the exact-match stage sweep all partitions cheaply.
+func (p *Partition) ExactCheck(read dna.Sequence) (hits int, ok bool) {
+	L := len(read)
+	maxPivot := L - p.cfg.K
+	if maxPivot < 0 {
+		return 0, false
+	}
+	var anchors []int
+	for off := 0; off <= maxPivot; off += p.cfg.K {
+		anchors = append(anchors, off)
+	}
+	if anchors[len(anchors)-1] != maxPivot {
+		anchors = append(anchors, maxPivot)
+	}
+	inds := make([]SearchIndicator, len(anchors))
+	for ai, a := range anchors {
+		p.Stats.ComputeCycles++
+		ind, exists := p.filter.Lookup(dna.PackKmer(read, a, p.cfg.K))
+		if !exists {
+			return 0, false
+		}
+		inds[ai] = ind
+		if ai > 0 && !Aligned(inds[0], ind, 0, a, p.cfg.Stride) {
+			return 0, false
+		}
+	}
+	// Whole-read match: extend every hit of the first anchor.
+	positions := p.filter.Positions(dna.PackKmer(read, 0, p.cfg.K))
+	strides := (L + p.cfg.Stride - 1) / p.cfg.Stride
+	p.Stats.CAMSearches += int64(strides)
+	p.Stats.ComputeCycles += int64(strides)
+	if p.cfg.GroupGating {
+		p.Stats.CAMRowsEnabled += int64(strides) * int64(len(positions))
+	} else {
+		p.Stats.CAMRowsEnabled += int64(strides) * int64(p.cfg.EntriesPerPartition())
+	}
+	for _, pos := range positions {
+		if p.lce(read, p.cfg.K, int(pos)+p.cfg.K) >= L-p.cfg.K {
+			hits++
+		}
+	}
+	if hits > 0 {
+		p.Stats.ReadsExact++
+		return hits, true
+	}
+	return 0, false
+}
+
+// rollingKmers packs every k-mer of read in one pass (incremental shift
+// instead of repacking k bases per pivot).
+func rollingKmers(read dna.Sequence, k int) []dna.Kmer {
+	n := len(read) - k + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]dna.Kmer, n)
+	mask := dna.Kmer(1)<<(2*uint(k)) - 1
+	var v dna.Kmer
+	for i, b := range read {
+		v = (v<<2 | dna.Kmer(b)) & mask
+		if i >= k-1 {
+			out[i-k+1] = v
+		}
+	}
+	return out
+}
+
+// occupiedGroups returns the group mask actually covering the positions,
+// used when an indicator is unavailable (naive mode energy accounting).
+func occupiedGroups(positions []int32, cfg Config) uint64 {
+	var mask uint64
+	for _, pos := range positions {
+		mask |= 1 << uint((int(pos)/cfg.Stride)%cfg.Groups)
+	}
+	return mask
+}

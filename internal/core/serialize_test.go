@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"casa/internal/dna"
+	"casa/internal/smem"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig()
+	cfg.PartitionBases = 900
+	ref := randSeq(rng, 2600)
+	orig, err := NewWithOverlap(ref, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Partitions() != orig.Partitions() {
+		t.Fatalf("partitions = %d, want %d", loaded.Partitions(), orig.Partitions())
+	}
+	if loaded.Config() != orig.Config() {
+		t.Fatalf("config mismatch:\n%+v\n%+v", loaded.Config(), orig.Config())
+	}
+	for i := 0; i < orig.Partitions(); i++ {
+		if !loaded.Partition(i).Ref().Equal(orig.Partition(i).Ref()) {
+			t.Fatalf("partition %d reference mismatch", i)
+		}
+	}
+
+	// Behavioural equivalence: identical SMEM results on a batch.
+	var reads []dna.Sequence
+	for i := 0; i < 15; i++ {
+		reads = append(reads, plantedRead(rng, ref, 50, rng.Intn(4)))
+	}
+	a := orig.SeedReads(reads)
+	b := loaded.SeedReads(reads)
+	for i := range reads {
+		if !smem.Equal(a.Reads[i].Forward, b.Reads[i].Forward) ||
+			!smem.Equal(a.Reads[i].Reverse, b.Reads[i].Reverse) {
+			t.Fatalf("read %d: loaded index disagrees\n%v\n%v", i, a.Reads[i], b.Reads[i])
+		}
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycle model diverged: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestIndexRoundTripDefaultGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.PartitionBases = 1 << 17
+	ref := randSeq(rng, 200000)
+	orig, err := New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := plantedRead(rng, ref, 101, 2)
+	a := orig.SeedReads([]dna.Sequence{read})
+	b := loaded.SeedReads([]dna.Sequence{read})
+	if !smem.Equal(a.Reads[0].Forward, b.Reads[0].Forward) {
+		t.Fatalf("k=19 round trip mismatch: %v vs %v", a.Reads[0].Forward, b.Reads[0].Forward)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("not an index at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Right magic, truncated body.
+	if _, err := ReadIndex(strings.NewReader(indexMagic)); err == nil {
+		t.Error("truncated index accepted")
+	}
+}
+
+func TestReadIndexRejectsCorruptHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	orig, err := New(randSeq(rng, 500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the K field (first config word after the magic): K=0 must be
+	// rejected by config validation.
+	copy(data[len(indexMagic):len(indexMagic)+8], make([]byte, 8))
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt config accepted")
+	}
+}

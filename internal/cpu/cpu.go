@@ -1,0 +1,105 @@
+// Package cpu models software BWA-MEM2 seeding on a multicore CPU
+// (the B-12T / B-32T bars of Fig 12). Behaviour comes from the exact
+// FM-index bidirectional SMEM search in internal/smem; time comes from a
+// first-order memory model: each FM-index extension step is a dependent
+// pointer-chase ("frequent, irregular, and unpredictable memory access to
+// DRAM", §1), so per-read latency is steps x miss-rate x DRAM latency x a
+// CPU overhead factor, divided across threads.
+//
+// The model's purpose is the ~17x gap of Fig 12, which is driven by the
+// serial-dependent-access structure, not by microarchitectural detail.
+package cpu
+
+import (
+	"fmt"
+
+	"casa/internal/dna"
+	"casa/internal/smem"
+)
+
+// Config describes the CPU platform (Table 2) and the memory model.
+type Config struct {
+	Name           string
+	Threads        int
+	MinSMEM        int
+	LatencyNS      float64 // DRAM random-access latency
+	MissRate       float64 // fraction of FM steps missing the caches
+	OverheadFactor float64 // non-memory CPU work per step, as a multiplier
+	SocketWatts    float64 // package power while seeding (for efficiency)
+}
+
+// B12T is the 12-thread configuration of the i7-6800K baseline.
+func B12T() Config {
+	return Config{Name: "B-12T", Threads: 12, MinSMEM: 19,
+		LatencyNS: 95, MissRate: 0.7, OverheadFactor: 1.0, SocketWatts: 140}
+}
+
+// B32T is the 32-thread configuration of the dual-socket Xeon baseline.
+func B32T() Config {
+	return Config{Name: "B-32T", Threads: 32, MinSMEM: 19,
+		LatencyNS: 95, MissRate: 0.7, OverheadFactor: 1.0, SocketWatts: 290}
+}
+
+// Validate checks parameter consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Threads <= 0:
+		return fmt.Errorf("cpu: threads must be positive")
+	case c.MinSMEM <= 0:
+		return fmt.Errorf("cpu: MinSMEM must be positive")
+	case c.LatencyNS <= 0 || c.MissRate <= 0 || c.OverheadFactor <= 0:
+		return fmt.Errorf("cpu: memory model parameters must be positive")
+	}
+	return nil
+}
+
+// Seeder runs FM-index SMEM seeding with the CPU cost model attached.
+type Seeder struct {
+	cfg    Config
+	finder *smem.Bidirectional
+}
+
+// New builds the FM-index over ref. Software BWA-MEM2 indexes the whole
+// reference at once (no partitioning).
+func New(ref dna.Sequence, cfg Config) (*Seeder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("cpu: empty reference")
+	}
+	return &Seeder{cfg: cfg, finder: smem.NewBidirectional(ref)}, nil
+}
+
+// Result is the outcome of a software seeding run.
+type Result struct {
+	Reads      [][]smem.Match // forward-strand SMEMs per read
+	Rev        [][]smem.Match
+	Steps      int64   // FM-index extension operations
+	Seconds    float64 // modelled wall time
+	Throughput float64 // reads per second
+	ReadsPerMJ float64 // using the socket power envelope
+}
+
+// SeedReads seeds every read on both strands and models the wall time.
+func (s *Seeder) SeedReads(reads []dna.Sequence) *Result {
+	res := &Result{}
+	for _, r := range reads {
+		res.Reads = append(res.Reads, s.finder.FindSMEMs(r, s.cfg.MinSMEM))
+		res.Steps += int64(s.finder.Steps)
+		res.Rev = append(res.Rev, s.finder.FindSMEMs(r.ReverseComplement(), s.cfg.MinSMEM))
+		res.Steps += int64(s.finder.Steps)
+	}
+	perStep := s.cfg.LatencyNS * 1e-9 * s.cfg.MissRate * s.cfg.OverheadFactor
+	res.Seconds = float64(res.Steps) * perStep / float64(s.cfg.Threads)
+	if res.Seconds > 0 {
+		res.Throughput = float64(len(reads)) / res.Seconds
+	}
+	if j := s.cfg.SocketWatts * res.Seconds; j > 0 {
+		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+	}
+	return res
+}
+
+// Config returns the platform configuration.
+func (s *Seeder) Config() Config { return s.cfg }

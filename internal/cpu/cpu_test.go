@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"casa/internal/dna"
+	"casa/internal/smem"
+)
+
+func randSeq(rng *rand.Rand, n int) dna.Sequence {
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func TestConfigs(t *testing.T) {
+	if err := B12T().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := B32T().Validate(); err != nil {
+		t.Error(err)
+	}
+	if B12T().Threads != 12 || B32T().Threads != 32 {
+		t.Error("thread counts drifted")
+	}
+	bad := B12T()
+	bad.Threads = 0
+	if bad.Validate() == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, B12T()); err == nil {
+		t.Error("empty reference accepted")
+	}
+	bad := B12T()
+	bad.MissRate = 0
+	if _, err := New(dna.FromString("ACGT"), bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSeedReadsMatchesGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randSeq(rng, 1500)
+	cfg := B12T()
+	s, err := New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := smem.BruteForce{Ref: ref}
+	var reads []dna.Sequence
+	for i := 0; i < 10; i++ {
+		start := rng.Intn(len(ref) - 101)
+		read := ref[start : start+101].Clone()
+		for m := 0; m < rng.Intn(4); m++ {
+			read[rng.Intn(101)] = dna.Base(rng.Intn(4))
+		}
+		reads = append(reads, read)
+	}
+	res := s.SeedReads(reads)
+	for i, read := range reads {
+		want := golden.FindSMEMs(read, cfg.MinSMEM)
+		if !smem.Equal(want, res.Reads[i]) {
+			t.Fatalf("read %d: got %v, want %v", i, res.Reads[i], want)
+		}
+		wantR := golden.FindSMEMs(read.ReverseComplement(), cfg.MinSMEM)
+		if !smem.Equal(wantR, res.Rev[i]) {
+			t.Fatalf("read %d reverse: got %v, want %v", i, res.Rev[i], wantR)
+		}
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randSeq(rng, 2000)
+	s, err := New(ref, B12T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := []dna.Sequence{randSeq(rng, 101), randSeq(rng, 101)}
+	res := s.SeedReads(reads)
+	if res.Steps <= 0 || res.Seconds <= 0 || res.Throughput <= 0 || res.ReadsPerMJ <= 0 {
+		t.Fatalf("model outputs missing: %+v", res)
+	}
+	// Exact relation: seconds = steps x perStep / threads.
+	cfg := s.Config()
+	want := float64(res.Steps) * cfg.LatencyNS * 1e-9 * cfg.MissRate * cfg.OverheadFactor / float64(cfg.Threads)
+	if diff := res.Seconds - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Seconds = %g, want %g", res.Seconds, want)
+	}
+}
+
+func TestMoreThreadsFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := randSeq(rng, 2000)
+	reads := []dna.Sequence{randSeq(rng, 101)}
+	s12, _ := New(ref, B12T())
+	s32, _ := New(ref, B32T())
+	r12 := s12.SeedReads(reads)
+	r32 := s32.SeedReads(reads)
+	if r32.Throughput <= r12.Throughput {
+		t.Errorf("B-32T (%.0f) not faster than B-12T (%.0f)", r32.Throughput, r12.Throughput)
+	}
+	// Same work, just more threads: 32/12 speedup exactly.
+	ratio := r32.Throughput / r12.Throughput
+	if ratio < 2.6 || ratio > 2.7 {
+		t.Errorf("thread scaling ratio = %.2f, want 32/12", ratio)
+	}
+}

@@ -1,0 +1,232 @@
+// Package dna provides the 2-bit nucleotide encoding used throughout the
+// CASA reproduction: base codes, packed sequences, k-mer packing, and
+// reverse complements.
+//
+// Bases are encoded as A=0, C=1, G=2, T=3, matching the ordering used by
+// BWA-MEM2 and the FM-index packages. Ambiguous bases (N and the other
+// IUPAC codes) are replaced with a deterministic standard nucleotide during
+// parsing, mirroring the paper's evaluation method ("We replaced all the N
+// bases in the reference genome and reads with one of the standard
+// nucleotides", §6).
+package dna
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base is a 2-bit nucleotide code: A=0, C=1, G=2, T=3.
+type Base uint8
+
+// The four standard nucleotides.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+)
+
+// NumBases is the alphabet size.
+const NumBases = 4
+
+// letters maps base codes to their ASCII letters.
+var letters = [NumBases]byte{'A', 'C', 'G', 'T'}
+
+// Byte returns the upper-case ASCII letter for b.
+func (b Base) Byte() byte { return letters[b&3] }
+
+// String returns the single-letter representation of b.
+func (b Base) String() string { return string(letters[b&3]) }
+
+// Complement returns the Watson-Crick complement (A<->T, C<->G).
+// In the 2-bit code this is simply the bitwise NOT of the low two bits.
+func (b Base) Complement() Base { return b ^ 3 }
+
+// codeTable maps ASCII to base codes; 0xFF marks non-ACGT characters.
+var codeTable = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 0xFF
+	}
+	set := func(c byte, b Base) {
+		t[c] = byte(b)
+		t[c|0x20] = byte(b) // lower case
+	}
+	set('A', A)
+	set('C', C)
+	set('G', G)
+	set('T', T)
+	set('U', T) // RNA uracil reads as T
+	return t
+}()
+
+// BaseFromByte converts an ASCII letter to a Base. Ambiguous IUPAC codes
+// (N, R, Y, ...) are replaced deterministically: the replacement is derived
+// from the character value so the same input always yields the same
+// sequence, as in the paper's N-base replacement.
+func BaseFromByte(c byte) Base {
+	if b := codeTable[c]; b != 0xFF {
+		return Base(b)
+	}
+	return Base(c & 3)
+}
+
+// IsStandard reports whether c is one of A, C, G, T (either case) or U/u.
+func IsStandard(c byte) bool { return codeTable[c] != 0xFF }
+
+// Sequence is an unpacked DNA sequence, one Base per element. It is the
+// working representation for reads and small references; PackedSeq is used
+// where the 2-bit density matters (CAM contents, FM-index text).
+type Sequence []Base
+
+// FromString builds a Sequence from an ASCII string, replacing ambiguous
+// characters per BaseFromByte.
+func FromString(s string) Sequence {
+	seq := make(Sequence, len(s))
+	for i := 0; i < len(s); i++ {
+		seq[i] = BaseFromByte(s[i])
+	}
+	return seq
+}
+
+// String renders the sequence as upper-case ASCII.
+func (s Sequence) String() string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, b := range s {
+		sb.WriteByte(b.Byte())
+	}
+	return sb.String()
+}
+
+// Clone returns a copy of s.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// ReverseComplement returns the reverse complement of s as a new Sequence.
+// Read aligners seed both the forward read and its reverse complement
+// ("three reads (together with the reverse strands) are sent to the
+// pre-seeding filter", §4.1).
+func (s Sequence) ReverseComplement() Sequence {
+	rc := make(Sequence, len(s))
+	for i, b := range s {
+		rc[len(s)-1-i] = b.Complement()
+	}
+	return rc
+}
+
+// Equal reports whether two sequences are identical.
+func (s Sequence) Equal(t Sequence) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Kmer is a packed k-mer: 2 bits per base, the first base of the k-mer in
+// the highest-order occupied bits so that lexicographic order of the string
+// equals numeric order of the Kmer (for a fixed k). Supports k <= 31.
+type Kmer uint64
+
+// MaxK is the largest k-mer length representable by Kmer.
+const MaxK = 31
+
+// PackKmer packs s[i:i+k] into a Kmer. It panics if k > MaxK or the slice
+// is too short; callers validate lengths at API boundaries.
+func PackKmer(s Sequence, i, k int) Kmer {
+	if k > MaxK {
+		panic(fmt.Sprintf("dna: k=%d exceeds MaxK=%d", k, MaxK))
+	}
+	var v Kmer
+	for _, b := range s[i : i+k] {
+		v = v<<2 | Kmer(b)
+	}
+	return v
+}
+
+// KmerString unpacks a packed k-mer of length k back to ASCII,
+// for diagnostics and table dumps.
+func KmerString(v Kmer, k int) string {
+	buf := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		buf[i] = Base(v & 3).Byte()
+		v >>= 2
+	}
+	return string(buf)
+}
+
+// KmerBase returns base j (0-based from the left) of a packed k-mer of
+// length k.
+func KmerBase(v Kmer, k, j int) Base {
+	return Base(v >> (2 * uint(k-1-j)) & 3)
+}
+
+// NumKmers returns 4^k, the number of distinct k-mers, as an int.
+// It panics if the count would overflow int.
+func NumKmers(k int) int {
+	if k < 0 || k > 31 {
+		panic(fmt.Sprintf("dna: invalid k=%d", k))
+	}
+	return 1 << (2 * uint(k))
+}
+
+// PackedSeq is a 2-bit-packed DNA sequence, 32 bases per uint64 word.
+// It is the dense storage used for reference partitions: a "1 MB reference
+// partition" in the paper is 4 Mbases at 2 bits per base.
+type PackedSeq struct {
+	words []uint64
+	n     int
+}
+
+// Pack converts an unpacked Sequence into a PackedSeq.
+func Pack(s Sequence) *PackedSeq {
+	p := &PackedSeq{
+		words: make([]uint64, (len(s)+31)/32),
+		n:     len(s),
+	}
+	for i, b := range s {
+		p.words[i/32] |= uint64(b) << (2 * uint(i%32))
+	}
+	return p
+}
+
+// Len returns the number of bases.
+func (p *PackedSeq) Len() int { return p.n }
+
+// Bytes returns the size of the packed storage in bytes.
+func (p *PackedSeq) Bytes() int { return len(p.words) * 8 }
+
+// Base returns base i.
+func (p *PackedSeq) Base(i int) Base {
+	return Base(p.words[i/32] >> (2 * uint(i%32)) & 3)
+}
+
+// Slice unpacks bases [i, j) into a fresh Sequence.
+func (p *PackedSeq) Slice(i, j int) Sequence {
+	s := make(Sequence, j-i)
+	for x := i; x < j; x++ {
+		s[x-i] = p.Base(x)
+	}
+	return s
+}
+
+// Kmer packs k bases starting at i; behaves like PackKmer on the unpacked
+// sequence.
+func (p *PackedSeq) Kmer(i, k int) Kmer {
+	if k > MaxK {
+		panic(fmt.Sprintf("dna: k=%d exceeds MaxK=%d", k, MaxK))
+	}
+	var v Kmer
+	for x := i; x < i+k; x++ {
+		v = v<<2 | Kmer(p.Base(x))
+	}
+	return v
+}

@@ -1,0 +1,176 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable3Constants(t *testing.T) {
+	// Guard the published constants against accidental edits.
+	rows := CircuitTable()
+	if len(rows) != 4 {
+		t.Fatalf("Table 3 has %d rows, want 4", len(rows))
+	}
+	if rows[0].EnergyPJ != 2.33 || rows[1].EnergyPJ != 4.89 ||
+		rows[2].EnergyPJ != 20.92 || rows[3].EnergyPJ != 17.60 {
+		t.Errorf("Table 3 energies drifted: %+v", rows)
+	}
+	if rows[3].Name != "10T BCAM 256x72" || rows[3].Rows != 256 || rows[3].Bits != 72 {
+		t.Errorf("BCAM row wrong: %+v", rows[3])
+	}
+}
+
+func TestLeakageW(t *testing.T) {
+	// 6.29 uA at 0.9 V = 5.661 uW.
+	if got := SRAM256x24.LeakageW(); !approx(got, 6.29e-6*0.9, 1e-12) {
+		t.Errorf("LeakageW = %g", got)
+	}
+}
+
+func TestScaleWidth(t *testing.T) {
+	m := ScaleWidth(BCAM256x72, 80)
+	f := 80.0 / 72.0
+	if !approx(m.EnergyPJ, 17.60*f, 1e-9) || !approx(m.AreaUM2, 18056*f, 1e-6) {
+		t.Errorf("ScaleWidth wrong: %+v", m)
+	}
+	if m.Bits != 80 || m.DelayPS != BCAM256x72.DelayPS {
+		t.Errorf("ScaleWidth metadata wrong: %+v", m)
+	}
+	if BCAM256x72.Bits != 72 {
+		t.Error("ScaleWidth mutated its input")
+	}
+}
+
+func TestKBits(t *testing.T) {
+	if got := SRAM256x256.KBits(); got != 64 {
+		t.Errorf("256x256 KBits = %g, want 64", got)
+	}
+}
+
+func TestMeterChargeAndReport(t *testing.T) {
+	m := NewMeter()
+	m.RegisterArrays("tag", BCAM256x72, 2)
+	m.Charge("tag", 1000, BCAM256x72.EnergyPJ)
+	r := m.Report(1e-6)
+
+	wantDyn := 1000 * 17.60e-12
+	if !approx(r.DynamicJ(), wantDyn, 1e-15) {
+		t.Errorf("DynamicJ = %g, want %g", r.DynamicJ(), wantDyn)
+	}
+	wantLeak := 2 * BCAM256x72.LeakageW()
+	if !approx(r.LeakageW(), wantLeak, 1e-15) {
+		t.Errorf("LeakageW = %g, want %g", r.LeakageW(), wantLeak)
+	}
+	wantPower := wantDyn/1e-6 + wantLeak
+	if !approx(r.PowerW(), wantPower, 1e-9) {
+		t.Errorf("PowerW = %g, want %g", r.PowerW(), wantPower)
+	}
+}
+
+func TestMeterComponentIsolation(t *testing.T) {
+	m := NewMeter()
+	m.Charge("a", 10, 1.0)
+	m.Charge("b", 20, 2.0)
+	if got := m.Component("a").DynamicPJ; got != 10 {
+		t.Errorf("a = %g pJ", got)
+	}
+	if got := m.Component("b").DynamicPJ; got != 40 {
+		t.Errorf("b = %g pJ", got)
+	}
+	if got := m.Component("missing"); got.DynamicPJ != 0 || got.Name != "missing" {
+		t.Errorf("missing component = %+v", got)
+	}
+}
+
+func TestMeterConservation(t *testing.T) {
+	// Sum of component energies must equal the report total.
+	m := NewMeter()
+	m.Charge("x", 5, 3.0)
+	m.Charge("y", 7, 11.0)
+	m.ChargeJ("z", 1e-9)
+	r := m.Report(1.0)
+	var sum float64
+	for _, c := range r.Components {
+		sum += c.DynamicPJ
+	}
+	if !approx(sum*1e-12, r.DynamicJ(), 1e-18) {
+		t.Errorf("component sum %g != total %g", sum*1e-12, r.DynamicJ())
+	}
+}
+
+func TestChargeJ(t *testing.T) {
+	m := NewMeter()
+	m.ChargeJ("dram", 2.5e-9)
+	if got := m.Component("dram").DynamicPJ; !approx(got, 2500, 1e-9) {
+		t.Errorf("ChargeJ = %g pJ, want 2500", got)
+	}
+}
+
+func TestComponentPowerW(t *testing.T) {
+	m := NewMeter()
+	m.Register("ctrl", 0.5, 1.0)
+	m.Charge("ctrl", 1e6, 1.0) // 1e6 pJ = 1 uJ
+	r := m.Report(1e-3)
+	want := 1e-6/1e-3 + 0.5 // 1 mW dynamic + 0.5 W leakage
+	if !approx(r.ComponentPowerW("ctrl"), want, 1e-9) {
+		t.Errorf("ComponentPowerW = %g, want %g", r.ComponentPowerW("ctrl"), want)
+	}
+	if r.ComponentPowerW("nope") != 0 {
+		t.Error("unknown component must have zero power")
+	}
+}
+
+func TestReportZeroSeconds(t *testing.T) {
+	m := NewMeter()
+	m.Charge("x", 1, 1)
+	if p := m.Report(0).PowerW(); p != 0 {
+		t.Errorf("PowerW with zero time = %g", p)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := NewMeter()
+	m.Register("block", 0.1, 2.0)
+	m.Charge("block", 100, 5)
+	s := m.Report(1e-6).String()
+	if !strings.Contains(s, "block") || !strings.Contains(s, "TOTAL") {
+		t.Errorf("report string missing rows:\n%s", s)
+	}
+}
+
+func TestPaperTable4(t *testing.T) {
+	rows := PaperTable4()
+	if len(rows) != 6 {
+		t.Fatalf("Table 4 rows = %d, want 6", len(rows))
+	}
+	// On-chip area sums to the published total minus nothing (DRAM rows
+	// carry no area).
+	var area float64
+	for _, r := range rows {
+		area += r.AreaMM2
+	}
+	if !approx(area, 13.764+4.049+188.411+90.329, 1e-9) {
+		t.Errorf("Table 4 area sum = %g", area)
+	}
+	if PaperTotalAreaMM2 != 296.553 || GenAxAreaMM2 != 220.544 {
+		t.Error("published area constants drifted")
+	}
+	// The paper's +33.9% area claim must follow from the constants.
+	ratio := PaperTotalAreaMM2/GenAxAreaMM2 - 1
+	if !approx(ratio, 0.339, 0.006) {
+		t.Errorf("area increase = %.3f, want ~0.339", ratio)
+	}
+}
+
+func TestRegisterAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.Register("bank", 0.1, 1.0)
+	m.Register("bank", 0.1, 1.0)
+	c := m.Component("bank")
+	if !approx(c.LeakageW, 0.2, 1e-12) || !approx(c.AreaMM2, 2.0, 1e-12) {
+		t.Errorf("Register accumulation wrong: %+v", c)
+	}
+}

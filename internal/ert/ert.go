@@ -1,0 +1,347 @@
+// Package ert implements the Enumerated-Radix-Trees baseline (§2.2 of the
+// CASA paper, originally Subramaniyan et al., ISCA 2021): an index table
+// mapping k-mers to radix trees over their reference extensions, searched
+// bidirectionally to find SMEMs. The ASIC-ERT performance model on top
+// (accel.go) charges a DRAM fetch per tree-node visit, with a k-mer reuse
+// cache in front of the root fetches, matching the traffic pattern the
+// CASA paper measured with Ramulator ("it still has some random accesses
+// left caused by tree root fetches and k-mer searches").
+package ert
+
+import (
+	"fmt"
+	"sort"
+
+	"casa/internal/dna"
+	"casa/internal/smem"
+	"casa/internal/suffixarray"
+)
+
+// Config sets the ERT index dimensions.
+type Config struct {
+	K        int // index k-mer size (15 in ERT)
+	MinSMEM  int // minimum reported SMEM length (19)
+	MaxDepth int // deepest tree level beyond which fat leaves are used
+}
+
+// DefaultConfig returns ERT's published configuration.
+func DefaultConfig() Config {
+	return Config{K: 15, MinSMEM: 19, MaxDepth: 128}
+}
+
+// Validate checks parameter consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.K <= 0 || c.K > dna.MaxK:
+		return fmt.Errorf("ert: k=%d out of range", c.K)
+	case c.MinSMEM < c.K:
+		return fmt.Errorf("ert: MinSMEM=%d must be >= k=%d", c.MinSMEM, c.K)
+	case c.MaxDepth <= c.K:
+		return fmt.Errorf("ert: MaxDepth=%d must exceed k=%d", c.MaxDepth, c.K)
+	}
+	return nil
+}
+
+// node is one radix-tree node: the set of reference suffixes sharing the
+// prefix on the path from the root, represented by a suffix-array interval.
+// A node with a singleton interval is a leaf pointing directly into the
+// reference; a node at MaxDepth is a fat leaf resolved by direct
+// reference comparison.
+type node struct {
+	children [dna.NumBases]int32 // -1 when absent
+	saLo     int32               // suffix-array interval [saLo, saHi)
+	saHi     int32
+}
+
+// Index is the ERT index over one reference sequence.
+type Index struct {
+	cfg   Config
+	ref   dna.Sequence
+	sa    []int32 // suffix array (no sentinel row)
+	roots map[dna.Kmer]int32
+	nodes []node
+
+	// Stats accumulates search activity until Reset.
+	Stats Stats
+}
+
+// Stats counts the memory events of ERT searches, the quantities the
+// ASIC-ERT performance model converts into DRAM traffic.
+type Stats struct {
+	IndexFetches int64 // index-table lookups (root fetches)
+	NodeFetches  int64 // radix-tree node fetches
+	RefFetches   int64 // direct reference-segment fetches (leaf verify)
+	Pivots       int64 // pivots processed
+	Reads        int64 // reads processed
+}
+
+func (s *Stats) add(o Stats) {
+	s.IndexFetches += o.IndexFetches
+	s.NodeFetches += o.NodeFetches
+	s.RefFetches += o.RefFetches
+	s.Pivots += o.Pivots
+	s.Reads += o.Reads
+}
+
+// Build constructs the index: the suffix array, one radix tree per
+// distinct k-mer (built from the k-mer's suffix-array interval), and the
+// root table.
+func Build(ref dna.Sequence, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		cfg:   cfg,
+		ref:   ref,
+		sa:    suffixarray.BuildNoSentinel(ref),
+		roots: make(map[dna.Kmer]int32),
+	}
+	// Walk maximal suffix-array runs sharing a full-length k-mer prefix.
+	lo := 0
+	for lo < len(ix.sa) {
+		p := int(ix.sa[lo])
+		if p+cfg.K > len(ref) {
+			lo++ // suffix shorter than k: not indexable
+			continue
+		}
+		km := dna.PackKmer(ref, p, cfg.K)
+		hi := lo + 1
+		for hi < len(ix.sa) {
+			q := int(ix.sa[hi])
+			if q+cfg.K > len(ref) || dna.PackKmer(ref, q, cfg.K) != km {
+				break
+			}
+			hi++
+		}
+		ix.roots[km] = ix.buildNode(lo, hi, cfg.K)
+		lo = hi
+	}
+	return ix, nil
+}
+
+// buildNode creates the node for suffix-array interval [lo, hi) at the
+// given depth (bases already matched) and recursively builds children.
+func (ix *Index) buildNode(lo, hi, depth int) int32 {
+	id := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, node{
+		children: [dna.NumBases]int32{-1, -1, -1, -1},
+		saLo:     int32(lo),
+		saHi:     int32(hi),
+	})
+	if hi-lo <= 1 || depth >= ix.cfg.MaxDepth {
+		return id // leaf or fat leaf
+	}
+	// Split the interval by the base at offset depth. Suffixes too short
+	// to have that base sort first within the interval.
+	start := lo
+	for start < hi && int(ix.sa[start])+depth >= len(ix.ref) {
+		start++
+	}
+	for b := dna.Base(0); b < dna.NumBases; b++ {
+		// Suffixes within [start, hi) are sorted by ref[sa[i]+depth].
+		end := start + sort.Search(hi-start, func(i int) bool {
+			return ix.ref[int(ix.sa[start+i])+depth] > b
+		})
+		if end > start {
+			child := ix.buildNode(start, end, depth+1)
+			ix.nodes[id].children[b] = child
+		}
+		start = end
+	}
+	return id
+}
+
+// Nodes returns the total radix-tree node count (index-size accounting).
+func (ix *Index) Nodes() int { return len(ix.nodes) }
+
+// Roots returns the number of distinct indexed k-mers.
+func (ix *Index) Roots() int { return len(ix.roots) }
+
+// HeapBytes approximates the index footprint: the paper notes the
+// ERT-index for GRCh38 needs a dedicated 62 GB DRAM; this scales that
+// footprint to the configured reference.
+func (ix *Index) HeapBytes() int64 {
+	return int64(len(ix.nodes))*24 + int64(len(ix.roots))*12 + int64(len(ix.sa))*4 + int64(len(ix.ref))
+}
+
+// step is one successful forward extension.
+type step struct {
+	end  int // inclusive read index matched so far
+	hits int // occurrences of read[pivot..end]
+}
+
+// walk matches read[pivot..] down the k-mer's radix tree, returning one
+// step per matched base (starting at the end of the k-mer itself). Fetch
+// accounting: one index fetch, one node fetch per visited node, and one
+// reference fetch when a singleton leaf switches to direct comparison.
+func (ix *Index) walk(read dna.Sequence, pivot int) []step {
+	ix.Stats.IndexFetches++
+	if pivot+ix.cfg.K > len(read) {
+		return nil
+	}
+	root, ok := ix.roots[dna.PackKmer(read, pivot, ix.cfg.K)]
+	if !ok {
+		return nil
+	}
+	n := &ix.nodes[root]
+	ix.Stats.NodeFetches++
+	steps := []step{{end: pivot + ix.cfg.K - 1, hits: int(n.saHi - n.saLo)}}
+	depth := ix.cfg.K
+	for e := pivot + ix.cfg.K; e < len(read); e++ {
+		if n.saHi-n.saLo == 1 {
+			// Singleton: compare directly against the reference.
+			p := int(ix.sa[n.saLo])
+			ix.Stats.RefFetches++
+			for ; e < len(read) && p+depth < len(ix.ref) && ix.ref[p+depth] == read[e]; e++ {
+				steps = append(steps, step{end: e, hits: 1})
+				depth++
+			}
+			return steps
+		}
+		child := n.children[read[e]]
+		if child < 0 {
+			// MaxDepth fat leaf keeps children empty: resolve by direct
+			// comparison over its interval.
+			if depth >= ix.cfg.MaxDepth {
+				return ix.walkFat(read, pivot, e, n, depth, steps)
+			}
+			return steps
+		}
+		n = &ix.nodes[child]
+		ix.Stats.NodeFetches++
+		steps = append(steps, step{end: e, hits: int(n.saHi - n.saLo)})
+		depth++
+	}
+	return steps
+}
+
+// walkFat extends past a fat leaf by direct reference comparison over the
+// leaf's suffix interval.
+func (ix *Index) walkFat(read dna.Sequence, pivot, e int, n *node, depth int, steps []step) []step {
+	positions := ix.sa[n.saLo:n.saHi]
+	for ; e < len(read); e++ {
+		hits := 0
+		ix.Stats.RefFetches++
+		for _, p := range positions {
+			if int(p)+depth < len(ix.ref) && ix.ref[int(p)+depth] == read[e] {
+				hits++
+			}
+		}
+		if hits == 0 {
+			return steps
+		}
+		// Keep only surviving positions for subsequent bases.
+		kept := positions[:0:0]
+		for _, p := range positions {
+			if int(p)+depth < len(ix.ref) && ix.ref[int(p)+depth] == read[e] {
+				kept = append(kept, p)
+			}
+		}
+		positions = kept
+		steps = append(steps, step{end: e, hits: hits})
+		depth++
+	}
+	return steps
+}
+
+// maxEnd returns the largest end (inclusive) such that read[pivot..end]
+// occurs, or -1; a thin wrapper over walk for the backward binary search.
+func (ix *Index) maxEnd(read dna.Sequence, pivot int) int {
+	steps := ix.walk(read, pivot)
+	if len(steps) == 0 {
+		return -1
+	}
+	return steps[len(steps)-1].end
+}
+
+// FindSMEMs runs ERT's bidirectional SMEM search: forward-walk from each
+// pivot recording left extension points, backward-extend each LEP to its
+// minimal start (binary search over tree walks), and keep the
+// super-maximal matches of length >= minLen.
+func (ix *Index) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
+	ix.Stats.Reads++
+	var cands []smem.Match
+	pivot := 0
+	for pivot+ix.cfg.K <= len(read) {
+		ix.Stats.Pivots++
+		steps := ix.walk(read, pivot)
+		if len(steps) == 0 {
+			pivot++
+			continue
+		}
+		// LEPs: ends where the hit count changes.
+		var leps []step
+		for i, st := range steps {
+			if i+1 == len(steps) || steps[i+1].hits != st.hits {
+				leps = append(leps, st)
+			}
+		}
+		for _, lep := range leps {
+			x := ix.backwardMin(read, pivot, lep.end)
+			cands = append(cands, smem.Match{Start: x, End: lep.end, Hits: ix.hitCount(read, x, lep.end)})
+		}
+		// Advance conservatively: a k-mer-rooted walk from pivot q only
+		// sees match ends >= q+k-1, so the next pivot must not pass
+		// e-k+2 or SMEMs ending just beyond e become invisible.
+		next := steps[len(steps)-1].end - ix.cfg.K + 2
+		if next <= pivot {
+			next = pivot + 1
+		}
+		pivot = next
+	}
+	return dedup(cands, minLen)
+}
+
+// backwardMin finds the smallest x <= pivot with read[x..end] occurring,
+// by binary search over tree walks (e(x) is non-decreasing in x, so
+// "walk from x reaches end" is monotone in x).
+func (ix *Index) backwardMin(read dna.Sequence, pivot, end int) int {
+	lo, hi := 0, pivot // invariant: hi works
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.maxEnd(read, mid) >= end {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// hitCount returns the occurrence count of read[start..end] via one walk.
+func (ix *Index) hitCount(read dna.Sequence, start, end int) int {
+	steps := ix.walk(read, start)
+	for _, st := range steps {
+		if st.end == end {
+			return st.hits
+		}
+	}
+	return 0
+}
+
+// dedup removes contained candidates and filters by length.
+func dedup(cands []smem.Match, minLen int) []smem.Match {
+	smem.Sort(cands)
+	uniq := cands[:0:0]
+	for i, m := range cands {
+		if i == 0 || m != cands[i-1] {
+			uniq = append(uniq, m)
+		}
+	}
+	var out []smem.Match
+	for i, m := range uniq {
+		contained := false
+		for j, o := range uniq {
+			if i != j && o.Contains(m) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, m)
+		}
+	}
+	out = smem.FilterMinLen(out, minLen)
+	smem.Sort(out)
+	return out
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"casa/internal/core"
+	"casa/internal/dna"
+)
+
+// Ablations for the design choices DESIGN.md §6 calls out: each row runs
+// the CASA simulator with one knob changed and reports the modelled
+// throughput, energy efficiency, CAM activity, and pivot filtering.
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Name           string
+	Throughput     float64 // reads/s (raw, not projected: rows share scale)
+	ReadsPerMJ     float64
+	CAMRowsEnabled int64
+	PivotsComputed int64
+	OnChipMB       float64
+}
+
+// AblationResult is one sweep.
+type AblationResult struct {
+	Sweep string
+	Rows  []AblationRow
+}
+
+// runAblation builds and runs one configuration over the first workload.
+func (s *Suite) runAblation(name string, reads []dna.Sequence, cfg core.Config) (AblationRow, error) {
+	acc, err := core.New(s.Workloads[0].Ref, cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	res := acc.SeedReads(reads)
+	return AblationRow{
+		Name:           name,
+		Throughput:     res.Throughput(),
+		ReadsPerMJ:     res.ReadsPerMJ(),
+		CAMRowsEnabled: res.Stats.CAMRowsEnabled,
+		PivotsComputed: res.Stats.PivotsComputed,
+		OnChipMB:       float64(cfg.OnChipBytes()) / (1 << 20),
+	}, nil
+}
+
+// ablationReads returns a capped read set so sweeps stay fast.
+func (s *Suite) ablationReads() []dna.Sequence {
+	reads := s.Workloads[0].Reads
+	if len(reads) > 500 {
+		reads = reads[:500]
+	}
+	return reads
+}
+
+// AblationFeatures toggles CASA's algorithmic features one at a time.
+func (s *Suite) AblationFeatures() (*AblationResult, error) {
+	reads := s.ablationReads()
+	out := &AblationResult{Sweep: "features"}
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"full CASA", func(c *core.Config) {}},
+		{"no analyses", func(c *core.Config) { c.UseAnalysis = false }},
+		{"no filter table", func(c *core.Config) { c.UseFilterTable = false; c.UseAnalysis = false }},
+		{"no exact prepass", func(c *core.Config) { c.ExactMatchPrepass = false }},
+		{"no CAM gating", func(c *core.Config) { c.GroupGating = false; c.EntryGating = false }},
+		{"naive (all off)", func(c *core.Config) {
+			c.UseFilterTable = false
+			c.UseAnalysis = false
+			c.ExactMatchPrepass = false
+			c.GroupGating = false
+			c.EntryGating = false
+		}},
+	}
+	for _, v := range variants {
+		cfg := s.CASAConfig()
+		v.mutate(&cfg)
+		row, err := s.runAblation(v.name, reads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationKmer sweeps the seed size (the Fig 5 driver): larger k filters
+// more pivots at the same linear memory cost, the paper's central
+// scaling argument.
+func (s *Suite) AblationKmer() (*AblationResult, error) {
+	reads := s.ablationReads()
+	out := &AblationResult{Sweep: "k-mer size"}
+	for _, k := range []int{12, 14, 16, 19} {
+		cfg := s.CASAConfig()
+		cfg.K = k
+		cfg.M = k / 2
+		cfg.MinSMEM = 19
+		row, err := s.runAblation("k="+itoa(k), reads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationGroups sweeps the CAM power-gating group count.
+func (s *Suite) AblationGroups() (*AblationResult, error) {
+	reads := s.ablationReads()
+	out := &AblationResult{Sweep: "CAM groups"}
+	for _, g := range []int{1, 5, 10, 20, 40} {
+		cfg := s.CASAConfig()
+		cfg.Groups = g
+		row, err := s.runAblation("groups="+itoa(g), reads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationStride sweeps the CAM entry width (bases per 2-bit-packed CAM
+// word): wider entries mean fewer stride steps but more padded-query
+// offsets and wider match lines.
+func (s *Suite) AblationStride() (*AblationResult, error) {
+	reads := s.ablationReads()
+	out := &AblationResult{Sweep: "CAM entry stride"}
+	for _, st := range []int{20, 40, 64} {
+		cfg := s.CASAConfig()
+		cfg.Stride = st
+		row, err := s.runAblation("stride="+itoa(st), reads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationBanks sweeps the pre-seeding filter's bank count (the
+// filter-phase throughput knob back-solved in core.DefaultConfig).
+func (s *Suite) AblationBanks() (*AblationResult, error) {
+	reads := s.ablationReads()
+	out := &AblationResult{Sweep: "filter banks"}
+	for _, b := range []int{32, 128, 512, 1024} {
+		cfg := s.CASAConfig()
+		cfg.FilterBanks = b
+		row, err := s.runAblation("banks="+itoa(b), reads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Ablations runs every sweep.
+func (s *Suite) Ablations() ([]*AblationResult, error) {
+	var out []*AblationResult
+	for _, fn := range []func() (*AblationResult, error){
+		s.AblationFeatures, s.AblationKmer, s.AblationGroups, s.AblationStride, s.AblationBanks,
+	} {
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import "testing"
+
+func TestAblationFeatures(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.AblationFeatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+		if r.Throughput <= 0 || r.ReadsPerMJ <= 0 {
+			t.Errorf("%s: missing model outputs", r.Name)
+		}
+	}
+	full, naive := rows["full CASA"], rows["naive (all off)"]
+	if full.Throughput <= naive.Throughput {
+		t.Errorf("full CASA (%.0f) not faster than naive (%.0f)", full.Throughput, naive.Throughput)
+	}
+	if !(full.PivotsComputed <= rows["no analyses"].PivotsComputed &&
+		rows["no analyses"].PivotsComputed <= rows["no filter table"].PivotsComputed) {
+		t.Errorf("pivot counts not monotone (full <= no-analyses <= no-table): %+v", res.Rows)
+	}
+	if gating := rows["no CAM gating"]; gating.CAMRowsEnabled <= full.CAMRowsEnabled {
+		t.Errorf("disabling gating did not increase CAM rows: %d vs %d",
+			gating.CAMRowsEnabled, full.CAMRowsEnabled)
+	}
+}
+
+func TestAblationKmer(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.AblationKmer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Larger k filters more pivots.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].PivotsComputed > res.Rows[i-1].PivotsComputed {
+			t.Errorf("pivots computed must not grow with k: %+v", res.Rows)
+		}
+	}
+	// Memory must not explode with k (the paper's contrast with O(4^k)
+	// tables, which would grow 4^7 = 16384x from k=12 to k=19). At test
+	// scale the 4^m mini index dominates the small partitions, so allow
+	// a modest constant factor.
+	if res.Rows[3].OnChipMB > 4*res.Rows[0].OnChipMB {
+		t.Errorf("on-chip memory grows too fast with k: %+v", res.Rows)
+	}
+}
+
+func TestAblationGroups(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.AblationGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More groups -> fewer enabled rows per search.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.CAMRowsEnabled >= first.CAMRowsEnabled {
+		t.Errorf("group gating not reducing rows: %d (g=1) vs %d (g=40)",
+			first.CAMRowsEnabled, last.CAMRowsEnabled)
+	}
+}
+
+func TestAblationStrideAndBanks(t *testing.T) {
+	s := getSuite(t)
+	st, err := s.AblationStride()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 3 {
+		t.Fatalf("stride rows = %d", len(st.Rows))
+	}
+	b, err := s.AblationBanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More banks can only help throughput.
+	for i := 1; i < len(b.Rows); i++ {
+		if b.Rows[i].Throughput < b.Rows[i-1].Throughput*0.99 {
+			t.Errorf("more banks reduced throughput: %+v", b.Rows)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// suite is shared across tests: building engines is the expensive part.
+var shared *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if shared == nil {
+		shared = NewSuite(SmallScale())
+	}
+	return shared
+}
+
+func TestNewSuiteWorkloads(t *testing.T) {
+	s := getSuite(t)
+	if len(s.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(s.Workloads))
+	}
+	for _, w := range s.Workloads {
+		if len(w.Ref) != s.Scale.GenomeBases {
+			t.Errorf("%s: genome %d bases", w.Name, len(w.Ref))
+		}
+		if len(w.Reads) != s.Scale.Reads {
+			t.Errorf("%s: %d reads", w.Name, len(w.Reads))
+		}
+	}
+	if s.Workloads[0].Ref.Equal(s.Workloads[1].Ref) {
+		t.Error("the two species share a genome")
+	}
+}
+
+func TestFig5Declines(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].HitPivots > res.Rows[i-1].HitPivots {
+			t.Errorf("hit pivots must decline with k: %+v", res.Rows)
+		}
+	}
+	// The paper's 6.04x decline needs the full 4 Mbase partition (where
+	// random 12-mer collisions hit ~24% of pivots); SmallScale partitions
+	// only show the repeat-divergence component of the decline. Demand
+	// monotone decline here; EXPERIMENTS.md records the DefaultScale run.
+	if res.Ratio12to19 < 1.1 {
+		t.Errorf("k=12/k=19 ratio = %.2f, want a decline", res.Ratio12to19)
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	s := getSuite(t)
+	for _, w := range s.Workloads {
+		res, err := s.Fig12(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Engines) != 5 {
+			t.Fatalf("engines = %d", len(res.Engines))
+		}
+		casa := res.Metric("CASA")
+		for _, other := range []string{"B-12T", "B-32T", "GenAx"} {
+			if m := res.Metric(other); casa.Throughput <= m.Throughput {
+				t.Errorf("%s: CASA (%.0f) not faster than %s (%.0f)",
+					w.Name, casa.Throughput, other, m.Throughput)
+			}
+		}
+		if b32, b12 := res.Metric("B-32T"), res.Metric("B-12T"); b32.Throughput <= b12.Throughput {
+			t.Errorf("%s: B-32T not faster than B-12T", w.Name)
+		}
+	}
+}
+
+func TestFig13PowerShape(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig12(s.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	casa, ert, genax := res.Metric("CASA"), res.Metric("ERT"), res.Metric("GenAx")
+	// Fig 13a: ERT consumes the most power (DRAM-dominated).
+	if !(ert.PowerW > casa.PowerW) {
+		t.Errorf("ERT power (%.1f) must exceed CASA (%.1f)", ert.PowerW, casa.PowerW)
+	}
+	// Fig 13b: CASA has the best energy efficiency.
+	if !(casa.ReadsPerMJ > ert.ReadsPerMJ && casa.ReadsPerMJ > genax.ReadsPerMJ) {
+		t.Errorf("CASA efficiency (%.1f) must beat ERT (%.1f) and GenAx (%.1f)",
+			casa.ReadsPerMJ, ert.ReadsPerMJ, genax.ReadsPerMJ)
+	}
+	// §7.2: CASA and GenAx stay under 30 GB/s DRAM bandwidth.
+	if casa.DRAMGBs >= 30 {
+		t.Errorf("CASA DRAM bandwidth %.1f GB/s >= 30", casa.DRAMGBs)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig14(s.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Breakdowns) != 4 {
+		t.Fatalf("breakdowns = %d", len(res.Breakdowns))
+	}
+	// Normalized to BWA-MEM2 = 1.0.
+	for _, b := range res.Breakdowns {
+		if b.System == "BWA-MEM2" {
+			if tot := b.Total(); tot < 0.999 || tot > 1.001 {
+				t.Errorf("BWA normalized total = %f", tot)
+			}
+		} else if b.Total() >= 1.0 {
+			t.Errorf("%s slower than BWA-MEM2: %f", b.System, b.Total())
+		}
+	}
+	if res.SpeedupVs["BWA-MEM2"] <= 1 {
+		t.Errorf("CASA+SeedEx not faster than BWA-MEM2: %f", res.SpeedupVs["BWA-MEM2"])
+	}
+}
+
+func TestFig15FilterRates(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Naive >= res.Table && res.Table >= res.TableAnalysis) {
+		t.Fatalf("pivot counts not monotone: %+v", res)
+	}
+	// The paper reports 98.9% / 99.9%; at test scale demand strong rates.
+	if res.TableFilterRate < 0.5 {
+		t.Errorf("table filter rate %.3f too low", res.TableFilterRate)
+	}
+	if res.AnalysisFilterRate < res.TableFilterRate {
+		t.Errorf("analysis must filter more than table alone: %+v", res)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InexactReads == 0 {
+		t.Fatal("no inexact reads generated")
+	}
+	if res.GenAx != 1 {
+		t.Error("normalization broken")
+	}
+	// Fig 16: CASA beats GenAx on inexact reads (paper: 3.86x).
+	if res.CASA <= 1 {
+		t.Errorf("CASA normalized inexact throughput = %.2f, want > 1", res.CASA)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	if len(Table3()) != 4 {
+		t.Error("Table 3 must have 4 rows")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-geometry partition build")
+	}
+	s := getSuite(t)
+	res, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area synthesized from Table 3 macros must land near the paper's.
+	if res.TotalArea < 240 || res.TotalArea > 360 {
+		t.Errorf("total area = %.1f mm^2, paper says %.1f", res.TotalArea, res.PaperArea)
+	}
+	if res.AreaVsGenAx < 0.1 || res.AreaVsGenAx > 0.7 {
+		t.Errorf("area increase vs GenAx = %.3f, paper says 0.339", res.AreaVsGenAx)
+	}
+	if len(res.PaperRows) != 6 {
+		t.Error("paper rows missing")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := getSuite(t)
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CASAOverB12 <= 1 || sum.CASAOverGenAx <= 1 {
+		t.Errorf("CASA speedups missing: %+v", sum)
+	}
+	if sum.CASAOverB12 <= sum.CASAOverB32 {
+		t.Error("speedup over B-12T must exceed B-32T")
+	}
+	if sum.EffOverGenAx <= 1 || sum.EffOverERT <= 1 {
+		t.Errorf("efficiency ratios: %+v", sum)
+	}
+	if sum.ExactFraction < 0.5 || sum.ExactFraction > 0.95 {
+		t.Errorf("exact fraction = %.2f", sum.ExactFraction)
+	}
+	if sum.CASADRAMGBs >= 30 {
+		t.Errorf("CASA DRAM bandwidth %.1f >= 30 GB/s", sum.CASADRAMGBs)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("render lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,201 @@
+// Package fmindex implements the FM-index used by BWA-MEM2-style seeding
+// (§2.2, Fig 2 of the paper): suffix array, Burrows-Wheeler transform,
+// C (count) table and Occ (occurrence) table, with backward search over
+// half-open suffix-array intervals.
+//
+// The BWT is stored in the production layout real aligners use: two bit
+// planes (low/high bit of the 2-bit base code) in 64-symbol blocks with
+// per-block cumulative counts, so one rank() is a table read plus a
+// popcount — the paper's point that each extension step is a single
+// dependent memory access.
+//
+// Each backward-extension step performs the classic update
+//
+//	s = C(q) + Occ(s-1, q),  e = C(q) + Occ(e, q) - 1
+//
+// (expressed here on half-open intervals). The per-base sequential
+// dependency of these steps is exactly the memory-latency bottleneck the
+// paper attributes to software seeding, and the CPU baseline model in
+// internal/cpu charges one dependent memory access per step.
+package fmindex
+
+import (
+	"math/bits"
+
+	"casa/internal/dna"
+	"casa/internal/suffixarray"
+)
+
+// Interval is a half-open range [Lo, Hi) of suffix-array rows. Width
+// (Hi - Lo) is the number of occurrences of the associated pattern.
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Width returns the number of rows (pattern occurrences).
+func (iv Interval) Width() int { return int(iv.Hi - iv.Lo) }
+
+// Empty reports whether the interval contains no rows.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// FMIndex is a full-text index over a DNA sequence supporting O(1)
+// backward extension and O(occ) location of matches.
+type FMIndex struct {
+	text dna.Sequence
+	sa   []int32 // suffix array with sentinel row 0; len n+1
+	n    int
+
+	// BWT bit planes: bit i of plane0/plane1 is the low/high bit of the
+	// base at BWT position i. The sentinel's position holds base code 0
+	// (A); sentRow corrects rank(A, .) for it.
+	plane0, plane1 []uint64
+	sentRow        int32
+	// blocks[k][b] = occurrences of base b in bwt[0 : 64k).
+	blocks [][4]int32
+	c      [6]int32
+}
+
+// Build constructs the index over text. The sentinel is implicit; text is
+// retained (not copied) for match verification and slicing.
+func Build(text dna.Sequence) *FMIndex {
+	n := len(text)
+	sa := suffixarray.Build(text)
+	f := &FMIndex{text: text, sa: sa, n: n}
+
+	nb := (n + 1 + 63) / 64
+	f.plane0 = make([]uint64, nb)
+	f.plane1 = make([]uint64, nb)
+	f.blocks = make([][4]int32, nb+1)
+	var run [4]int32
+	for i, p := range sa {
+		if i%64 == 0 {
+			f.blocks[i/64] = run
+		}
+		var b dna.Base
+		if p == 0 {
+			f.sentRow = int32(i) // sentinel precedes the first suffix
+			b = 0                // placeholder bits; excluded via sentRow
+		} else {
+			b = text[p-1]
+			run[b]++
+		}
+		f.plane0[i/64] |= uint64(b&1) << uint(i%64)
+		f.plane1[i/64] |= uint64(b>>1) << uint(i%64)
+	}
+	f.blocks[nb] = run
+
+	// C table: c[s] = number of symbols strictly smaller than s, over the
+	// 5-symbol alphabet (0 = sentinel, 1..4 = bases).
+	var counts [5]int32
+	counts[0] = 1
+	for _, b := range text {
+		counts[b+1]++
+	}
+	var sum int32
+	for s := 0; s < 5; s++ {
+		f.c[s] = sum
+		sum += counts[s]
+	}
+	f.c[5] = sum
+	return f
+}
+
+// Len returns the text length (without sentinel).
+func (f *FMIndex) Len() int { return f.n }
+
+// Text returns the indexed sequence (shared, not a copy).
+func (f *FMIndex) Text() dna.Sequence { return f.text }
+
+// HeapBytes estimates the index's memory footprint in bytes, used by the
+// baseline models when reasoning about index sizes.
+func (f *FMIndex) HeapBytes() int {
+	return len(f.sa)*4 + len(f.plane0)*16 + len(f.blocks)*16 + len(f.text)
+}
+
+// All returns the interval covering every suffix (the empty pattern).
+func (f *FMIndex) All() Interval { return Interval{0, int32(f.n + 1)} }
+
+// rank returns the number of occurrences of base b in bwt[0:i).
+func (f *FMIndex) rank(b dna.Base, i int32) int32 {
+	blk := i >> 6
+	r := f.blocks[blk][b]
+	if rem := uint(i & 63); rem != 0 {
+		p0, p1 := f.plane0[blk], f.plane1[blk]
+		if b&1 == 0 {
+			p0 = ^p0
+		}
+		if b&2 == 0 {
+			p1 = ^p1
+		}
+		r += int32(bits.OnesCount64(p0 & p1 & (1<<rem - 1)))
+	}
+	// The sentinel row carries placeholder base-0 bits; the per-block
+	// counts already exclude it, so correct only when it falls inside the
+	// popcounted tail [64*blk, i).
+	if b == 0 && f.sentRow >= blk<<6 && f.sentRow < i {
+		r--
+	}
+	return r
+}
+
+// ExtendLeft prepends base b to the pattern represented by iv, returning
+// the interval for b·pattern. One call models one FM-index lookup step.
+func (f *FMIndex) ExtendLeft(iv Interval, b dna.Base) Interval {
+	sym := int32(b) + 1
+	return Interval{
+		Lo: f.c[sym] + f.rank(b, iv.Lo),
+		Hi: f.c[sym] + f.rank(b, iv.Hi),
+	}
+}
+
+// Count returns the number of occurrences of pattern in the text.
+func (f *FMIndex) Count(pattern dna.Sequence) int {
+	iv := f.All()
+	for i := len(pattern) - 1; i >= 0; i-- {
+		iv = f.ExtendLeft(iv, pattern[i])
+		if iv.Empty() {
+			return 0
+		}
+	}
+	return iv.Width()
+}
+
+// Find returns the interval for pattern (possibly empty).
+func (f *FMIndex) Find(pattern dna.Sequence) Interval {
+	iv := f.All()
+	for i := len(pattern) - 1; i >= 0; i-- {
+		iv = f.ExtendLeft(iv, pattern[i])
+		if iv.Empty() {
+			return iv
+		}
+	}
+	return iv
+}
+
+// Locate returns the text positions for the rows of iv, up to max
+// (max <= 0 means all). Positions are returned in suffix-array order.
+func (f *FMIndex) Locate(iv Interval, max int) []int32 {
+	w := iv.Width()
+	if max > 0 && w > max {
+		w = max
+	}
+	out := make([]int32, 0, w)
+	for r := iv.Lo; r < iv.Lo+int32(w); r++ {
+		out = append(out, f.sa[r])
+	}
+	return out
+}
+
+// SuffixAt exposes the suffix array entry for row r; used by seed-chaining
+// code that needs direct row-to-position resolution.
+func (f *FMIndex) SuffixAt(r int32) int32 { return f.sa[r] }
+
+// BWTAt returns the BWT symbol at row r (0 = sentinel, 1..4 = base+1),
+// for diagnostics and tests.
+func (f *FMIndex) BWTAt(r int32) byte {
+	if r == f.sentRow {
+		return 0
+	}
+	b := byte(f.plane0[r>>6]>>uint(r&63)&1) | byte(f.plane1[r>>6]>>uint(r&63)&1)<<1
+	return b + 1
+}

@@ -1,0 +1,441 @@
+// Package genax implements the GenAx baseline (§2.2 of the CASA paper,
+// originally Fujiki et al., ISCA 2018): on-chip seed & position tables
+// (12-mers) and a unidirectional RMEM search that strides by k, intersects
+// position sets, and binary-searches the exact match end. The model
+// reproduces GenAx's bottleneck as characterized by the CASA paper:
+// "~4000 position intersections and >= 200 index fetches per read per
+// segment", serialized within each of 128 seeding lanes.
+package genax
+
+import (
+	"fmt"
+	"slices"
+
+	"casa/internal/dna"
+	"casa/internal/dram"
+	"casa/internal/energy"
+	"casa/internal/smem"
+)
+
+// Config sets GenAx's dimensions.
+type Config struct {
+	K              int     // seed table k-mer size (12)
+	MinSMEM        int     // minimum reported SMEM length (19)
+	Lanes          int     // parallel seeding lanes (128)
+	PartitionBases int     // reference bases per on-chip segment (6 Mbases = GenAx's 1.5 MB)
+	ClockHz        float64 // lane clock (matched to CASA's 2 GHz for fairness, §6)
+
+	// FetchCycles is the dependent-access latency of one seed/position
+	// table fetch within a lane. The binary RMEM search must know the
+	// previous result before issuing the next fetch ("the binary search of
+	// RMEM requires the hardware controller to know the next k-mer to
+	// search", §2.2), so fetches serialize at the SRAM pipeline depth.
+	FetchCycles int
+	// LaneEfficiency is the fraction of lanes making progress per cycle.
+	// The default of 1.0 follows the CASA paper's own evaluation
+	// assumption ("assuming that GenAx can reach the 128 seeding lanes
+	// parallelism", §6); lower it to model the SRAM bank conflicts §2.2
+	// says "restrict the number of seeding lanes".
+	LaneEfficiency float64
+	// IntersectOpsPerCycle is the SIMD width of the position intersection
+	// units: one SRAM line delivers several sorted positions per cycle.
+	IntersectOpsPerCycle int
+}
+
+// DefaultConfig returns the paper's GenAx evaluation setup (68 MB SRAM,
+// 128 seeding lanes, 12-mer seed & position tables).
+func DefaultConfig() Config {
+	return Config{
+		K:                    12,
+		MinSMEM:              19,
+		Lanes:                128,
+		PartitionBases:       6 << 20,
+		ClockHz:              2e9,
+		FetchCycles:          2,
+		LaneEfficiency:       1.0,
+		IntersectOpsPerCycle: 16,
+	}
+}
+
+// Validate checks parameter consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.K <= 0 || c.K > 15:
+		return fmt.Errorf("genax: k=%d out of range (seed table is directly indexed by 4^k)", c.K)
+	case c.MinSMEM < c.K:
+		return fmt.Errorf("genax: MinSMEM=%d must be >= k=%d", c.MinSMEM, c.K)
+	case c.Lanes <= 0:
+		return fmt.Errorf("genax: lanes must be positive")
+	case c.PartitionBases < c.K:
+		return fmt.Errorf("genax: partition smaller than one k-mer")
+	case c.ClockHz <= 0:
+		return fmt.Errorf("genax: clock must be positive")
+	case c.FetchCycles <= 0:
+		return fmt.Errorf("genax: FetchCycles must be positive")
+	case c.LaneEfficiency <= 0 || c.LaneEfficiency > 1:
+		return fmt.Errorf("genax: LaneEfficiency must be in (0, 1]")
+	case c.IntersectOpsPerCycle <= 0:
+		return fmt.Errorf("genax: IntersectOpsPerCycle must be positive")
+	}
+	return nil
+}
+
+// Stats counts seeding-lane activity.
+type Stats struct {
+	Fetches         int64 // seed & position table fetches
+	IntersectionOps int64 // per-element intersection operations
+	Pivots          int64 // pivots processed
+	RMEMs           int64 // right-maximal matches computed
+	Reads           int64 // reads seeded (per strand)
+}
+
+func (s *Stats) add(o Stats) {
+	s.Fetches += o.Fetches
+	s.IntersectionOps += o.IntersectionOps
+	s.Pivots += o.Pivots
+	s.RMEMs += o.RMEMs
+	s.Reads += o.Reads
+}
+
+// Tables is one reference segment's seed & position tables: the seed table
+// is directly indexed by the packed k-mer and points into the sorted
+// position table (Fig 3(b)).
+type Tables struct {
+	cfg       Config
+	ref       dna.Sequence
+	seed      []int32 // len 4^K+1: position-table range per k-mer
+	positions []int32
+
+	Stats Stats
+
+	// OnFetch, when set, observes every seed-table fetch (the k-mer
+	// looked up). GenCache's cache model hooks here to classify fetches
+	// as cache hits or DRAM misses.
+	OnFetch func(kmer dna.Kmer)
+}
+
+// BuildTables constructs the tables for one segment.
+func BuildTables(ref dna.Sequence, cfg Config) (*Tables, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) > cfg.PartitionBases {
+		return nil, fmt.Errorf("genax: segment of %d bases exceeds configured %d", len(ref), cfg.PartitionBases)
+	}
+	t := &Tables{cfg: cfg, ref: ref}
+	numKmers := dna.NumKmers(cfg.K)
+	counts := make([]int32, numKmers+1)
+	n := len(ref) - cfg.K + 1
+	kmers := make([]dna.Kmer, 0, max(n, 0))
+	var v dna.Kmer
+	mask := dna.Kmer(1)<<(2*uint(cfg.K)) - 1
+	for i, b := range ref {
+		v = (v<<2 | dna.Kmer(b)) & mask
+		if i >= cfg.K-1 {
+			kmers = append(kmers, v)
+			counts[v+1]++
+		}
+	}
+	t.seed = make([]int32, numKmers+1)
+	for k := 1; k <= numKmers; k++ {
+		t.seed[k] = t.seed[k-1] + counts[k]
+	}
+	t.positions = make([]int32, len(kmers))
+	fill := slices.Clone(t.seed[:numKmers])
+	for i, km := range kmers {
+		t.positions[fill[km]] = int32(i)
+		fill[km]++
+	}
+	return t, nil
+}
+
+// lookup returns the sorted positions of kmer, charging one table fetch.
+func (t *Tables) lookup(kmer dna.Kmer) []int32 {
+	t.Stats.Fetches++
+	if t.OnFetch != nil {
+		t.OnFetch(kmer)
+	}
+	return t.positions[t.seed[kmer]:t.seed[kmer+1]]
+}
+
+// Lookup exposes the seed & position table lookup for layered designs
+// (GenCache's fast-seeding path reuses the same tables).
+func (t *Tables) Lookup(kmer dna.Kmer) []int32 { return t.lookup(kmer) }
+
+// Ref returns the segment's reference sequence.
+func (t *Tables) Ref() dna.Sequence { return t.ref }
+
+// rmem computes the right-maximal match from pivot: the first k-mer's
+// positions, then k-strided fetch-and-intersect until empty, then a
+// binary stride reduction for the exact end (§2.2's description of the
+// seed & position table algorithm).
+func (t *Tables) rmem(read dna.Sequence, pivot int) (smem.Match, bool) {
+	t.Stats.Pivots++
+	if pivot+t.cfg.K > len(read) {
+		return smem.Match{}, false
+	}
+	cur := t.lookup(dna.PackKmer(read, pivot, t.cfg.K))
+	if len(cur) == 0 {
+		return smem.Match{}, false
+	}
+	t.Stats.RMEMs++
+	matched := t.cfg.K
+
+	// Full k-strides: intersect H(cur)+matched with the next k-mer's hits.
+	for pivot+matched+t.cfg.K <= len(read) {
+		next := t.lookup(dna.PackKmer(read, pivot+matched, t.cfg.K))
+		inter := intersectOffset(cur, next, int32(matched))
+		t.Stats.IntersectionOps += int64(len(cur) + len(next))
+		if len(inter) == 0 {
+			break
+		}
+		cur, matched = inter, matched+t.cfg.K
+	}
+
+	// Binary stride reduction: probe descending power-of-two strides
+	// (largest <= k-1, so every remainder 1..k-1 is reachable); each probe
+	// fetches an overlapping k-mer ending at the trial extension and
+	// intersects.
+	trial := matched
+	first := 1
+	for first*2 <= t.cfg.K-1 {
+		first *= 2
+	}
+	for stride := first; stride >= 1; stride /= 2 {
+		ext := trial + stride
+		if pivot+ext > len(read) {
+			continue
+		}
+		// Overlapping k-mer covering the last k bases of the trial match.
+		off := ext - t.cfg.K
+		next := t.lookup(dna.PackKmer(read, pivot+off, t.cfg.K))
+		inter := intersectOffset(cur, next, int32(off))
+		t.Stats.IntersectionOps += int64(len(cur) + len(next))
+		if len(inter) > 0 {
+			cur, trial = inter, ext
+		}
+	}
+	return smem.Match{Start: pivot, End: pivot + trial - 1, Hits: len(cur)}, true
+}
+
+// intersectOffset returns the elements p of a such that p+off is in b;
+// both inputs are sorted, output stays sorted (one merge pass, the
+// hardware's sorted-list intersection).
+func intersectOffset(a, b []int32, off int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i]+off < b[j]:
+			i++
+		case a[i]+off > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// FindSMEMs runs the unidirectional search over every pivot, keeping the
+// RMEMs with strictly increasing ends (the non-contained ones) of length
+// >= minLen. GenAx has no pre-seeding filter: every pivot fetches.
+func (t *Tables) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
+	t.Stats.Reads++
+	var out []smem.Match
+	prevEnd := -1
+	for pivot := 0; pivot+t.cfg.K <= len(read); pivot++ {
+		m, ok := t.rmem(read, pivot)
+		if !ok {
+			continue
+		}
+		if m.End > prevEnd {
+			out = append(out, m)
+			prevEnd = m.End
+		}
+	}
+	out = smem.FilterMinLen(out, minLen)
+	smem.Sort(out)
+	return out
+}
+
+// SRAMBytes returns the on-chip table capacity: 4^k seed pointers (4 B)
+// plus one 4 B position per base.
+func (c Config) SRAMBytes() int64 {
+	return int64(dna.NumKmers(c.K))*4 + int64(c.PartitionBases)*4
+}
+
+// Accelerator is the GenAx performance model: segments processed in
+// sequence, 128 lanes each owning one read at a time.
+type Accelerator struct {
+	cfg      Config
+	segments []*Tables
+}
+
+// New splits ref into segments and builds their tables.
+func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
+	return NewWithOverlap(ref, cfg, 100)
+}
+
+// NewWithOverlap is New with an explicit segment overlap in bases.
+func NewWithOverlap(ref dna.Sequence, cfg Config, overlap int) (*Accelerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("genax: empty reference")
+	}
+	if overlap < 0 || overlap >= cfg.PartitionBases {
+		return nil, fmt.Errorf("genax: overlap %d out of range", overlap)
+	}
+	a := &Accelerator{cfg: cfg}
+	step := cfg.PartitionBases - overlap
+	for start := 0; ; start += step {
+		end := min(start+cfg.PartitionBases, len(ref))
+		t, err := BuildTables(ref[start:end], cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.segments = append(a.segments, t)
+		if end == len(ref) {
+			break
+		}
+	}
+	return a, nil
+}
+
+// Segments returns the number of reference segments.
+func (a *Accelerator) Segments() int { return len(a.segments) }
+
+// Result is the outcome of a GenAx seeding run.
+type Result struct {
+	Reads      [][]smem.Match // merged forward-strand SMEMs per read
+	Rev        [][]smem.Match
+	Stats      Stats
+	Seconds    float64
+	DRAM       *dram.Traffic
+	Energy     energy.Report
+	Throughput float64
+	ReadsPerMJ float64
+}
+
+// SeedReads seeds every read (both strands) against every segment.
+func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
+	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	fwd := make([][]smem.Match, len(reads))
+	rev := make([][]smem.Match, len(reads))
+	var readBytes int64
+	for _, r := range reads {
+		readBytes += int64((len(r) + 3) / 4)
+	}
+	for _, seg := range a.segments {
+		before := seg.Stats
+		for i, r := range reads {
+			fwd[i] = append(fwd[i], seg.FindSMEMs(r, a.cfg.MinSMEM)...)
+			rev[i] = append(rev[i], seg.FindSMEMs(r.ReverseComplement(), a.cfg.MinSMEM)...)
+		}
+		res.Stats.add(diff(seg.Stats, before))
+		res.DRAM.Read(readBytes)
+	}
+	for i := range reads {
+		res.Reads = append(res.Reads, mergeSMEMs(fwd[i]))
+		res.Rev = append(res.Rev, mergeSMEMs(rev[i]))
+	}
+
+	// Timing: each lane serializes its read's dependent fetches (at the
+	// SRAM pipeline latency) and intersection operations; the lanes run in
+	// parallel, derated by bank conflicts.
+	laneCycles := res.Stats.Fetches*int64(a.cfg.FetchCycles) +
+		(res.Stats.IntersectionOps+int64(a.cfg.IntersectOpsPerCycle)-1)/int64(a.cfg.IntersectOpsPerCycle)
+	effLanes := float64(a.cfg.Lanes) * a.cfg.LaneEfficiency
+	res.Seconds = float64(laneCycles) / effLanes / a.cfg.ClockHz
+	if d := res.DRAM.MinSeconds(); d > res.Seconds {
+		res.Seconds = d
+	}
+
+	// Energy: the 68 MB SRAM's leakage plus per-fetch dynamic energy; a
+	// 256-bit line covers 8 positions, so intersections charge per 8 ops.
+	m := energy.NewMeter()
+	sram := energy.SRAM256x256
+	m.RegisterArrays("seed & position SRAM", sram, macros(a.cfg.SRAMBytes()*8, sram))
+	m.Charge("seed & position SRAM", res.Stats.Fetches+(res.Stats.IntersectionOps+7)/8, sram.EnergyPJ)
+	m.Register("seeding lanes", 2.0, energy.GenAxAreaMM2-sramAreaMM2(a.cfg, sram))
+	m.ChargeJ("DDR4", res.DRAM.DynamicJ())
+	m.Register("DDR4", res.DRAM.BackgroundW(), 0)
+	m.Register("DRAM controller PHY", res.DRAM.Config().PHYW, 0)
+	res.Energy = m.Report(res.Seconds)
+
+	if res.Seconds > 0 {
+		res.Throughput = float64(len(reads)) / res.Seconds
+	}
+	if j := res.Energy.TotalJ(); j > 0 {
+		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+	}
+	return res
+}
+
+// mergeSMEMs merges per-segment SMEM sets (duplicates summed, contained
+// intervals dropped), as in core.MergeSMEMs.
+func mergeSMEMs(ms []smem.Match) []smem.Match {
+	if len(ms) == 0 {
+		return nil
+	}
+	smem.Sort(ms)
+	merged := ms[:0:0]
+	for _, m := range ms {
+		if n := len(merged); n > 0 && merged[n-1].Start == m.Start && merged[n-1].End == m.End {
+			merged[n-1].Hits += m.Hits
+			continue
+		}
+		merged = append(merged, m)
+	}
+	var out []smem.Match
+	for i, m := range merged {
+		contained := false
+		for j, o := range merged {
+			if i != j && o.Contains(m) && (o.Start != m.Start || o.End != m.End) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func diff(after, before Stats) Stats {
+	return Stats{
+		Fetches:         after.Fetches - before.Fetches,
+		IntersectionOps: after.IntersectionOps - before.IntersectionOps,
+		Pivots:          after.Pivots - before.Pivots,
+		RMEMs:           after.RMEMs - before.RMEMs,
+		Reads:           after.Reads - before.Reads,
+	}
+}
+
+func macros(bitsTotal int64, model energy.ArrayModel) int {
+	per := int64(model.Rows * model.Bits)
+	return int((bitsTotal + per - 1) / per)
+}
+
+func sramAreaMM2(cfg Config, model energy.ArrayModel) float64 {
+	return float64(macros(cfg.SRAMBytes()*8, model)) * model.AreaUM2 / 1e6
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

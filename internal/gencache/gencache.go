@@ -1,0 +1,353 @@
+// Package gencache implements the GenCache baseline (§2.2 of the CASA
+// paper, originally Nag et al., MICRO 2019): GenAx's seed & position
+// tables and SMEM algorithm, refined with (1) a fast-seeding path that
+// bypasses SMEM computation for reads that match the reference with low
+// error ("effectively bypassing SMEM seeding for these reads"), and
+// (2) the index table held behind a multi-bank cache instead of fully
+// on-chip, "triggering extensive DRAM fetches" on misses — the two
+// properties the CASA paper contrasts against.
+package gencache
+
+import (
+	"fmt"
+
+	"casa/internal/dna"
+	"casa/internal/dram"
+	"casa/internal/energy"
+	"casa/internal/genax"
+	"casa/internal/smem"
+)
+
+// Config sets the GenCache refinements on top of a GenAx configuration.
+type Config struct {
+	GenAx genax.Config
+
+	// CacheBytes is the multi-bank cache in front of the DRAM-resident
+	// seed & position tables.
+	CacheBytes int64
+	// LineBytes is the cache line / DRAM burst size.
+	LineBytes int64
+	// FastSeeding enables the exact-match bypass.
+	FastSeeding bool
+}
+
+// DefaultConfig returns a GenCache setup at the paper's scale: GenAx's
+// algorithm and table dimensions with a 32 MB cache.
+func DefaultConfig() Config {
+	return Config{
+		GenAx:       genax.DefaultConfig(),
+		CacheBytes:  32 << 20,
+		LineBytes:   64,
+		FastSeeding: true,
+	}
+}
+
+// Validate checks parameter consistency.
+func (c Config) Validate() error {
+	if err := c.GenAx.Validate(); err != nil {
+		return err
+	}
+	if c.CacheBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("gencache: cache geometry must be positive")
+	}
+	return nil
+}
+
+// Stats counts GenCache-specific activity on top of the GenAx stats.
+type Stats struct {
+	CacheHits    int64
+	CacheMisses  int64 // DRAM fetches
+	FastSeeded   int64 // reads resolved by the fast-seeding bypass
+	SlowSeeded   int64 // reads that went through full SMEM computation
+	FastChecks   int64 // bypass attempts
+	FastCheckOps int64 // anchor fetches spent on bypass attempts
+}
+
+// Accelerator is the GenCache model over a partitioned reference.
+type Accelerator struct {
+	cfg      Config
+	segments []*genax.Tables
+	cache    *lineCache
+
+	Stats Stats
+}
+
+// New builds the tables (conceptually DRAM-resident) for every segment.
+func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("gencache: empty reference")
+	}
+	a := &Accelerator{
+		cfg:   cfg,
+		cache: newLineCache(int(cfg.CacheBytes / cfg.LineBytes)),
+	}
+	const overlap = 100
+	step := cfg.GenAx.PartitionBases - overlap
+	for start := 0; ; start += step {
+		end := min(start+cfg.GenAx.PartitionBases, len(ref))
+		t, err := genax.BuildTables(ref[start:end], cfg.GenAx)
+		if err != nil {
+			return nil, err
+		}
+		t.OnFetch = a.observeFetch
+		a.segments = append(a.segments, t)
+		if end == len(ref) {
+			break
+		}
+	}
+	return a, nil
+}
+
+// Segments returns the segment count.
+func (a *Accelerator) Segments() int { return len(a.segments) }
+
+// observeFetch classifies one seed-table fetch through the cache.
+func (a *Accelerator) observeFetch(kmer dna.Kmer) {
+	if a.cache.access(uint64(kmer)) {
+		a.Stats.CacheHits++
+	} else {
+		a.Stats.CacheMisses++
+	}
+}
+
+// Result is the outcome of a GenCache seeding run.
+type Result struct {
+	Reads      [][]smem.Match
+	Rev        [][]smem.Match
+	GenAx      genax.Stats
+	Stats      Stats
+	Seconds    float64
+	DRAM       *dram.Traffic
+	Energy     energy.Report
+	Throughput float64
+	ReadsPerMJ float64
+}
+
+// SeedReads runs the GenCache flow: fast-seeding bypass first (retiring
+// exactly matching reads at their first matching segment), then the
+// GenAx SMEM algorithm for the rest, with every table fetch classified
+// through the cache.
+func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
+	// Cold cache per batch: repeated evaluations stay deterministic.
+	a.cache = newLineCache(len(a.cache.lines))
+	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	statsBefore := a.Stats
+	n := len(reads)
+	seqs := make([]dna.Sequence, 2*n)
+	for i, r := range reads {
+		seqs[2*i] = r
+		seqs[2*i+1] = r.ReverseComplement()
+	}
+	retired := make([]bool, 2*n)
+	exact := make([][]smem.Match, 2*n)
+
+	var genaxBefore genax.Stats
+	for _, seg := range a.segments {
+		genaxBefore.Fetches += seg.Stats.Fetches
+		genaxBefore.IntersectionOps += seg.Stats.IntersectionOps
+	}
+
+	// Fast-seeding bypass.
+	if a.cfg.FastSeeding {
+		for _, seg := range a.segments {
+			for s := range seqs {
+				if retired[s] || len(seqs[s]) < a.cfg.GenAx.MinSMEM {
+					continue
+				}
+				if hits, ok := a.fastSeed(seg, seqs[s]); ok {
+					retired[s] = true
+					retired[s^1] = true
+					exact[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
+				}
+			}
+		}
+	}
+
+	// Full SMEM computation for the remaining strands.
+	strand := make([][]smem.Match, 2*n)
+	copy(strand, exact)
+	for _, seg := range a.segments {
+		for s := range seqs {
+			if retired[s] {
+				continue
+			}
+			strand[s] = append(strand[s], seg.FindSMEMs(seqs[s], a.cfg.GenAx.MinSMEM)...)
+		}
+	}
+	for s := range seqs {
+		if !retired[s] {
+			a.Stats.SlowSeeded++
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		res.Reads = append(res.Reads, merge(strand[2*i]))
+		res.Rev = append(res.Rev, merge(strand[2*i+1]))
+	}
+	res.Stats = diffStats(a.Stats, statsBefore)
+	for _, seg := range a.segments {
+		res.GenAx.Fetches += seg.Stats.Fetches
+		res.GenAx.IntersectionOps += seg.Stats.IntersectionOps
+	}
+	res.GenAx.Fetches -= genaxBefore.Fetches
+	res.GenAx.IntersectionOps -= genaxBefore.IntersectionOps
+
+	// DRAM: cache misses are random bursts against the DRAM-resident
+	// tables; reads stream per segment pass (live strands only).
+	res.DRAM.RandomAccesses += res.Stats.CacheMisses
+	res.DRAM.BytesRead += res.Stats.CacheMisses * a.cfg.LineBytes
+	var readBytes int64
+	for _, r := range reads {
+		readBytes += int64((len(r) + 3) / 4)
+	}
+	res.DRAM.Read(readBytes * int64(len(a.segments)))
+
+	// Timing: GenAx's lane model for the on-chip work, plus the
+	// latency-bound DRAM misses ("significantly diminishing the overall
+	// SMEM seeding performance").
+	g := a.cfg.GenAx
+	laneCycles := res.GenAx.Fetches*int64(g.FetchCycles) +
+		(res.GenAx.IntersectionOps+int64(g.IntersectOpsPerCycle)-1)/int64(g.IntersectOpsPerCycle)
+	computeSeconds := float64(laneCycles) / (float64(g.Lanes) * g.LaneEfficiency) / g.ClockHz
+	missSeconds := res.DRAM.Config().RandAccessSeconds(res.Stats.CacheMisses) / float64(g.Lanes)
+	res.Seconds = computeSeconds + missSeconds
+	if d := res.DRAM.MinSeconds(); d > res.Seconds {
+		res.Seconds = d
+	}
+
+	// Energy: the small cache replaces GenAx's 68 MB SRAM; DRAM works
+	// harder.
+	m := energy.NewMeter()
+	sram := energy.SRAM256x256
+	cacheMacros := int((a.cfg.CacheBytes*8 + int64(sram.Rows*sram.Bits) - 1) / int64(sram.Rows*sram.Bits))
+	m.RegisterArrays("multi-bank cache", sram, cacheMacros)
+	m.Charge("multi-bank cache", res.Stats.CacheHits+res.Stats.CacheMisses, sram.EnergyPJ)
+	m.Register("seeding lanes", 2.0, 40)
+	m.ChargeJ("DDR4 (tables + reads)", res.DRAM.DynamicJ())
+	m.Register("DDR4 (tables + reads)", res.DRAM.BackgroundW(), 0)
+	m.Register("DRAM controller PHY", res.DRAM.Config().PHYW, 0)
+	res.Energy = m.Report(res.Seconds)
+
+	if res.Seconds > 0 {
+		res.Throughput = float64(len(reads)) / res.Seconds
+	}
+	if j := res.Energy.TotalJ(); j > 0 {
+		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+	}
+	return res
+}
+
+// fastSeed attempts the exact-match bypass for one strand against one
+// segment: anchor k-mers fetched (through the cache), then candidate
+// positions verified directly.
+func (a *Accelerator) fastSeed(seg *genax.Tables, read dna.Sequence) (hits int, ok bool) {
+	k := a.cfg.GenAx.K
+	L := len(read)
+	if L < k {
+		return 0, false
+	}
+	a.Stats.FastChecks++
+	a.Stats.FastCheckOps++
+	first := seg.Lookup(dna.PackKmer(read, 0, k))
+	if len(first) == 0 {
+		return 0, false
+	}
+	ref := seg.Ref()
+	for _, pos := range first {
+		if int(pos)+L > len(ref) {
+			continue
+		}
+		match := true
+		for j := k; j < L; j++ {
+			if ref[int(pos)+j] != read[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			hits++
+		}
+	}
+	if hits > 0 {
+		a.Stats.FastSeeded++
+		return hits, true
+	}
+	return 0, false
+}
+
+// merge dedupes and containment-filters per-segment SMEMs (same policy
+// as the other partitioned engines).
+func merge(ms []smem.Match) []smem.Match {
+	if len(ms) == 0 {
+		return nil
+	}
+	smem.Sort(ms)
+	uniq := ms[:0:0]
+	for _, m := range ms {
+		if n := len(uniq); n > 0 && uniq[n-1].Start == m.Start && uniq[n-1].End == m.End {
+			uniq[n-1].Hits += m.Hits
+			continue
+		}
+		uniq = append(uniq, m)
+	}
+	var out []smem.Match
+	for i, m := range uniq {
+		contained := false
+		for j, o := range uniq {
+			if i != j && o.Contains(m) && (o.Start != m.Start || o.End != m.End) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func diffStats(after, before Stats) Stats {
+	return Stats{
+		CacheHits:    after.CacheHits - before.CacheHits,
+		CacheMisses:  after.CacheMisses - before.CacheMisses,
+		FastSeeded:   after.FastSeeded - before.FastSeeded,
+		SlowSeeded:   after.SlowSeeded - before.SlowSeeded,
+		FastChecks:   after.FastChecks - before.FastChecks,
+		FastCheckOps: after.FastCheckOps - before.FastCheckOps,
+	}
+}
+
+// lineCache is a direct-mapped cache model keyed by k-mer buckets — cheap
+// and adequate for hit-rate estimation of a banked cache.
+type lineCache struct {
+	lines []uint64
+	valid []bool
+}
+
+func newLineCache(lines int) *lineCache {
+	if lines < 1 {
+		lines = 1
+	}
+	return &lineCache{lines: make([]uint64, lines), valid: make([]bool, lines)}
+}
+
+// access returns true on hit, filling the line either way.
+func (c *lineCache) access(key uint64) bool {
+	idx := int(key % uint64(len(c.lines)))
+	if c.valid[idx] && c.lines[idx] == key {
+		return true
+	}
+	c.lines[idx] = key
+	c.valid[idx] = true
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

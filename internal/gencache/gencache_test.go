@@ -1,0 +1,200 @@
+package gencache
+
+import (
+	"math/rand"
+	"testing"
+
+	"casa/internal/dna"
+	"casa/internal/genax"
+	"casa/internal/smem"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GenAx.K = 6
+	cfg.GenAx.MinSMEM = 6
+	cfg.GenAx.PartitionBases = 1 << 16
+	cfg.CacheBytes = 1 << 14
+	return cfg
+}
+
+func randSeq(rng *rand.Rand, n int) dna.Sequence {
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func plantedRead(rng *rand.Rand, ref dna.Sequence, length, mutations int) dna.Sequence {
+	start := rng.Intn(len(ref) - length)
+	read := ref[start : start+length].Clone()
+	for m := 0; m < mutations; m++ {
+		read[rng.Intn(length)] = dna.Base(rng.Intn(4))
+	}
+	return read
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultConfig()
+	bad.CacheBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero cache accepted")
+	}
+	bad = DefaultConfig()
+	bad.GenAx.K = 0
+	if bad.Validate() == nil {
+		t.Error("invalid GenAx config accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, testConfig()); err == nil {
+		t.Error("empty reference accepted")
+	}
+}
+
+func TestInexactReadsMatchGolden(t *testing.T) {
+	// Reads that cannot take the bypass go through the full GenAx
+	// algorithm and must match the golden SMEM set exactly.
+	rng := rand.New(rand.NewSource(1))
+	ref := randSeq(rng, 3000)
+	a, err := New(ref, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := smem.BruteForce{Ref: ref}
+	var reads []dna.Sequence
+	for i := 0; i < 15; i++ {
+		r := plantedRead(rng, ref, 50, 2+rng.Intn(3))
+		// Keep only genuinely inexact reads so the bypass stays out.
+		if len(golden.FindSMEMs(r, len(r))) == 0 {
+			reads = append(reads, r)
+		}
+	}
+	res := a.SeedReads(reads)
+	for i, r := range reads {
+		want := golden.FindSMEMs(r, 6)
+		if !smem.SameIntervals(want, res.Reads[i]) {
+			t.Fatalf("read %d: got %v want %v", i, res.Reads[i], want)
+		}
+	}
+	if res.Stats.SlowSeeded == 0 {
+		t.Error("inexact reads must take the slow path")
+	}
+}
+
+func TestFastSeedingBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randSeq(rng, 3000)
+	a, err := New(ref, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ref[500:560].Clone()
+	res := a.SeedReads([]dna.Sequence{exact})
+	if res.Stats.FastSeeded == 0 {
+		t.Fatal("exact read did not take the bypass")
+	}
+	if len(res.Reads[0]) != 1 || res.Reads[0][0].End != 59 {
+		t.Errorf("bypass SMEM = %v", res.Reads[0])
+	}
+}
+
+func TestBypassReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := randSeq(rng, 5000)
+	var reads []dna.Sequence
+	for i := 0; i < 30; i++ {
+		reads = append(reads, plantedRead(rng, ref, 60, 0)) // all exact
+	}
+	run := func(fast bool) int64 {
+		cfg := testConfig()
+		cfg.FastSeeding = fast
+		a, err := New(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := a.SeedReads(reads)
+		return res.GenAx.Fetches
+	}
+	withBypass := run(true)
+	without := run(false)
+	if withBypass >= without {
+		t.Errorf("bypass did not reduce fetches: %d vs %d", withBypass, without)
+	}
+}
+
+func TestCacheMissesGenerateDRAMTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := randSeq(rng, 5000)
+	cfg := testConfig()
+	cfg.FastSeeding = false
+	a, err := New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []dna.Sequence
+	for i := 0; i < 20; i++ {
+		reads = append(reads, plantedRead(rng, ref, 60, 2))
+	}
+	res := a.SeedReads(reads)
+	if res.Stats.CacheMisses == 0 {
+		t.Fatal("tiny cache must miss")
+	}
+	if res.DRAM.RandomAccesses < res.Stats.CacheMisses {
+		t.Error("misses not charged to DRAM")
+	}
+	if res.Seconds <= 0 || res.Throughput <= 0 || res.ReadsPerMJ <= 0 {
+		t.Error("model outputs missing")
+	}
+}
+
+func TestGenCacheSlowerThanOnChipGenAx(t *testing.T) {
+	// The CASA paper's critique: moving the tables behind a cache
+	// "significantly diminishes" seeding performance vs GenAx's on-chip
+	// tables. With a small cache, GenCache must be slower per read than
+	// plain GenAx on the same inexact workload.
+	rng := rand.New(rand.NewSource(5))
+	ref := randSeq(rng, 8000)
+	var reads []dna.Sequence
+	for i := 0; i < 30; i++ {
+		reads = append(reads, plantedRead(rng, ref, 60, 3))
+	}
+	cfg := testConfig()
+	cfg.FastSeeding = false
+	cfg.CacheBytes = 1 << 12 // pathologically small: high miss rate
+	gc, err := New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := genax.New(ref, cfg.GenAx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcRes := gc.SeedReads(reads)
+	gaRes := ga.SeedReads(reads)
+	if gcRes.Throughput >= gaRes.Throughput {
+		t.Errorf("GenCache (%.0f r/s) not slower than GenAx (%.0f r/s)",
+			gcRes.Throughput, gaRes.Throughput)
+	}
+}
+
+func TestLineCache(t *testing.T) {
+	c := newLineCache(4)
+	if c.access(1) {
+		t.Error("cold hit")
+	}
+	if !c.access(1) {
+		t.Error("warm miss")
+	}
+	if c.access(5) {
+		t.Error("conflicting key hit") // 5 mod 4 == 1: evicts key 1
+	}
+	if c.access(1) {
+		t.Error("evicted key hit")
+	}
+}

@@ -1,0 +1,283 @@
+package readsim
+
+import (
+	"testing"
+
+	"casa/internal/dna"
+)
+
+func TestGenerateReferenceLengthAndDeterminism(t *testing.T) {
+	cfg := DefaultGenome(100000, 42)
+	a := GenerateReference(cfg)
+	if len(a) != cfg.Length {
+		t.Fatalf("length = %d, want %d", len(a), cfg.Length)
+	}
+	b := GenerateReference(cfg)
+	if !a.Equal(b) {
+		t.Error("same seed produced different genomes")
+	}
+	cfg.Seed = 43
+	c := GenerateReference(cfg)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateReferenceEmpty(t *testing.T) {
+	if g := GenerateReference(GenomeConfig{Length: 0}); g != nil {
+		t.Errorf("zero-length genome = %v", g)
+	}
+}
+
+func TestGenerateReferenceBaseDistribution(t *testing.T) {
+	g := GenerateReference(DefaultGenome(200000, 1))
+	var counts [4]int
+	for _, b := range g {
+		counts[b]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / float64(len(g))
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("base %d fraction %.3f out of [0.15,0.35]", b, frac)
+		}
+	}
+}
+
+func TestGenerateReferenceHasRepeats(t *testing.T) {
+	// With repeat families the number of distinct 19-mers must be clearly
+	// below the count for an i.i.d. random sequence of the same length.
+	n := 400000
+	rep := GenerateReference(DefaultGenome(n, 2))
+	uni := GenerateReference(GenomeConfig{Length: n, Seed: 2}) // no repeats
+	distinct := func(s dna.Sequence) int {
+		seen := make(map[dna.Kmer]struct{})
+		for i := 0; i+19 <= len(s); i++ {
+			seen[dna.PackKmer(s, i, 19)] = struct{}{}
+		}
+		return len(seen)
+	}
+	// Diverged interspersed copies keep most 19-mers distinct (that is
+	// Fig 5's point), so the reduction comes from the exact repeats
+	// (satellite + tandem arrays, ~7% of the genome).
+	dr, du := distinct(rep), distinct(uni)
+	if float64(dr) > 0.97*float64(du) {
+		t.Errorf("repeat genome distinct 19-mers %d not below unique genome %d", dr, du)
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(50000, 3))
+	p := DefaultProfile(500, 7)
+	reads := Simulate(ref, p)
+	if len(reads) != p.Count {
+		t.Fatalf("got %d reads, want %d", len(reads), p.Count)
+	}
+	for i, r := range reads {
+		if len(r.Seq) != p.Length {
+			t.Fatalf("read %d length %d, want %d", i, len(r.Seq), p.Length)
+		}
+		if len(r.Qual) != p.Length {
+			t.Fatalf("read %d qual length %d", i, len(r.Qual))
+		}
+		if r.Origin < 0 || r.Origin+p.Length > len(ref) {
+			t.Fatalf("read %d origin %d out of range", i, r.Origin)
+		}
+		if r.Name == "" {
+			t.Fatalf("read %d has no name", i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(20000, 4))
+	p := DefaultProfile(100, 9)
+	a := Simulate(ref, p)
+	b := Simulate(ref, p)
+	for i := range a {
+		if !a[i].Seq.Equal(b[i].Seq) || a[i].Origin != b[i].Origin {
+			t.Fatalf("read %d differs between runs", i)
+		}
+	}
+}
+
+func TestSimulateGroundTruth(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(30000, 5))
+	p := DefaultProfile(300, 11)
+	reads := Simulate(ref, p)
+	for i, r := range reads {
+		if !r.Exact() {
+			continue
+		}
+		window := ref[r.Origin : r.Origin+p.Length]
+		got := r.Seq
+		if r.Reverse {
+			got = got.ReverseComplement()
+		}
+		if !got.Equal(window) {
+			t.Fatalf("read %d marked exact but differs from reference window", i)
+		}
+	}
+}
+
+func TestSimulateExactFraction(t *testing.T) {
+	// The default profile must give roughly the paper's ~80% exact reads.
+	ref := GenerateReference(DefaultGenome(100000, 6))
+	reads := Simulate(ref, DefaultProfile(5000, 13))
+	frac := ExactFraction(reads)
+	if frac < 0.70 || frac > 0.92 {
+		t.Errorf("exact fraction %.3f outside [0.70, 0.92]", frac)
+	}
+}
+
+func TestSimulateErrorRateKnobs(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(50000, 8))
+	clean := ReadProfile{Length: 101, Count: 200, Seed: 1}
+	reads := Simulate(ref, clean)
+	if ExactFraction(reads) != 1.0 {
+		t.Error("zero error rates must give 100% exact reads")
+	}
+	dirty := ReadProfile{Length: 101, Count: 200, Seed: 1, ErrRate: 0.05}
+	if f := ExactFraction(Simulate(ref, dirty)); f > 0.2 {
+		t.Errorf("5%% error rate gave %.2f exact fraction", f)
+	}
+}
+
+func TestSimulateStrands(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(30000, 9))
+	reads := Simulate(ref, DefaultProfile(400, 15))
+	nRev := 0
+	for _, r := range reads {
+		if r.Reverse {
+			nRev++
+		}
+	}
+	if nRev < 120 || nRev > 280 {
+		t.Errorf("reverse-strand count %d of 400 is implausible", nRev)
+	}
+	fwd := Simulate(ref, ReadProfile{Length: 50, Count: 100, Seed: 2})
+	for _, r := range fwd {
+		if r.Reverse {
+			t.Fatal("RevComp=false produced a reverse read")
+		}
+	}
+}
+
+func TestSimulateEdgeCases(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(200, 10))
+	if r := Simulate(ref, ReadProfile{Length: 0, Count: 5}); r != nil {
+		t.Error("zero-length reads accepted")
+	}
+	if r := Simulate(ref, ReadProfile{Length: 500, Count: 5}); r != nil {
+		t.Error("reads longer than reference accepted")
+	}
+	// Read length exactly the reference length is allowed.
+	r := Simulate(ref, ReadProfile{Length: 200, Count: 2, Seed: 1})
+	if len(r) != 2 || r[0].Origin != 0 {
+		t.Errorf("full-length read sim failed: %+v", r)
+	}
+}
+
+func TestRecordsAndSequences(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(5000, 11))
+	reads := Simulate(ref, DefaultProfile(10, 17))
+	recs := Records(reads)
+	seqs := Sequences(reads)
+	if len(recs) != 10 || len(seqs) != 10 {
+		t.Fatal("wrong count")
+	}
+	for i := range reads {
+		if !recs[i].Seq.Equal(reads[i].Seq) || !seqs[i].Equal(reads[i].Seq) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestSimulatePairsBasics(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(100000, 21))
+	pp := DefaultPairProfile(200, 31)
+	pairs := SimulatePairs(ref, pp)
+	if len(pairs) != 200 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for i, p := range pairs {
+		if len(p.R1.Seq) != pp.Read.Length || len(p.R2.Seq) != pp.Read.Length {
+			t.Fatalf("pair %d: mate lengths %d/%d", i, len(p.R1.Seq), len(p.R2.Seq))
+		}
+		if p.R1.Reverse || !p.R2.Reverse {
+			t.Fatalf("pair %d: orientation must be FR", i)
+		}
+		if p.Insert < pp.Read.Length {
+			t.Fatalf("pair %d: insert %d below read length", i, p.Insert)
+		}
+		// Mate origins consistent with the fragment.
+		if got := p.R2.Origin - p.R1.Origin + pp.Read.Length; got != p.Insert {
+			t.Fatalf("pair %d: origins inconsistent with insert: %d vs %d", i, got, p.Insert)
+		}
+	}
+}
+
+func TestSimulatePairsGroundTruth(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(50000, 22))
+	pairs := SimulatePairs(ref, DefaultPairProfile(100, 33))
+	for i, p := range pairs {
+		if p.R1.Exact() {
+			if !p.R1.Seq.Equal(ref[p.R1.Origin : p.R1.Origin+len(p.R1.Seq)]) {
+				t.Fatalf("pair %d: exact R1 differs from reference", i)
+			}
+		}
+		if p.R2.Exact() {
+			window := ref[p.R2.Origin : p.R2.Origin+len(p.R2.Seq)]
+			if !p.R2.Seq.ReverseComplement().Equal(window) {
+				t.Fatalf("pair %d: exact R2 differs from reference", i)
+			}
+		}
+	}
+}
+
+func TestSimulatePairsInsertDistribution(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(200000, 23))
+	pp := DefaultPairProfile(2000, 35)
+	pairs := SimulatePairs(ref, pp)
+	var sum float64
+	for _, p := range pairs {
+		sum += float64(p.Insert)
+	}
+	mean := sum / float64(len(pairs))
+	if mean < 330 || mean > 370 {
+		t.Errorf("mean insert = %.1f, want ~350", mean)
+	}
+}
+
+func TestSimulatePairsEdgeCases(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(500, 24))
+	pp := DefaultPairProfile(5, 1)
+	pp.InsertMean = 10000 // longer than the reference
+	if SimulatePairs(ref, pp) != nil {
+		t.Error("oversized insert accepted")
+	}
+	pp = DefaultPairProfile(5, 1)
+	pp.Read.Length = 0
+	if SimulatePairs(ref, pp) != nil {
+		t.Error("zero-length mates accepted")
+	}
+}
+
+func TestPairRecords(t *testing.T) {
+	ref := GenerateReference(DefaultGenome(20000, 25))
+	pairs := SimulatePairs(ref, DefaultPairProfile(10, 41))
+	r1, r2 := PairRecords(pairs)
+	if len(r1) != 10 || len(r2) != 10 {
+		t.Fatalf("records: %d/%d", len(r1), len(r2))
+	}
+	for i := range pairs {
+		if !r1[i].Seq.Equal(pairs[i].R1.Seq) || !r2[i].Seq.Equal(pairs[i].R2.Seq) {
+			t.Fatalf("pair %d record mismatch", i)
+		}
+	}
+}
+
+func TestExactFractionEmpty(t *testing.T) {
+	if ExactFraction(nil) != 0 {
+		t.Error("ExactFraction(nil) != 0")
+	}
+}

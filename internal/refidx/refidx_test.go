@@ -1,0 +1,153 @@
+package refidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casa/internal/dna"
+	"casa/internal/seqio"
+)
+
+func recs(lens ...int) []seqio.Record {
+	rng := rand.New(rand.NewSource(1))
+	var out []seqio.Record
+	for i, n := range lens {
+		s := make(dna.Sequence, n)
+		for j := range s {
+			s[j] = dna.Base(rng.Intn(4))
+		}
+		out = append(out, seqio.Record{Name: string(rune('a' + i)), Seq: s})
+	}
+	return out
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty record set accepted")
+	}
+	if _, err := Build([]seqio.Record{{Name: "", Seq: dna.FromString("ACGT")}}); err == nil {
+		t.Error("nameless record accepted")
+	}
+	if _, err := Build([]seqio.Record{{Name: "x"}}); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestSingleChromosome(t *testing.T) {
+	ix, err := Build(recs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Flat()) != 100 {
+		t.Errorf("flat length = %d", len(ix.Flat()))
+	}
+	c, local, ok := ix.Resolve(42)
+	if !ok || c.Name != "a" || local != 42 {
+		t.Errorf("Resolve(42) = %v %d %v", c, local, ok)
+	}
+}
+
+func TestSpacersAndBoundaries(t *testing.T) {
+	ix, err := Build(recs(100, 200, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlat := 100 + SpacerLen + 200 + SpacerLen + 50
+	if len(ix.Flat()) != wantFlat {
+		t.Fatalf("flat length = %d, want %d", len(ix.Flat()), wantFlat)
+	}
+	// Last base of chromosome a.
+	if c, local, ok := ix.Resolve(99); !ok || c.Name != "a" || local != 99 {
+		t.Errorf("Resolve(99) = %v %d %v", c, local, ok)
+	}
+	// Inside the first spacer.
+	if _, _, ok := ix.Resolve(100); ok {
+		t.Error("spacer position resolved to a chromosome")
+	}
+	if _, _, ok := ix.Resolve(100 + SpacerLen - 1); ok {
+		t.Error("spacer tail resolved to a chromosome")
+	}
+	// First base of chromosome b.
+	if c, local, ok := ix.Resolve(100 + SpacerLen); !ok || c.Name != "b" || local != 0 {
+		t.Errorf("first base of b = %v %d %v", c, local, ok)
+	}
+	// Out of range.
+	if _, _, ok := ix.Resolve(-1); ok {
+		t.Error("negative position resolved")
+	}
+	if _, _, ok := ix.Resolve(wantFlat); ok {
+		t.Error("past-the-end position resolved")
+	}
+}
+
+func TestResolveSpan(t *testing.T) {
+	ix, err := Build(recs(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ix.ResolveSpan(95, 10); ok {
+		t.Error("span crossing into the spacer accepted")
+	}
+	if c, local, ok := ix.ResolveSpan(90, 10); !ok || c.Name != "a" || local != 90 {
+		t.Errorf("in-chromosome span = %v %d %v", c, local, ok)
+	}
+}
+
+func TestFlatPosRoundTrip(t *testing.T) {
+	ix, err := Build(recs(80, 90, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ci uint8, off uint16) bool {
+		c := ix.Chromosomes()[int(ci)%3]
+		local := int(off) % c.Length
+		flat, err := ix.FlatPos(c.Name, local)
+		if err != nil {
+			return false
+		}
+		rc, rlocal, ok := ix.Resolve(flat)
+		return ok && rc.Name == c.Name && rlocal == local
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := ix.FlatPos("nope", 0); err == nil {
+		t.Error("unknown chromosome accepted")
+	}
+	if _, err := ix.FlatPos("a", 80); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestFlatPreservesSequences(t *testing.T) {
+	in := recs(60, 70)
+	ix, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ix.Chromosomes() {
+		got := ix.Flat()[c.Start : c.Start+c.Length]
+		if !got.Equal(in[i].Seq) {
+			t.Errorf("chromosome %s sequence altered", c.Name)
+		}
+	}
+}
+
+func TestSpacerDeterministicAndNonConstant(t *testing.T) {
+	a, _ := Build(recs(50, 50))
+	b, _ := Build(recs(50, 50))
+	if !a.Flat().Equal(b.Flat()) {
+		t.Error("spacer generation nondeterministic")
+	}
+	spacer := a.Flat()[50 : 50+SpacerLen]
+	same := true
+	for _, x := range spacer {
+		if x != spacer[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("spacer is a homopolymer (would create repeats)")
+	}
+}

@@ -1,0 +1,156 @@
+// Package sam writes alignment results in the SAM format (the Sequence
+// Alignment/Map text format consumed by samtools and the GATK pipeline
+// the paper's §1 motivates). Only the subset needed by a single-end
+// aligner is implemented: @HD/@SQ/@PG headers and the eleven mandatory
+// fields with NM/AS tags.
+package sam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"casa/internal/align"
+	"casa/internal/dna"
+)
+
+// Flag bits (SAM spec §1.4).
+const (
+	FlagPaired       = 0x1 // template has multiple segments
+	FlagProperPair   = 0x2 // both mates aligned in proper orientation/insert
+	FlagUnmapped     = 0x4
+	FlagMateUnmapped = 0x8
+	FlagReverse      = 0x10 // sequence is reverse-complemented in the record
+	FlagMateReverse  = 0x20
+	FlagFirstInPair  = 0x40
+	FlagLastInPair   = 0x80
+)
+
+// Record is one SAM alignment line.
+type Record struct {
+	QName string
+	Flag  int
+	RName string // reference name; "*" when unmapped
+	Pos   int    // 1-based leftmost mapping position; 0 when unmapped
+	MapQ  int
+	Cigar align.Cigar
+	// Mate fields (paired-end); zero values render as "*"/0.
+	RNext string // "=" when the mate maps to the same reference
+	PNext int    // 1-based mate position
+	TLen  int    // signed observed template length
+	Seq   dna.Sequence
+	Qual  []byte // Phred+33; may be nil
+	// Optional tags.
+	EditDistance int // NM:i
+	Score        int // AS:i
+	HasTags      bool
+}
+
+// Unmapped returns a record for a read that failed to align.
+func Unmapped(name string, seq dna.Sequence, qual []byte) Record {
+	return Record{QName: name, Flag: FlagUnmapped, RName: "*", Seq: seq, Qual: qual}
+}
+
+// Writer emits a SAM header followed by records.
+type Writer struct {
+	bw     *bufio.Writer
+	wrote  bool
+	refs   []RefSeq
+	pgName string
+}
+
+// RefSeq describes one reference sequence for the @SQ header.
+type RefSeq struct {
+	Name   string
+	Length int
+}
+
+// NewWriter creates a SAM writer for the given reference set. pgName is
+// recorded in the @PG header line.
+func NewWriter(w io.Writer, refs []RefSeq, pgName string) *Writer {
+	return &Writer{bw: bufio.NewWriter(w), refs: refs, pgName: pgName}
+}
+
+// writeHeader emits @HD, @SQ and @PG lines once.
+func (w *Writer) writeHeader() {
+	fmt.Fprintf(w.bw, "@HD\tVN:1.6\tSO:unsorted\n")
+	for _, r := range w.refs {
+		fmt.Fprintf(w.bw, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Length)
+	}
+	if w.pgName != "" {
+		fmt.Fprintf(w.bw, "@PG\tID:%s\tPN:%s\n", w.pgName, w.pgName)
+	}
+}
+
+// Write emits one record (emitting the header first if needed).
+func (w *Writer) Write(rec Record) error {
+	if !w.wrote {
+		w.writeHeader()
+		w.wrote = true
+	}
+	cigar := "*"
+	if len(rec.Cigar) > 0 {
+		cigar = rec.Cigar.String()
+	}
+	qual := "*"
+	if len(rec.Qual) == len(rec.Seq) && len(rec.Qual) > 0 {
+		qual = string(rec.Qual)
+	}
+	rname := rec.RName
+	if rname == "" {
+		rname = "*"
+	}
+	rnext := rec.RNext
+	if rnext == "" {
+		rnext = "*"
+	}
+	_, err := fmt.Fprintf(w.bw, "%s\t%d\t%s\t%d\t%d\t%s\t%s\t%d\t%d\t%s\t%s",
+		rec.QName, rec.Flag, rname, rec.Pos, rec.MapQ, cigar, rnext, rec.PNext, rec.TLen, rec.Seq, qual)
+	if err != nil {
+		return err
+	}
+	if rec.HasTags {
+		if _, err := fmt.Fprintf(w.bw, "\tNM:i:%d\tAS:i:%d", rec.EditDistance, rec.Score); err != nil {
+			return err
+		}
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush writes buffered output (emitting the header even for empty
+// record sets, so downstream tools see a valid file).
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		w.writeHeader()
+		w.wrote = true
+	}
+	return w.bw.Flush()
+}
+
+// MapQFromScores converts a best and second-best alignment score into a
+// Phred-scaled mapping quality, the standard heuristic: confident unique
+// hits get high MAPQ, ties get 0.
+func MapQFromScores(best, second, readLen int) int {
+	if best <= 0 {
+		return 0
+	}
+	if second < 0 {
+		second = 0
+	}
+	diff := best - second
+	if diff <= 0 {
+		return 0
+	}
+	q := 40 * diff / max(best, 1)
+	if q > 60 {
+		q = 60
+	}
+	return q
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

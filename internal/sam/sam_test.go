@@ -1,0 +1,145 @@
+package sam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"casa/internal/align"
+	"casa/internal/dna"
+)
+
+func TestWriterHeaderAndRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []RefSeq{{Name: "chr1", Length: 1000}}, "casa-align")
+	rec := Record{
+		QName:        "read1",
+		Flag:         0,
+		RName:        "chr1",
+		Pos:          42,
+		MapQ:         60,
+		Cigar:        align.Cigar{{Op: align.OpMatch, Len: 10}},
+		Seq:          dna.FromString("ACGTACGTAC"),
+		Qual:         []byte("IIIIIIIIII"),
+		EditDistance: 1,
+		Score:        9,
+		HasTags:      true,
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "@HD\tVN:1.6") {
+		t.Errorf("HD line: %q", lines[0])
+	}
+	if lines[1] != "@SQ\tSN:chr1\tLN:1000" {
+		t.Errorf("SQ line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "@PG\tID:casa-align") {
+		t.Errorf("PG line: %q", lines[2])
+	}
+	fields := strings.Split(lines[3], "\t")
+	if len(fields) != 13 {
+		t.Fatalf("record has %d fields: %q", len(fields), lines[3])
+	}
+	want := []string{"read1", "0", "chr1", "42", "60", "10M", "*", "0", "0", "ACGTACGTAC", "IIIIIIIIII", "NM:i:1", "AS:i:9"}
+	for i, f := range want {
+		if fields[i] != f {
+			t.Errorf("field %d = %q, want %q", i, fields[i], f)
+		}
+	}
+}
+
+func TestUnmappedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nil, "")
+	rec := Unmapped("r", dna.FromString("ACG"), nil)
+	if rec.Flag&FlagUnmapped == 0 {
+		t.Error("unmapped flag missing")
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	line := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := line[len(line)-1]
+	fields := strings.Split(last, "\t")
+	if fields[2] != "*" || fields[3] != "0" || fields[5] != "*" || fields[10] != "*" {
+		t.Errorf("unmapped record: %q", last)
+	}
+}
+
+func TestFlushEmitsHeaderForEmptyOutput(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []RefSeq{{Name: "c", Length: 5}}, "p")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "@SQ\tSN:c") {
+		t.Errorf("empty flush lacks header: %q", buf.String())
+	}
+}
+
+func TestPairedFields(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []RefSeq{{Name: "chr1", Length: 1000}}, "")
+	rec := Record{
+		QName: "p", Flag: FlagPaired | FlagProperPair | FlagFirstInPair | FlagMateReverse,
+		RName: "chr1", Pos: 100, MapQ: 60,
+		Cigar: align.Cigar{{Op: align.OpMatch, Len: 4}},
+		RNext: "=", PNext: 400, TLen: 404,
+		Seq: dna.FromString("ACGT"),
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	fields := strings.Split(lines[len(lines)-1], "\t")
+	if fields[1] != "99" { // 0x1|0x2|0x20|0x40
+		t.Errorf("flag = %s, want 99", fields[1])
+	}
+	if fields[6] != "=" || fields[7] != "400" || fields[8] != "404" {
+		t.Errorf("mate fields = %s %s %s", fields[6], fields[7], fields[8])
+	}
+}
+
+func TestFlagConstants(t *testing.T) {
+	// SAM spec values must never drift.
+	want := map[int]int{
+		FlagPaired: 0x1, FlagProperPair: 0x2, FlagUnmapped: 0x4,
+		FlagMateUnmapped: 0x8, FlagReverse: 0x10, FlagMateReverse: 0x20,
+		FlagFirstInPair: 0x40, FlagLastInPair: 0x80,
+	}
+	for got, exp := range want {
+		if got != exp {
+			t.Errorf("flag constant %#x != %#x", got, exp)
+		}
+	}
+}
+
+func TestMapQFromScores(t *testing.T) {
+	if q := MapQFromScores(100, 100, 100); q != 0 {
+		t.Errorf("tied scores MAPQ = %d, want 0", q)
+	}
+	if q := MapQFromScores(100, 0, 100); q <= 30 {
+		t.Errorf("unique hit MAPQ = %d, want high", q)
+	}
+	if q := MapQFromScores(0, 0, 100); q != 0 {
+		t.Errorf("zero score MAPQ = %d", q)
+	}
+	if q := MapQFromScores(100, -5, 100); q > 60 {
+		t.Errorf("MAPQ = %d exceeds cap", q)
+	}
+	// Monotone in the gap.
+	if MapQFromScores(100, 80, 100) >= MapQFromScores(100, 20, 100) {
+		t.Error("MAPQ not monotone in score gap")
+	}
+}

@@ -1,0 +1,194 @@
+// Package seqio reads and writes the FASTA and FASTQ formats used to ship
+// reference genomes and sequencing reads. It is the I/O substrate for the
+// CASA evaluation pipeline (§6 of the paper loads UCSC assemblies as FASTA
+// and ERR194147 / DWGSIM reads as FASTQ).
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"casa/internal/dna"
+)
+
+// Record is one named sequence, optionally with per-base quality scores
+// (FASTQ). Qual is empty for FASTA records.
+type Record struct {
+	Name string       // header up to the first whitespace
+	Desc string       // remainder of the header line, if any
+	Seq  dna.Sequence // sequence with ambiguous bases replaced
+	Qual []byte       // Phred+33 qualities; len(Qual)==len(Seq) for FASTQ
+}
+
+// ReadFasta parses all FASTA records from r. Sequence lines may be wrapped
+// at any width. Ambiguous bases (N etc.) are replaced deterministically per
+// dna.BaseFromByte.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var recs []Record
+	var cur *Record
+	lineNo := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			line = bytes.TrimRight(line, "\r\n")
+			switch {
+			case len(line) == 0:
+				// blank line: ignore
+			case line[0] == '>':
+				name, desc := splitHeader(string(line[1:]))
+				recs = append(recs, Record{Name: name, Desc: desc})
+				cur = &recs[len(recs)-1]
+			case cur == nil:
+				return nil, fmt.Errorf("seqio: line %d: sequence data before first FASTA header", lineNo)
+			default:
+				appendBases(&cur.Seq, line, lineNo)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("seqio: read: %w", err)
+		}
+	}
+	return recs, nil
+}
+
+// WriteFasta writes records in FASTA format with lines wrapped at width
+// (60 if width <= 0).
+func WriteFasta(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if rec.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", rec.Name, rec.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", rec.Name)
+		}
+		s := rec.Seq.String()
+		for i := 0; i < len(s); i += width {
+			end := min(i+width, len(s))
+			bw.WriteString(s[i:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses all FASTQ records from r. Multi-line sequences are not
+// supported (Illumina FASTQ is strictly 4 lines per record, which is what
+// the evaluation datasets use).
+func ReadFastq(r io.Reader) ([]Record, error) {
+	var recs []Record
+	err := ForEachFastq(r, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return recs, err
+}
+
+// ForEachFastq streams FASTQ records to fn without accumulating them,
+// for read sets too large to hold unpacked in memory.
+func ForEachFastq(r io.Reader, fn func(Record) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	lineNo := 0
+	readLine := func() ([]byte, error) {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			return bytes.TrimRight(line, "\r\n"), nil
+		}
+		return nil, err
+	}
+	for {
+		header, err := readLine()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("seqio: read: %w", err)
+		}
+		if len(header) == 0 {
+			continue
+		}
+		if header[0] != '@' {
+			return fmt.Errorf("seqio: line %d: FASTQ header must start with '@', got %q", lineNo, header)
+		}
+		seqLine, err := readLine()
+		if err != nil {
+			return fmt.Errorf("seqio: line %d: truncated FASTQ record (missing sequence)", lineNo)
+		}
+		plus, err := readLine()
+		if err != nil || len(plus) == 0 || plus[0] != '+' {
+			return fmt.Errorf("seqio: line %d: FASTQ separator '+' missing", lineNo)
+		}
+		qual, err := readLine()
+		if err != nil {
+			return fmt.Errorf("seqio: line %d: truncated FASTQ record (missing quality)", lineNo)
+		}
+		if len(qual) != len(seqLine) {
+			return fmt.Errorf("seqio: line %d: quality length %d != sequence length %d", lineNo, len(qual), len(seqLine))
+		}
+		name, desc := splitHeader(string(header[1:]))
+		var seq dna.Sequence
+		appendBases(&seq, seqLine, lineNo)
+		if e := fn(Record{Name: name, Desc: desc, Seq: seq, Qual: append([]byte(nil), qual...)}); e != nil {
+			return e
+		}
+	}
+}
+
+// WriteFastq writes records in 4-line FASTQ format. Records without
+// qualities get a constant 'I' (Q40) quality string.
+func WriteFastq(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if len(qual) != len(rec.Seq) {
+			qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+		}
+		if rec.Desc != "" {
+			fmt.Fprintf(bw, "@%s %s\n", rec.Name, rec.Desc)
+		} else {
+			fmt.Fprintf(bw, "@%s\n", rec.Name)
+		}
+		bw.WriteString(rec.Seq.String())
+		bw.WriteString("\n+\n")
+		bw.Write(qual)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func splitHeader(h string) (name, desc string) {
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+func appendBases(seq *dna.Sequence, line []byte, lineNo int) {
+	for i, c := range line {
+		// Mix the position in so runs of N do not become a constant base,
+		// which would fabricate artificial repeats in the reference.
+		if dna.IsStandard(c) {
+			*seq = append(*seq, dna.BaseFromByte(c))
+		} else {
+			*seq = append(*seq, dna.Base((int(c)+lineNo+i)&3))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"casa/internal/dna"
+)
+
+func TestReadFastaBasic(t *testing.T) {
+	in := ">chr1 test chromosome\nACGT\nACGT\n>chr2\nTTTT\n"
+	recs, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "chr1" || recs[0].Desc != "test chromosome" {
+		t.Errorf("header parse: %q %q", recs[0].Name, recs[0].Desc)
+	}
+	if got := recs[0].Seq.String(); got != "ACGTACGT" {
+		t.Errorf("seq = %q, want ACGTACGT", got)
+	}
+	if got := recs[1].Seq.String(); got != "TTTT" {
+		t.Errorf("seq2 = %q", got)
+	}
+}
+
+func TestReadFastaLowerCaseAndN(t *testing.T) {
+	recs, err := ReadFasta(strings.NewReader(">r\nacgtN\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].Seq) != 5 {
+		t.Fatalf("len = %d, want 5 (N replaced, not dropped)", len(recs[0].Seq))
+	}
+	if got := recs[0].Seq[:4].String(); got != "ACGT" {
+		t.Errorf("lower-case parse = %q", got)
+	}
+}
+
+func TestReadFastaNReplacementDeterministic(t *testing.T) {
+	const in = ">r\nNNNNNNNN\n"
+	a, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a[0].Seq.Equal(b[0].Seq) {
+		t.Error("N replacement is nondeterministic")
+	}
+	// Long N runs must not be constant: that would fabricate repeats.
+	allSame := true
+	for _, x := range a[0].Seq {
+		if x != a[0].Seq[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("run of N replaced by a constant base")
+	}
+}
+
+func TestReadFastaErrors(t *testing.T) {
+	if _, err := ReadFasta(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header not rejected")
+	}
+}
+
+func TestFastaRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "a", Desc: "first", Seq: dna.FromString("ACGTACGTACGTACGT")},
+		{Name: "b", Seq: dna.FromString("TTT")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, recs, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Seq.Equal(recs[0].Seq) || !got[1].Seq.Equal(recs[1].Seq) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got[0].Desc != "first" {
+		t.Errorf("desc lost: %q", got[0].Desc)
+	}
+}
+
+func TestReadFastqBasic(t *testing.T) {
+	in := "@read1 desc\nACGT\n+\nIIII\n@read2\nTT\n+read2\nAB\n"
+	recs, err := ReadFastq(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "read1" || recs[0].Seq.String() != "ACGT" || string(recs[0].Qual) != "IIII" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if string(recs[1].Qual) != "AB" {
+		t.Errorf("record 1 qual = %q", recs[1].Qual)
+	}
+}
+
+func TestReadFastqErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n+\nIIII\n",   // missing @
+		"@r\nACGT\nIIII\n",  // missing +
+		"@r\nACGT\n+\nII\n", // qual length mismatch
+		"@r\nACGT\n+\n",     // truncated
+		"@r\nACGT\n",        // truncated earlier
+	}
+	for _, in := range cases {
+		if _, err := ReadFastq(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed FASTQ accepted: %q", in)
+		}
+	}
+}
+
+func TestFastqRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "r1", Seq: dna.FromString("ACGTTGCA"), Qual: []byte("IIIIIIII")},
+		{Name: "r2", Desc: "sim", Seq: dna.FromString("GG"), Qual: []byte("!~")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !got[i].Seq.Equal(recs[i].Seq) || string(got[i].Qual) != string(recs[i].Qual) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriteFastqDefaultQuality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, []Record{{Name: "r", Seq: dna.FromString("ACG")}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Qual) != "III" {
+		t.Errorf("default quality = %q, want III", got[0].Qual)
+	}
+}
+
+func TestForEachFastqStreams(t *testing.T) {
+	in := "@a\nAC\n+\nII\n@b\nGT\n+\nII\n"
+	var names []string
+	err := ForEachFastq(strings.NewReader(in), func(r Record) error {
+		names = append(names, r.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestFastaCRLF(t *testing.T) {
+	recs, err := ReadFasta(strings.NewReader(">r\r\nACGT\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Seq.String() != "ACGT" {
+		t.Errorf("CRLF handling: %q", recs[0].Seq.String())
+	}
+}

@@ -1,0 +1,69 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic on arbitrary input, and
+// whatever they accept must survive a write/read round trip.
+
+func FuzzReadFasta(f *testing.F) {
+	f.Add(">r desc\nACGT\nNNN\n")
+	f.Add(">a\n>b\nTT\n")
+	f.Add("")
+	f.Add(">only-header")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadFasta(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input round-trips through the writer.
+		var buf bytes.Buffer
+		if err := WriteFasta(&buf, recs, 60); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		again, err := ReadFasta(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if !again[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d sequence changed", i)
+			}
+		}
+	})
+}
+
+func FuzzReadFastq(f *testing.F) {
+	f.Add("@r\nACGT\n+\nIIII\n")
+	f.Add("@r\nACGT\n+\nII\n")
+	f.Add("@a\nAC\n+\nII\n@b\nGT\n+\nII\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadFastq(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFastq(&buf, recs); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		again, err := ReadFastq(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if !again[i].Seq.Equal(recs[i].Seq) || !bytes.Equal(again[i].Qual, recs[i].Qual) {
+				t.Fatalf("record %d changed", i)
+			}
+		}
+	})
+}

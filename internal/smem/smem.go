@@ -1,0 +1,313 @@
+// Package smem defines maximal exact matches (MEMs), super-maximal exact
+// matches (SMEMs) and right-maximal exact matches (RMEMs) over a read and a
+// reference (§2.1 of the paper), and provides three independent SMEM
+// finders used to cross-validate each other and the CASA simulator:
+//
+//   - BruteForce: definition-based golden model (trusted by construction).
+//   - Bidirectional: BWA-MEM2-style search (forward search + backward
+//     maximal extension, Fig 1(a)).
+//   - Unidirectional: GenAx-style search (right-maximal match per pivot,
+//     containment filtering, Fig 1(b)).
+//
+// All three produce identical SMEM sets; the property tests assert this,
+// mirroring the paper's validation that "CASA produces identical SMEMs to
+// GenAx and 100% SMEMs of BWA-MEM2 are contained" (§6).
+package smem
+
+import (
+	"fmt"
+	"sort"
+
+	"casa/internal/dna"
+	"casa/internal/fmindex"
+)
+
+// Match is an exact match of read[Start..End] (inclusive bounds) against
+// the reference, with its occurrence count.
+type Match struct {
+	Start int // first read index of the match
+	End   int // last read index of the match (inclusive)
+	Hits  int // number of occurrences in the reference
+}
+
+// Len returns the match length in bases.
+func (m Match) Len() int { return m.End - m.Start + 1 }
+
+// Contains reports whether m fully contains o on the read.
+func (m Match) Contains(o Match) bool { return m.Start <= o.Start && o.End <= m.End }
+
+// String formats the match for diagnostics.
+func (m Match) String() string {
+	return fmt.Sprintf("[%d,%d]x%d", m.Start, m.End, m.Hits)
+}
+
+// Sort orders matches by start, then end. SMEM sets are canonicalized this
+// way before comparison.
+func Sort(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Start != ms[j].Start {
+			return ms[i].Start < ms[j].Start
+		}
+		return ms[i].End < ms[j].End
+	})
+}
+
+// Equal reports whether two canonicalized match sets contain the same
+// intervals (Hits included).
+func Equal(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameIntervals reports whether two canonicalized match sets contain the
+// same intervals, ignoring hit counts.
+func SameIntervals(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].End != b[i].End {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterMinLen returns the matches with length >= minLen, preserving order.
+// BWA-MEM2 only reports SMEMs at least l = 19 bases long.
+func FilterMinLen(ms []Match, minLen int) []Match {
+	out := ms[:0:0]
+	for _, m := range ms {
+		if m.Len() >= minLen {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Finder computes the SMEMs of a read against a fixed reference. minLen is
+// the minimum reported SMEM length (l in the paper, 19 by default).
+type Finder interface {
+	FindSMEMs(read dna.Sequence, minLen int) []Match
+}
+
+// ---------------------------------------------------------------------------
+// Golden brute-force finder.
+
+// BruteForce is the definition-based golden SMEM finder. It checks
+// substring occurrence by scanning the reference directly, so it shares no
+// code with the indexed finders. Quadratic in read length and linear in
+// reference length per check: use only on small inputs (tests).
+type BruteForce struct {
+	Ref dna.Sequence
+}
+
+// occurs reports whether read[i..j] (inclusive) occurs in the reference.
+func (b BruteForce) occurs(read dna.Sequence, i, j int) bool {
+	if i < 0 || j >= len(read) || i > j {
+		return false
+	}
+	pat := read[i : j+1]
+outer:
+	for p := 0; p+len(pat) <= len(b.Ref); p++ {
+		for q, base := range pat {
+			if b.Ref[p+q] != base {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// countHits counts the occurrences of read[i..j] in the reference.
+func (b BruteForce) countHits(read dna.Sequence, i, j int) int {
+	pat := read[i : j+1]
+	n := 0
+outer:
+	for p := 0; p+len(pat) <= len(b.Ref); p++ {
+		for q, base := range pat {
+			if b.Ref[p+q] != base {
+				continue outer
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// FindMEMs returns every maximal exact match by definition: read[i..j]
+// occurs, and neither read[i-1..j] nor read[i..j+1] occurs (or the
+// extension runs off the read).
+func (b BruteForce) FindMEMs(read dna.Sequence) []Match {
+	var mems []Match
+	for i := 0; i < len(read); i++ {
+		// Largest j for this i (right-maximal).
+		j := -1
+		for e := i; e < len(read); e++ {
+			if b.occurs(read, i, e) {
+				j = e
+			} else {
+				break
+			}
+		}
+		if j < i {
+			continue
+		}
+		// MEM requires left-maximality too.
+		if i > 0 && b.occurs(read, i-1, j) {
+			continue
+		}
+		mems = append(mems, Match{Start: i, End: j, Hits: b.countHits(read, i, j)})
+	}
+	return mems
+}
+
+// FindSMEMs returns the SMEMs: MEMs not contained in any other MEM,
+// filtered to length >= minLen.
+func (b BruteForce) FindSMEMs(read dna.Sequence, minLen int) []Match {
+	mems := b.FindMEMs(read)
+	var smems []Match
+	for i, m := range mems {
+		contained := false
+		for j, o := range mems {
+			if i != j && o.Contains(m) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			smems = append(smems, m)
+		}
+	}
+	smems = FilterMinLen(smems, minLen)
+	Sort(smems)
+	return smems
+}
+
+// ---------------------------------------------------------------------------
+// FM-index-backed finders.
+
+// Bidirectional finds SMEMs with the BWA-MEM2 strategy: from each pivot,
+// forward-search to the longest right extension, recording where hit counts
+// change; then backward-search maximal left extensions and keep the
+// super-maximal ones. The next pivot is the first mismatch position, so a
+// read is covered in few iterations.
+type Bidirectional struct {
+	Index *fmindex.Bidirectional
+
+	// Steps counts FM-index extension operations performed by the last
+	// FindSMEMs call, for the CPU/ERT cost models.
+	Steps int
+}
+
+// NewBidirectional builds the finder (and both FM-indexes) over ref.
+func NewBidirectional(ref dna.Sequence) *Bidirectional {
+	return &Bidirectional{Index: fmindex.BuildBidirectional(ref)}
+}
+
+// FindSMEMs implements Finder.
+func (f *Bidirectional) FindSMEMs(read dna.Sequence, minLen int) []Match {
+	f.Steps = 0
+	var cands []Match
+	pivot := 0
+	for pivot < len(read) {
+		steps := f.Index.ForwardSearch(read, pivot)
+		f.Steps += len(steps) + 1
+		if len(steps) == 0 {
+			pivot++
+			continue
+		}
+		// LEPs: ends where the hit count changes (including the last end).
+		var leps []int
+		for i, st := range steps {
+			if i+1 == len(steps) || steps[i+1].Hits != st.Hits {
+				leps = append(leps, st.End)
+			}
+		}
+		for _, e := range leps {
+			start, hits, ok := f.Index.LongestMatchEndingAt(read, e)
+			f.Steps += e - start + 2
+			if ok {
+				cands = append(cands, Match{Start: start, End: e, Hits: hits})
+			}
+		}
+		pivot = steps[len(steps)-1].End + 1 // first mismatch becomes next pivot
+	}
+	return dedupSMEMs(cands, minLen)
+}
+
+// Unidirectional finds SMEMs with the GenAx strategy: for every pivot, the
+// right-maximal exact match (RMEM); SMEMs are the RMEMs not contained in an
+// earlier, longer RMEM. Because e(i) is non-decreasing in i, containment
+// reduces to e(i) > e(i-1).
+type Unidirectional struct {
+	Index *fmindex.Bidirectional
+
+	// Pivots counts pivots whose RMEM search actually ran in the last call;
+	// Fig 15's "naive" bar counts every read position here.
+	Pivots int
+}
+
+// NewUnidirectional builds the finder over ref.
+func NewUnidirectional(ref dna.Sequence) *Unidirectional {
+	return &Unidirectional{Index: fmindex.BuildBidirectional(ref)}
+}
+
+// FindSMEMs implements Finder.
+func (f *Unidirectional) FindSMEMs(read dna.Sequence, minLen int) []Match {
+	f.Pivots = 0
+	var smems []Match
+	prevEnd := -1
+	for i := 0; i < len(read); i++ {
+		f.Pivots++
+		end, hits, ok := f.Index.LongestMatchFrom(read, i)
+		if !ok {
+			continue
+		}
+		if end > prevEnd {
+			// Not contained in the previous RMEM: it is an SMEM candidate.
+			smems = append(smems, Match{Start: i, End: end, Hits: hits})
+			prevEnd = end
+		}
+	}
+	smems = FilterMinLen(smems, minLen)
+	Sort(smems)
+	return smems
+}
+
+// dedupSMEMs removes candidates contained in another candidate, then
+// filters by minLen and canonicalizes.
+func dedupSMEMs(cands []Match, minLen int) []Match {
+	Sort(cands)
+	// Remove exact duplicates first.
+	uniq := cands[:0:0]
+	for i, m := range cands {
+		if i == 0 || m != cands[i-1] {
+			uniq = append(uniq, m)
+		}
+	}
+	var smems []Match
+	for i, m := range uniq {
+		contained := false
+		for j, o := range uniq {
+			if i != j && o.Contains(m) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			smems = append(smems, m)
+		}
+	}
+	smems = FilterMinLen(smems, minLen)
+	Sort(smems)
+	return smems
+}

@@ -1,0 +1,223 @@
+// Package suffixarray builds suffix arrays over 2-bit DNA texts using the
+// SA-IS algorithm (linear time, induced sorting). The suffix array is the
+// backbone of the FM-index (Fig 2 of the paper): the BWT is the last column
+// of the sorted rotations, which is derived directly from the suffix array.
+//
+// SA-IS is used instead of a comparison sort so that whole reference
+// partitions (4 Mbases) and full synthetic genomes index in well under a
+// second, keeping the experiment harness fast.
+package suffixarray
+
+import "casa/internal/dna"
+
+// Build returns the suffix array of seq with an implicit sentinel that is
+// lexicographically smaller than every base appended at the end. The
+// returned slice has len(seq)+1 entries; sa[0] == len(seq) is the sentinel
+// suffix. This matches the textbook FM-index construction where '$' is
+// inserted as the smallest character.
+func Build(seq dna.Sequence) []int32 {
+	n := len(seq)
+	// Shift the alphabet by 1 so the sentinel can be 0.
+	t := make([]int32, n+1)
+	for i, b := range seq {
+		t[i] = int32(b) + 1
+	}
+	t[n] = 0
+	sa := make([]int32, n+1)
+	sais(t, sa, dna.NumBases+1)
+	return sa
+}
+
+// BuildNoSentinel returns the suffix array of seq without a sentinel entry:
+// a permutation of [0, len(seq)) ordering the suffixes lexicographically,
+// where a proper prefix sorts before any extension (standard suffix order).
+func BuildNoSentinel(seq dna.Sequence) []int32 {
+	sa := Build(seq)
+	return sa[1:] // drop the sentinel suffix, order otherwise identical
+}
+
+// sais computes the suffix array of t into sa. t must end with a unique
+// smallest sentinel (t[len(t)-1] == 0 appearing exactly once); sigma is the
+// alphabet size (max symbol + 1).
+func sais(t []int32, sa []int32, sigma int) {
+	n := len(t)
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+	if n == 2 {
+		sa[0], sa[1] = 1, 0
+		return
+	}
+
+	// Step 1: classify each suffix as S-type (true) or L-type (false).
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		if t[i] < t[i+1] || (t[i] == t[i+1] && isS[i+1]) {
+			isS[i] = true
+		}
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	// Bucket sizes per symbol.
+	bkt := make([]int32, sigma)
+	for _, c := range t {
+		bkt[c]++
+	}
+	bktStart := make([]int32, sigma)
+	bktEnd := make([]int32, sigma)
+	setBounds := func() {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			bktStart[c] = sum
+			sum += bkt[c]
+			bktEnd[c] = sum
+		}
+	}
+
+	const empty = int32(-1)
+	clear := func() {
+		for i := range sa {
+			sa[i] = empty
+		}
+	}
+
+	// induce performs the standard two-pass induced sort assuming LMS
+	// suffixes are already placed at the tails of their buckets.
+	induce := func() {
+		// Induce L-type from left to right.
+		setBounds()
+		head := make([]int32, sigma)
+		copy(head, bktStart)
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j > 0 && !isS[j-1] {
+				c := t[j-1]
+				sa[head[c]] = j - 1
+				head[c]++
+			}
+		}
+		// Induce S-type from right to left.
+		tail := make([]int32, sigma)
+		copy(tail, bktEnd)
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j > 0 && isS[j-1] {
+				c := t[j-1]
+				tail[c]--
+				sa[tail[c]] = j - 1
+			}
+		}
+	}
+
+	// Step 2: place LMS suffixes (unordered) and induce to sort LMS
+	// substrings.
+	clear()
+	setBounds()
+	tail := make([]int32, sigma)
+	copy(tail, bktEnd)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			c := t[i]
+			tail[c]--
+			sa[tail[c]] = int32(i)
+		}
+	}
+	induce()
+
+	// Step 3: compact the sorted LMS substrings and assign names.
+	nLMS := 0
+	for i := 0; i < n; i++ {
+		if isLMS(int(sa[i])) {
+			sa[nLMS] = sa[i]
+			nLMS++
+		}
+	}
+	// Name buffer lives in the second half of sa.
+	names := sa[nLMS:]
+	for i := range names {
+		names[i] = empty
+	}
+	name := int32(0)
+	prev := int32(-1)
+	for i := 0; i < nLMS; i++ {
+		pos := sa[i]
+		if prev >= 0 && !lmsSubstringEqual(t, isS, int(prev), int(pos)) {
+			name++
+		} else if prev < 0 {
+			name = 0
+		}
+		names[pos/2] = name
+		prev = pos
+	}
+	// Compact names in text order.
+	reduced := make([]int32, 0, nLMS)
+	lmsPos := make([]int32, 0, nLMS)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+	for _, p := range lmsPos {
+		reduced = append(reduced, names[p/2])
+	}
+
+	// Step 4: order the LMS suffixes.
+	order := make([]int32, nLMS)
+	if int(name)+1 < nLMS {
+		// Names are not unique: recurse on the reduced string. The reduced
+		// string ends with the sentinel's LMS (name 0, unique smallest).
+		subSA := make([]int32, nLMS)
+		sais(reduced, subSA, int(name)+1)
+		for i := 0; i < nLMS; i++ {
+			order[i] = lmsPos[subSA[i]]
+		}
+	} else {
+		// Names unique: the induced order already sorts LMS suffixes, but
+		// rebuild from names to keep the code path uniform.
+		for i, nm := range reduced {
+			order[nm] = lmsPos[i]
+		}
+	}
+
+	// Step 5: place LMS suffixes in their true order and induce the final
+	// suffix array.
+	clear()
+	setBounds()
+	copy(tail, bktEnd)
+	for i := nLMS - 1; i >= 0; i-- {
+		j := order[i]
+		c := t[j]
+		tail[c]--
+		sa[tail[c]] = j
+	}
+	induce()
+}
+
+// lmsSubstringEqual reports whether the LMS substrings starting at a and b
+// are identical (same symbols and same L/S types up to and including the
+// next LMS position).
+func lmsSubstringEqual(t []int32, isS []bool, a, b int) bool {
+	n := len(t)
+	if a == b {
+		return true
+	}
+	// The sentinel's LMS substring is unique.
+	if a == n-1 || b == n-1 {
+		return false
+	}
+	for i := 0; ; i++ {
+		aLMS := i > 0 && isS[a+i] && !isS[a+i-1]
+		bLMS := i > 0 && isS[b+i] && !isS[b+i-1]
+		if i > 0 && aLMS && bLMS {
+			return true
+		}
+		if aLMS != bLMS || t[a+i] != t[b+i] || isS[a+i] != isS[b+i] {
+			return false
+		}
+		if a+i == n-1 || b+i == n-1 {
+			return false
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package suffixarray
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"casa/internal/dna"
+)
+
+// naive builds the suffix array (with sentinel) by direct comparison sort.
+func naive(seq dna.Sequence) []int32 {
+	n := len(seq)
+	sa := make([]int32, n+1)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	less := func(a, b int32) bool {
+		// Compare suffixes with implicit sentinel (smaller than all bases).
+		i, j := int(a), int(b)
+		for i < n && j < n {
+			if seq[i] != seq[j] {
+				return seq[i] < seq[j]
+			}
+			i++
+			j++
+		}
+		return i == n && j != n // shorter (hits sentinel first) is smaller
+	}
+	sort.Slice(sa, func(x, y int) bool { return less(sa[x], sa[y]) })
+	return sa
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildEmpty(t *testing.T) {
+	sa := Build(nil)
+	if len(sa) != 1 || sa[0] != 0 {
+		t.Errorf("empty SA = %v", sa)
+	}
+}
+
+func TestBuildSingleBase(t *testing.T) {
+	sa := Build(dna.FromString("A"))
+	if !equal(sa, []int32{1, 0}) {
+		t.Errorf("SA(A) = %v", sa)
+	}
+}
+
+func TestBuildKnown(t *testing.T) {
+	// Reference ATCTC from Fig 2 of the paper: SA = 5,4,2,0,3,1 in the
+	// paper's row order ($ first). The paper sorts rotations; suffix order
+	// with $ smallest is identical.
+	sa := Build(dna.FromString("ATCTC"))
+	want := []int32{5, 0, 4, 2, 3, 1}
+	// Verify against naive rather than hand-derived order.
+	if !equal(sa, naive(dna.FromString("ATCTC"))) {
+		t.Errorf("SA(ATCTC) = %v, naive = %v", sa, naive(dna.FromString("ATCTC")))
+	}
+	_ = want
+}
+
+func TestBuildBanana(t *testing.T) {
+	// Classic stress pattern with runs and repeats mapped onto DNA.
+	for _, s := range []string{
+		"AAAAAA", "ACACAC", "CACACA", "ACGTACGTACGT", "TTTTTTTTTA",
+		"GATTACA", "AGCTTTTCATTCTGACTGCAACGGGCAATATGTCTC",
+	} {
+		seq := dna.FromString(s)
+		if got, want := Build(seq), naive(seq); !equal(got, want) {
+			t.Errorf("SA(%s) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestBuildRandomMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		seq := make(dna.Sequence, n)
+		for i := range seq {
+			seq[i] = dna.Base(rng.Intn(4))
+		}
+		if got, want := Build(seq), naive(seq); !equal(got, want) {
+			t.Fatalf("trial %d (n=%d): SA mismatch\n got %v\nwant %v\nseq %s",
+				trial, n, got, want, seq)
+		}
+	}
+}
+
+func TestBuildRandomSkewedAlphabet(t *testing.T) {
+	// Low-entropy texts exercise the recursion path in SA-IS.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(500)
+		seq := make(dna.Sequence, n)
+		for i := range seq {
+			if rng.Intn(10) == 0 {
+				seq[i] = dna.Base(rng.Intn(4))
+			} else {
+				seq[i] = dna.A
+			}
+		}
+		if got, want := Build(seq), naive(seq); !equal(got, want) {
+			t.Fatalf("trial %d: mismatch on low-entropy text", trial)
+		}
+	}
+}
+
+func TestBuildIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := make(dna.Sequence, 10000)
+	for i := range seq {
+		seq[i] = dna.Base(rng.Intn(4))
+	}
+	sa := Build(seq)
+	seen := make([]bool, len(sa))
+	for _, v := range sa {
+		if v < 0 || int(v) >= len(sa) || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+	if sa[0] != int32(len(seq)) {
+		t.Errorf("sentinel suffix not first: sa[0] = %d", sa[0])
+	}
+}
+
+func TestBuildSortedInvariant(t *testing.T) {
+	// Suffixes must come out in strictly increasing lexicographic order.
+	rng := rand.New(rand.NewSource(11))
+	seq := make(dna.Sequence, 5000)
+	for i := range seq {
+		seq[i] = dna.Base(rng.Intn(3)) // 3-letter alphabet stresses ties
+	}
+	sa := Build(seq)
+	n := len(seq)
+	lessOrEqual := func(a, b int32) bool {
+		i, j := int(a), int(b)
+		for i < n && j < n {
+			if seq[i] != seq[j] {
+				return seq[i] < seq[j]
+			}
+			i++
+			j++
+		}
+		return i == n
+	}
+	for i := 1; i < len(sa); i++ {
+		if !lessOrEqual(sa[i-1], sa[i]) {
+			t.Fatalf("suffixes %d and %d out of order", sa[i-1], sa[i])
+		}
+	}
+}
+
+func TestBuildNoSentinel(t *testing.T) {
+	seq := dna.FromString("GATTACA")
+	sa := BuildNoSentinel(seq)
+	if len(sa) != len(seq) {
+		t.Fatalf("len = %d, want %d", len(sa), len(seq))
+	}
+	full := Build(seq)
+	if !equal(sa, full[1:]) {
+		t.Errorf("BuildNoSentinel = %v, want %v", sa, full[1:])
+	}
+}
+
+func TestBuildLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large SA build")
+	}
+	rng := rand.New(rand.NewSource(13))
+	seq := make(dna.Sequence, 1<<20)
+	for i := range seq {
+		seq[i] = dna.Base(rng.Intn(4))
+	}
+	sa := Build(seq)
+	// Spot-check sortedness at random adjacent pairs.
+	n := len(seq)
+	cmp := func(a, b int32) int {
+		i, j := int(a), int(b)
+		for i < n && j < n {
+			if seq[i] != seq[j] {
+				if seq[i] < seq[j] {
+					return -1
+				}
+				return 1
+			}
+			i++
+			j++
+		}
+		if i == n {
+			return -1
+		}
+		return 1
+	}
+	for trial := 0; trial < 2000; trial++ {
+		i := 1 + rng.Intn(len(sa)-1)
+		if cmp(sa[i-1], sa[i]) > 0 {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func BenchmarkBuild4Mbase(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	seq := make(dna.Sequence, 4<<20)
+	for i := range seq {
+		seq[i] = dna.Base(rng.Intn(4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(seq)
+	}
+}

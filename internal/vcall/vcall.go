@@ -1,0 +1,147 @@
+// Package vcall is a small pileup-based SNP caller: the downstream
+// endpoint of the genome-analysis pipeline the paper's introduction
+// motivates ("the Broad Institute's best practices genomics pipeline",
+// §1/§2.1). Alignments accumulate per-position base counts; positions
+// where a non-reference allele clears depth, fraction and strand-support
+// thresholds are called as variants.
+//
+// The caller is deliberately simple (no genotype likelihoods) — its role
+// in this repository is to close the loop: simulated donor variants ->
+// reads -> CASA seeding -> SeedEx extension -> calls that recover the
+// truth set.
+package vcall
+
+import (
+	"fmt"
+	"sort"
+
+	"casa/internal/align"
+	"casa/internal/dna"
+)
+
+// Config sets the calling thresholds.
+type Config struct {
+	MinDepth      int     // minimum total coverage at the site
+	MinAltDepth   int     // minimum reads supporting the alternate allele
+	MinAltFrac    float64 // minimum alternate allele fraction
+	RequireStrand bool    // require support from both strands
+}
+
+// DefaultConfig returns thresholds suited to ~20-40x simulated coverage.
+func DefaultConfig() Config {
+	return Config{MinDepth: 8, MinAltDepth: 4, MinAltFrac: 0.6, RequireStrand: true}
+}
+
+// Validate checks the thresholds.
+func (c Config) Validate() error {
+	if c.MinDepth <= 0 || c.MinAltDepth <= 0 || c.MinAltFrac <= 0 || c.MinAltFrac > 1 {
+		return fmt.Errorf("vcall: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Call is one emitted variant.
+type Call struct {
+	Pos      int // 0-based reference position
+	Ref, Alt dna.Base
+	Depth    int // total coverage
+	AltDepth int // reads supporting Alt
+}
+
+// Pileup accumulates per-position allele counts over one reference.
+type Pileup struct {
+	ref    dna.Sequence
+	counts [][4]uint16 // per position, per base
+	fwd    [][4]uint16 // forward-strand subset, for strand support
+}
+
+// NewPileup creates an empty pileup over ref.
+func NewPileup(ref dna.Sequence) *Pileup {
+	return &Pileup{
+		ref:    ref,
+		counts: make([][4]uint16, len(ref)),
+		fwd:    make([][4]uint16, len(ref)),
+	}
+}
+
+// Add applies one alignment: seq is the read in reference orientation
+// (already reverse-complemented for reverse-strand alignments), refStart
+// its leftmost reference base, cigar its alignment. reverse records
+// strand for the strand-support filter.
+func (p *Pileup) Add(refStart int, cigar align.Cigar, seq dna.Sequence, reverse bool) error {
+	ri, qi := refStart, 0
+	for _, op := range cigar {
+		switch op.Op {
+		case align.OpMatch:
+			for j := 0; j < op.Len; j++ {
+				if ri < 0 || ri >= len(p.ref) || qi >= len(seq) {
+					return fmt.Errorf("vcall: alignment runs outside the reference (pos %d)", ri)
+				}
+				b := seq[qi]
+				if p.counts[ri][b] < ^uint16(0) {
+					p.counts[ri][b]++
+					if !reverse {
+						p.fwd[ri][b]++
+					}
+				}
+				ri++
+				qi++
+			}
+		case align.OpDelete:
+			ri += op.Len
+		case align.OpInsert, align.OpClip:
+			qi += op.Len
+		default:
+			return fmt.Errorf("vcall: unsupported CIGAR op %c", byte(op.Op))
+		}
+	}
+	return nil
+}
+
+// Depth returns total coverage at pos.
+func (p *Pileup) Depth(pos int) int {
+	d := 0
+	for _, c := range p.counts[pos] {
+		d += int(c)
+	}
+	return d
+}
+
+// Call scans the pileup and emits variants per cfg, sorted by position.
+func (p *Pileup) Call(cfg Config) ([]Call, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Call
+	for pos := range p.counts {
+		depth := p.Depth(pos)
+		if depth < cfg.MinDepth {
+			continue
+		}
+		ref := p.ref[pos]
+		// Strongest non-reference allele.
+		var alt dna.Base
+		best := -1
+		for b := dna.Base(0); b < dna.NumBases; b++ {
+			if b == ref {
+				continue
+			}
+			if int(p.counts[pos][b]) > best {
+				best, alt = int(p.counts[pos][b]), b
+			}
+		}
+		if best < cfg.MinAltDepth || float64(best) < cfg.MinAltFrac*float64(depth) {
+			continue
+		}
+		if cfg.RequireStrand {
+			fwd := int(p.fwd[pos][alt])
+			rev := best - fwd
+			if fwd == 0 || rev == 0 {
+				continue
+			}
+		}
+		out = append(out, Call{Pos: pos, Ref: ref, Alt: alt, Depth: depth, AltDepth: best})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}

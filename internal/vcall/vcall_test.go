@@ -1,0 +1,240 @@
+package vcall
+
+import (
+	"math/rand"
+	"testing"
+
+	"casa/internal/align"
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/readsim"
+	"casa/internal/seedex"
+)
+
+func matchCigar(n int) align.Cigar { return align.Cigar{{Op: align.OpMatch, Len: n}} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultConfig()
+	bad.MinAltFrac = 1.5
+	if bad.Validate() == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestPileupCountsAndDepth(t *testing.T) {
+	ref := dna.FromString("ACGTACGTAC")
+	p := NewPileup(ref)
+	read := dna.FromString("ACGTA")
+	for i := 0; i < 3; i++ {
+		if err := p.Add(0, matchCigar(5), read, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.Depth(2); d != 3 {
+		t.Errorf("Depth(2) = %d, want 3", d)
+	}
+	if d := p.Depth(7); d != 0 {
+		t.Errorf("Depth(7) = %d, want 0", d)
+	}
+}
+
+func TestPileupRejectsOutOfRange(t *testing.T) {
+	p := NewPileup(dna.FromString("ACGT"))
+	if err := p.Add(2, matchCigar(5), dna.FromString("ACGTA"), false); err == nil {
+		t.Error("overhanging alignment accepted")
+	}
+}
+
+func TestPileupCigarWalk(t *testing.T) {
+	// 3M 1D 2M: read base 3 lands at ref position 4 (one deleted base).
+	ref := dna.FromString("AAAATTTT")
+	p := NewPileup(ref)
+	read := dna.FromString("AAACC")
+	cigar := align.Cigar{{Op: align.OpMatch, Len: 3}, {Op: align.OpDelete, Len: 1}, {Op: align.OpMatch, Len: 2}}
+	if err := p.Add(0, cigar, read, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.counts[3][dna.A] != 0 {
+		t.Error("deleted position received a base")
+	}
+	if p.counts[4][dna.C] != 1 || p.counts[5][dna.C] != 1 {
+		t.Error("post-deletion bases misplaced")
+	}
+	// Insertions consume query only.
+	p2 := NewPileup(ref)
+	cigar2 := align.Cigar{{Op: align.OpMatch, Len: 2}, {Op: align.OpInsert, Len: 2}, {Op: align.OpMatch, Len: 1}}
+	if err := p2.Add(0, cigar2, read, false); err != nil {
+		t.Fatal(err)
+	}
+	if p2.counts[2][dna.C] != 1 {
+		t.Error("post-insertion base misplaced")
+	}
+}
+
+func TestCallThresholds(t *testing.T) {
+	ref := dna.FromString("AAAAAAAAAA")
+	p := NewPileup(ref)
+	read := dna.FromString("ACAAA") // alt C at position 1
+	for i := 0; i < 10; i++ {
+		p.Add(0, matchCigar(5), read, i%2 == 0)
+	}
+	calls, err := p.Call(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0].Pos != 1 || calls[0].Alt != dna.C {
+		t.Fatalf("calls = %+v", calls)
+	}
+	if calls[0].Depth != 10 || calls[0].AltDepth != 10 {
+		t.Errorf("call depths = %+v", calls[0])
+	}
+	// Below depth: no call.
+	p2 := NewPileup(ref)
+	for i := 0; i < 3; i++ {
+		p2.Add(0, matchCigar(5), read, i%2 == 0)
+	}
+	if calls, _ := p2.Call(DefaultConfig()); len(calls) != 0 {
+		t.Errorf("thin coverage called: %+v", calls)
+	}
+}
+
+func TestCallStrandFilter(t *testing.T) {
+	ref := dna.FromString("AAAAAAAAAA")
+	p := NewPileup(ref)
+	read := dna.FromString("ACAAA")
+	for i := 0; i < 10; i++ {
+		p.Add(0, matchCigar(5), read, false) // forward only
+	}
+	cfg := DefaultConfig()
+	if calls, _ := p.Call(cfg); len(calls) != 0 {
+		t.Error("single-strand support passed the strand filter")
+	}
+	cfg.RequireStrand = false
+	if calls, _ := p.Call(cfg); len(calls) != 1 {
+		t.Error("strand filter off still suppressed the call")
+	}
+}
+
+func TestCallLowFractionSuppressed(t *testing.T) {
+	// Sequencing-error-like noise: 2 alt reads of 20 must not be called.
+	ref := dna.FromString("AAAAAAAAAA")
+	p := NewPileup(ref)
+	refRead := dna.FromString("AAAAA")
+	altRead := dna.FromString("ACAAA")
+	for i := 0; i < 18; i++ {
+		p.Add(0, matchCigar(5), refRead, i%2 == 0)
+	}
+	for i := 0; i < 2; i++ {
+		p.Add(0, matchCigar(5), altRead, i%2 == 0)
+	}
+	if calls, _ := p.Call(DefaultConfig()); len(calls) != 0 {
+		t.Errorf("noise called as variant: %+v", calls)
+	}
+}
+
+func TestEndToEndVariantRecovery(t *testing.T) {
+	// The full pipeline: donor variants -> reads -> CASA seeding ->
+	// SeedEx extension -> pileup -> calls. Precision and recall must be
+	// high on clean simulated data.
+	rng := rand.New(rand.NewSource(1))
+	ref := readsim.GenerateReference(readsim.DefaultGenome(60000, 2))
+	donor, truth := readsim.Donor(ref, 0.001, 3)
+	if len(truth) == 0 {
+		t.Fatal("no variants planted")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.PartitionBases = 16 << 10
+	acc, err := core.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := seedex.New(ref, seedex.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ~25x coverage of error-free donor reads.
+	profile := readsim.ReadProfile{Length: 101, Count: 60000 * 25 / 101, Seed: 5, RevComp: true}
+	reads := readsim.Simulate(donor, profile)
+	pile := NewPileup(ref)
+	for _, r := range reads {
+		seq := r.Seq
+		rr := acc.SeedReads([]dna.Sequence{seq})
+		al, rev, ok := bestStrand(acc, sx, seq, rr.Reads[0])
+		if !ok {
+			continue
+		}
+		oriented := seq
+		if rev {
+			oriented = seq.ReverseComplement()
+		}
+		if err := pile.Add(al.RefStart, al.Cigar, oriented, rev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls, err := pile.Call(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truthSet := map[int]dna.Base{}
+	for _, v := range truth {
+		truthSet[v.Pos] = v.Alt
+	}
+	tp, fp := 0, 0
+	for _, c := range calls {
+		if alt, ok := truthSet[c.Pos]; ok && alt == c.Alt {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	recall := float64(tp) / float64(len(truth))
+	precision := float64(tp) / float64(max(tp+fp, 1))
+	t.Logf("variants: %d truth, %d called, recall %.2f, precision %.2f", len(truth), len(calls), recall, precision)
+	if recall < 0.85 {
+		t.Errorf("recall %.2f too low (tp=%d of %d)", recall, tp, len(truth))
+	}
+	if precision < 0.95 {
+		t.Errorf("precision %.2f too low (fp=%d)", precision, fp)
+	}
+	_ = rng
+}
+
+// bestStrand extends both strands and returns the winner.
+func bestStrand(acc *core.Accelerator, sx *seedex.Machine, read dna.Sequence, rr core.ReadResult) (seedex.Alignment, bool, bool) {
+	collect := func(strand dna.Sequence, fwd bool) (seedex.Alignment, bool) {
+		var seeds []seedex.Seed
+		var ms = rr.Forward
+		if !fwd {
+			ms = rr.Reverse
+		}
+		for _, m := range ms {
+			for _, pos := range acc.HitPositions(strand, m, 4) {
+				seeds = append(seeds, seedex.Seed{QStart: m.Start, QEnd: m.End, RefPos: pos})
+			}
+		}
+		return sx.ExtendRead(strand, seeds)
+	}
+	var best seedex.Alignment
+	rev, found := false, false
+	if al, ok := collect(read, true); ok {
+		best, found = al, true
+	}
+	rc := read.ReverseComplement()
+	if al, ok := collect(rc, false); ok && (!found || al.Score > best.Score) {
+		best, rev, found = al, true, true
+	}
+	return best, rev, found
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
