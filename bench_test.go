@@ -17,6 +17,7 @@ import (
 	"casa"
 	"casa/internal/experiments"
 	"casa/internal/gencache"
+	"casa/internal/smem"
 )
 
 var (
@@ -318,6 +319,68 @@ func BenchmarkMateRescue(b *testing.B) {
 		if _, ok := casa.RescueMate(ref, p.R2.Seq, partner, opt); !ok {
 			b.Fatal("rescue failed")
 		}
+	}
+}
+
+// Batch-runner benchmarks: the same seeding work at several worker-pool
+// sizes. The modelled Result is bit-identical at every width (asserted by
+// internal/batch's determinism tests); what scales is host wall-clock,
+// so compare the ns/op of workers=1 against workers=N.
+var (
+	batchOnce  sync.Once
+	batchRef   casa.Sequence
+	batchReads []casa.Sequence
+	batchAcc   *casa.Accelerator
+)
+
+func batchFixture(b *testing.B) {
+	b.Helper()
+	batchOnce.Do(func() {
+		batchRef = casa.GenerateReference(casa.DefaultGenome(1<<17, 21))
+		batchReads = casa.Sequences(casa.Simulate(batchRef, casa.DefaultProfile(1000, 22)))
+		cfg := casa.DefaultConfig()
+		cfg.PartitionBases = 1 << 15
+		acc, err := casa.New(batchRef, cfg)
+		if err != nil {
+			panic(err)
+		}
+		batchAcc = acc
+	})
+}
+
+// BenchmarkBatchCASA seeds one read batch through the CASA accelerator at
+// increasing worker counts.
+func BenchmarkBatchCASA(b *testing.B) {
+	batchFixture(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			opts := casa.BatchOptions{Workers: w}
+			var res *casa.Result
+			for i := 0; i < b.N; i++ {
+				res = casa.RunBatch(batchAcc, batchReads, opts)
+			}
+			b.ReportMetric(float64(len(res.Reads))*float64(b.N)/b.Elapsed().Seconds(), "host_reads/s")
+		})
+	}
+}
+
+// BenchmarkBatchFMIndex runs the FM-index bidirectional finder over the
+// same batch through the generic pooled front door.
+func BenchmarkBatchFMIndex(b *testing.B) {
+	batchFixture(b)
+	f := smem.NewBidirectional(batchRef)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			opts := casa.BatchOptions{Workers: w}
+			for i := 0; i < b.N; i++ {
+				casa.FindSMEMsBatch(batchReads, 19, opts, func(worker int) casa.Finder {
+					if worker == 0 {
+						return f
+					}
+					return f.Clone()
+				})
+			}
+		})
 	}
 }
 

@@ -22,6 +22,7 @@ package casa
 
 import (
 	"casa/internal/align"
+	"casa/internal/batch"
 	"casa/internal/chain"
 	"casa/internal/core"
 	"casa/internal/cpu"
@@ -83,6 +84,50 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // New builds a CASA accelerator over ref.
 func New(ref Sequence, cfg Config) (*Accelerator, error) { return core.New(ref, cfg) }
+
+// Batch seeding: shard a read batch across a pool of worker-owned engine
+// clones. Every engine shares its immutable index structures between
+// clones and keeps activity counters per instance, so batch runs need no
+// locking and reduce to results bit-identical to a sequential SeedReads
+// call — parallelism changes host wall-clock, never the modelled
+// hardware (see docs/MODEL.md, "Concurrency contract").
+type (
+	// BatchOptions configures the batch worker pool (worker count, shard
+	// grain). The zero value uses one worker per host CPU.
+	BatchOptions = batch.Options
+)
+
+// DefaultBatchOptions returns the default pool configuration: one worker
+// per CPU, automatic shard grain.
+func DefaultBatchOptions() BatchOptions { return batch.DefaultOptions() }
+
+// RunBatch seeds reads on a worker pool of CASA accelerator clones and
+// returns a Result bit-identical to acc.SeedReads(reads).
+func RunBatch(acc *Accelerator, reads []Sequence, o BatchOptions) *Result {
+	return batch.SeedCASA(acc, reads, o)
+}
+
+// RunBatchERT is RunBatch for the ASIC-ERT baseline.
+func RunBatchERT(acc *ERTAccelerator, reads []Sequence, o BatchOptions) *ert.Result {
+	return batch.SeedERT(acc, reads, o)
+}
+
+// RunBatchGenAx is RunBatch for the GenAx baseline.
+func RunBatchGenAx(acc *GenAxAccelerator, reads []Sequence, o BatchOptions) *genax.Result {
+	return batch.SeedGenAx(acc, reads, o)
+}
+
+// RunBatchCPU is RunBatch for the software BWA-MEM2 baseline.
+func RunBatchCPU(s *CPUSeeder, reads []Sequence, o BatchOptions) *cpu.Result {
+	return batch.SeedCPU(s, reads, o)
+}
+
+// FindSMEMsBatch runs any Finder over a read batch on the worker pool,
+// returning per-read SMEM sets in input order. newFinder must return an
+// independent finder per worker (e.g. a Clone sharing the index).
+func FindSMEMsBatch(reads []Sequence, minLen int, o BatchOptions, newFinder func(worker int) Finder) [][]Match {
+	return batch.FindSMEMs(reads, minLen, o, newFinder)
+}
 
 // Baselines.
 type (

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"casa/internal/batch"
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/pairing"
@@ -38,6 +39,7 @@ type aligner struct {
 	sx      *seedex.Machine
 	ix      *refidx.Index
 	maxHits int
+	pool    batch.Options
 	writer  *sam.Writer
 	aligned int
 	total   int
@@ -54,7 +56,8 @@ func main() {
 		outPath   = flag.String("out", "-", "SAM output path (- = stdout)")
 		partition = flag.Int("partition", 4<<20, "CASA partition size in bases")
 		maxHits   = flag.Int("max-hits", 4, "extension candidates per SMEM")
-		batch     = flag.Int("batch", 4096, "reads seeded per batch")
+		batchSize = flag.Int("batch", 4096, "reads seeded per batch")
+		workers   = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -106,13 +109,14 @@ func main() {
 	}
 	a := &aligner{
 		acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
+		pool:   batch.Options{Workers: *workers},
 		writer: sam.NewWriter(out, refSeqs, "casa-align"),
 	}
 
 	if *reads2 == "" {
-		err = a.runSingle(*readsPath, *batch)
+		err = a.runSingle(*readsPath, *batchSize)
 	} else {
-		err = a.runPaired(*readsPath, *reads2, *batch)
+		err = a.runPaired(*readsPath, *reads2, *batchSize)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -124,7 +128,7 @@ func main() {
 }
 
 // runSingle streams single-end reads in batches.
-func (a *aligner) runSingle(path string, batch int) error {
+func (a *aligner) runSingle(path string, batchSize int) error {
 	in, err := os.Open(path)
 	if err != nil {
 		return err
@@ -140,7 +144,7 @@ func (a *aligner) runSingle(path string, batch int) error {
 		for i := range recs {
 			reads[i] = recs[i].Seq
 		}
-		res := a.acc.SeedReads(reads)
+		res := batch.SeedCASA(a.acc, reads, a.pool)
 		for i, rec := range recs {
 			p := a.place(rec.Seq, res.Reads[i])
 			out := a.recordSingle(rec, p)
@@ -157,7 +161,7 @@ func (a *aligner) runSingle(path string, batch int) error {
 	}
 	err = seqio.ForEachFastq(in, func(rec seqio.Record) error {
 		recs = append(recs, rec)
-		if len(recs) >= batch {
+		if len(recs) >= batchSize {
 			return flush()
 		}
 		return nil
@@ -169,7 +173,7 @@ func (a *aligner) runSingle(path string, batch int) error {
 }
 
 // runPaired streams mate pairs in lockstep batches.
-func (a *aligner) runPaired(path1, path2 string, batch int) error {
+func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 	r1, err := readAllFastq(path1)
 	if err != nil {
 		return err
@@ -181,13 +185,13 @@ func (a *aligner) runPaired(path1, path2 string, batch int) error {
 	if len(r1) != len(r2) {
 		return fmt.Errorf("casa-align: mate files differ in length: %d vs %d", len(r1), len(r2))
 	}
-	for lo := 0; lo < len(r1); lo += batch {
-		hi := min(lo+batch, len(r1))
+	for lo := 0; lo < len(r1); lo += batchSize {
+		hi := min(lo+batchSize, len(r1))
 		var reads []dna.Sequence
 		for i := lo; i < hi; i++ {
 			reads = append(reads, r1[i].Seq, r2[i].Seq)
 		}
-		res := a.acc.SeedReads(reads)
+		res := batch.SeedCASA(a.acc, reads, a.pool)
 		for i := lo; i < hi; i++ {
 			p1 := a.place(r1[i].Seq, res.Reads[2*(i-lo)])
 			p2 := a.place(r2[i].Seq, res.Reads[2*(i-lo)+1])

@@ -4,9 +4,12 @@
 // validation ("CASA produces identical SMEMs to GenAx and 100% SMEMs of
 // BWA-MEM2 are contained").
 //
+// Reads are seeded as one batch over a worker pool (-workers); results
+// are reported in input order regardless of completion order.
+//
 // Usage:
 //
-//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19]
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8]
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"casa/internal/batch"
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/ert"
@@ -24,9 +28,10 @@ import (
 	"casa/internal/smem"
 )
 
-// engine computes forward-strand SMEMs for one read.
+// engine computes forward-strand SMEMs for a read batch on a worker pool,
+// returning per-read SMEM sets in input order.
 type engine interface {
-	find(read dna.Sequence, minLen int) []smem.Match
+	findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match
 }
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 		verify    = flag.String("verify", "", "second engine to cross-check against")
 		minSMEM   = flag.Int("min-smem", 19, "minimum SMEM length")
 		maxReads  = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
+		workers   = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
 		quiet     = flag.Bool("quiet", false, "suppress per-read output (counts only)")
 	)
 	flag.Parse()
@@ -50,21 +56,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pool := batch.Options{Workers: *workers}
 
 	eng, err := build(*engName, ref, *minSMEM)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var ver engine
+	got := eng.findAll(reads, *minSMEM, pool)
+	var want [][]smem.Match
 	if *verify != "" {
-		if ver, err = build(*verify, ref, *minSMEM); err != nil {
+		ver, err := build(*verify, ref, *minSMEM)
+		if err != nil {
 			log.Fatal(err)
 		}
+		want = ver.findAll(reads, *minSMEM, pool)
 	}
 
 	totalSMEMs, mismatches := 0, 0
-	for i, read := range reads {
-		ms := eng.find(read, *minSMEM)
+	for i := range reads {
+		ms := got[i]
 		totalSMEMs += len(ms)
 		if !*quiet {
 			fmt.Printf("%s\t%d SMEMs", names[i], len(ms))
@@ -73,16 +83,13 @@ func main() {
 			}
 			fmt.Println()
 		}
-		if ver != nil {
-			want := ver.find(read, *minSMEM)
-			if !smem.SameIntervals(ms, want) {
-				mismatches++
-				fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  %s: %v\n  %s: %v\n", names[i], *engName, ms, *verify, want)
-			}
+		if want != nil && !smem.SameIntervals(ms, want[i]) {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  %s: %v\n  %s: %v\n", names[i], *engName, ms, *verify, want[i])
 		}
 	}
 	fmt.Printf("\n%d reads, %d SMEMs via %s", len(reads), totalSMEMs, *engName)
-	if ver != nil {
+	if want != nil {
 		fmt.Printf("; %d mismatches vs %s", mismatches, *verify)
 	}
 	fmt.Println()
@@ -108,9 +115,17 @@ func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
 		}
 		return casaEngine{a}, nil
 	case "fmindex":
-		return finderEngine{smem.NewBidirectional(ref)}, nil
+		f := smem.NewBidirectional(ref)
+		return finderEngine{func(worker int) smem.Finder {
+			if worker == 0 {
+				return f
+			}
+			return f.Clone()
+		}}, nil
 	case "brute":
-		return finderEngine{smem.BruteForce{Ref: ref}}, nil
+		// BruteForce holds no mutable state: every worker shares it.
+		bf := smem.BruteForce{Ref: ref}
+		return finderEngine{func(int) smem.Finder { return bf }}, nil
 	case "genax":
 		cfg := genax.DefaultConfig()
 		cfg.MinSMEM = minSMEM
@@ -134,16 +149,24 @@ func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finderEngine{ertFinder{ix}}, nil
+		return finderEngine{func(worker int) smem.Finder {
+			if worker == 0 {
+				return ertFinder{ix}
+			}
+			return ertFinder{ix.Clone()}
+		}}, nil
 	default:
 		return nil, fmt.Errorf("casa-smem: unknown engine %q", name)
 	}
 }
 
-type finderEngine struct{ f smem.Finder }
+// finderEngine batches any smem.Finder via a per-worker constructor.
+type finderEngine struct {
+	newFinder func(worker int) smem.Finder
+}
 
-func (e finderEngine) find(read dna.Sequence, minLen int) []smem.Match {
-	return e.f.FindSMEMs(read, minLen)
+func (e finderEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
+	return batch.FindSMEMs(reads, minLen, pool, e.newFinder)
 }
 
 type ertFinder struct{ ix *ert.Index }
@@ -154,23 +177,29 @@ func (f ertFinder) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
 
 type casaEngine struct{ a *core.Accelerator }
 
-func (e casaEngine) find(read dna.Sequence, minLen int) []smem.Match {
-	res := e.a.SeedReads([]dna.Sequence{read})
-	return res.Reads[0].Forward
+func (e casaEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
+	res := batch.SeedCASA(e.a, reads, pool)
+	out := make([][]smem.Match, len(res.Reads))
+	for i, rr := range res.Reads {
+		out[i] = rr.Forward
+	}
+	return out
 }
 
+// gencacheEngine seeds sequentially: GenCache's fast-seeding cache is
+// order-sensitive shared state with no Clone, so it does not shard.
 type gencacheEngine struct{ a *gencache.Accelerator }
 
-func (e gencacheEngine) find(read dna.Sequence, minLen int) []smem.Match {
-	res := e.a.SeedReads([]dna.Sequence{read})
-	return res.Reads[0]
+func (e gencacheEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
+	res := e.a.SeedReads(reads)
+	return res.Reads
 }
 
 type genaxEngine struct{ a *genax.Accelerator }
 
-func (e genaxEngine) find(read dna.Sequence, minLen int) []smem.Match {
-	res := e.a.SeedReads([]dna.Sequence{read})
-	return res.Reads[0]
+func (e genaxEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
+	res := batch.SeedGenAx(e.a, reads, pool)
+	return res.Reads
 }
 
 func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence, []string, error) {

@@ -1,0 +1,122 @@
+// Package batch runs SMEM seeding over a worker pool: a read batch is
+// split into contiguous shards, each worker owns its own engine instance
+// (a cheap Clone sharing the immutable index state), and the per-shard
+// results are merged back in input order regardless of completion order.
+//
+// Because every engine separates raw, additive activity (Seed) from the
+// cycle/energy finalization (Reduce), the merged Result carries the same
+// simulated cycles, stats, DRAM traffic and energy a sequential run
+// reports — parallelism changes the host wall-clock, never the modelled
+// hardware. The paper's §6 validation invariant ("CASA produces identical
+// SMEMs to GenAx, 100% of BWA-MEM2") extends to worker counts: the
+// determinism tests assert byte-identical output for workers = 1, 4, 16.
+//
+// Concurrency contract (see docs/MODEL.md for the full table): index
+// structures built at construction time — CASA filter arrays and CAM
+// images, FM-indexes, ERT trees, GenAx seed & position tables — are
+// immutable after construction and safely shared across workers. Activity
+// counters (PartStats, ert.Stats, genax.Stats, finder step counts) and
+// the ERT reuse cache are per-instance mutable state: every worker must
+// own a Clone. Order-sensitive models (the ERT reuse cache) are replayed
+// sequentially during reduction.
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures the worker pool.
+type Options struct {
+	// Workers is the number of worker goroutines (and engine instances).
+	// Zero or negative means runtime.NumCPU().
+	Workers int
+
+	// Grain is the number of reads per shard. Zero or negative picks a
+	// grain that gives each worker several shards (for load balancing)
+	// while keeping shards large enough to amortize scheduling.
+	Grain int
+}
+
+// DefaultOptions returns the default pool configuration: one worker per
+// CPU, automatic grain.
+func DefaultOptions() Options { return Options{} }
+
+// WorkerCount resolves the effective worker count.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// shardsPerWorker is the load-balancing factor of the automatic grain:
+// each worker gets about this many shards, so a straggler shard (e.g. a
+// run of repeat-heavy reads) redistributes instead of serializing the
+// tail.
+const shardsPerWorker = 4
+
+// grain resolves the effective shard size for n items.
+func (o Options) grain(n int) int {
+	if o.Grain > 0 {
+		return o.Grain
+	}
+	g := (n + o.WorkerCount()*shardsPerWorker - 1) / (o.WorkerCount() * shardsPerWorker)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Run splits n items into contiguous shards of Options.Grain items and
+// executes fn for every shard on a pool of Options.Workers workers,
+// returning the per-shard results in shard (input) order. fn receives the
+// worker index (0 <= worker < WorkerCount) and the item range [lo, hi);
+// calls with the same worker index never run concurrently, so fn may use
+// per-worker state (an engine Clone) without locking. Shards are handed
+// out dynamically: a worker that finishes early steals the next shard.
+func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	grain := o.grain(n)
+	numShards := (n + grain - 1) / grain
+	workers := o.WorkerCount()
+	if workers > numShards {
+		workers = numShards
+	}
+	results := make([]R, numShards)
+	if workers <= 1 {
+		for s := 0; s < numShards; s++ {
+			lo := s * grain
+			results[s] = fn(0, lo, min(lo+grain, n))
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= numShards {
+					return
+				}
+				lo := s * grain
+				results[s] = fn(w, lo, min(lo+grain, n))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

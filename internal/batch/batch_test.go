@@ -1,0 +1,190 @@
+package batch_test
+
+import (
+	"reflect"
+	"testing"
+
+	"casa/internal/batch"
+	"casa/internal/core"
+	"casa/internal/cpu"
+	"casa/internal/dna"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/readsim"
+	"casa/internal/smem"
+)
+
+// workerCounts is the determinism-regression matrix: every engine's batch
+// result must be byte-identical across these pool sizes (and to a plain
+// sequential SeedReads).
+var workerCounts = []int{1, 4, 16}
+
+func testWorkload(t *testing.T, refLen, nReads int) (dna.Sequence, []dna.Sequence) {
+	t.Helper()
+	ref := readsim.GenerateReference(readsim.DefaultGenome(refLen, 7))
+	reads := readsim.Sequences(readsim.Simulate(ref, readsim.DefaultProfile(nReads, 11)))
+	if len(reads) != nReads {
+		t.Fatalf("simulated %d reads, want %d", len(reads), nReads)
+	}
+	return ref, reads
+}
+
+func TestRunCoversAllItemsInOrder(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		workers int
+		grain   int
+	}{
+		{0, 4, 0}, {1, 4, 0}, {7, 1, 0}, {7, 4, 2}, {100, 3, 7},
+		{100, 16, 1}, {5, 100, 0}, {64, 4, 64}, {33, 8, 0},
+	} {
+		shards := batch.Run(tc.n, batch.Options{Workers: tc.workers, Grain: tc.grain},
+			func(worker, lo, hi int) []int {
+				if worker < 0 || worker >= tc.workers {
+					t.Errorf("worker index %d out of range [0, %d)", worker, tc.workers)
+				}
+				items := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					items = append(items, i)
+				}
+				return items
+			})
+		var got []int
+		for _, s := range shards {
+			got = append(got, s...)
+		}
+		if len(got) != tc.n {
+			t.Fatalf("n=%d workers=%d grain=%d: covered %d items", tc.n, tc.workers, tc.grain, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("n=%d workers=%d grain=%d: item %d out of order (got %d)", tc.n, tc.workers, tc.grain, i, v)
+			}
+		}
+	}
+}
+
+func TestRunWorkerExclusive(t *testing.T) {
+	// Same-worker calls must never overlap: each worker bumps an owned
+	// counter non-atomically; the race detector (go test -race) catches
+	// any violation, and the totals must still cover every item.
+	const n, workers = 1000, 8
+	counts := make([]int, workers)
+	batch.Run(n, batch.Options{Workers: workers, Grain: 1}, func(worker, lo, hi int) int {
+		counts[worker] += hi - lo
+		return 0
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("workers processed %d items, want %d", total, n)
+	}
+}
+
+// TestSeedCASADeterminism is the determinism regression of the issue: the
+// full Result — SMEMs, aggregate stats, cycles, DRAM bytes, energy — must
+// be identical for workers = 1, 4, 16 and for the sequential path.
+func TestSeedCASADeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<16, 200)
+	cfg := core.DefaultConfig()
+	cfg.PartitionBases = 1 << 14 // 4 partitions
+	acc, err := core.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := acc.SeedReads(reads)
+	for _, w := range workerCounts {
+		got := batch.SeedCASA(acc, reads, batch.Options{Workers: w})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+		}
+	}
+}
+
+func TestSeedCASADeterminismWithPrepass(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<16, 200)
+	cfg := core.DefaultConfig()
+	cfg.PartitionBases = 1 << 14
+	cfg.ExactMatchPrepass = true
+	acc, err := core.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := acc.SeedReads(reads)
+	for _, w := range workerCounts {
+		got := batch.SeedCASA(acc, reads, batch.Options{Workers: w})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+		}
+	}
+}
+
+func TestSeedERTDeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<15, 150)
+	acc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := acc.SeedReads(reads)
+	for _, w := range workerCounts {
+		got := batch.SeedERT(acc, reads, batch.Options{Workers: w})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+		}
+	}
+}
+
+func TestSeedGenAxDeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<15, 150)
+	cfg := genax.DefaultConfig()
+	cfg.K = 8                    // keep the 4^K seed table test-sized
+	cfg.PartitionBases = 1 << 13 // 4 segments
+	acc, err := genax.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := acc.SeedReads(reads)
+	for _, w := range workerCounts {
+		got := batch.SeedGenAx(acc, reads, batch.Options{Workers: w})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+		}
+	}
+}
+
+func TestSeedCPUDeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<15, 150)
+	s, err := cpu.New(ref, cpu.B12T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.SeedReads(reads)
+	for _, w := range workerCounts {
+		got := batch.SeedCPU(s, reads, batch.Options{Workers: w})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+		}
+	}
+}
+
+func TestFindSMEMsMatchesDirectCalls(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<14, 120)
+	f := smem.NewBidirectional(ref)
+	want := make([][]smem.Match, len(reads))
+	for i, r := range reads {
+		want[i] = f.FindSMEMs(r, 19)
+	}
+	for _, w := range workerCounts {
+		got := batch.FindSMEMs(reads, 19, batch.Options{Workers: w}, func(worker int) smem.Finder {
+			if worker == 0 {
+				return f
+			}
+			return f.Clone()
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: pooled FindSMEMs differ from direct calls", w)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package batch
+
+import (
+	"casa/internal/core"
+	"casa/internal/cpu"
+	"casa/internal/dna"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/smem"
+)
+
+// clonePool returns workers engine instances for the resolved pool size:
+// slot 0 is the original engine (its counters keep accumulating, as a
+// sequential run's would), the rest are clones.
+func clonePool[E any](original E, workers int, clone func(E) E) []E {
+	engines := make([]E, workers)
+	engines[0] = original
+	for w := 1; w < workers; w++ {
+		engines[w] = clone(original)
+	}
+	return engines
+}
+
+// SeedCASA seeds reads on a pool of CASA accelerator clones and reduces
+// the shard activities into one Result, bit-identical to a.SeedReads on
+// the same batch.
+func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result {
+	engines := clonePool(a, o.WorkerCount(), (*core.Accelerator).Clone)
+	acts := Run(len(reads), o, func(w, lo, hi int) *core.Activity {
+		return engines[w].Seed(reads[lo:hi])
+	})
+	return a.Reduce(acts...)
+}
+
+// SeedERT seeds reads on a pool of ASIC-ERT clones; the order-sensitive
+// reuse-cache model is replayed over the full batch during reduction, so
+// the Result matches a.SeedReads exactly.
+func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
+	engines := clonePool(a, o.WorkerCount(), (*ert.Accelerator).Clone)
+	acts := Run(len(reads), o, func(w, lo, hi int) *ert.Activity {
+		return engines[w].Seed(reads[lo:hi])
+	})
+	return a.Reduce(reads, acts...)
+}
+
+// SeedGenAx seeds reads on a pool of GenAx accelerator clones and reduces
+// the shard activities into one Result, bit-identical to a.SeedReads.
+func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Result {
+	engines := clonePool(a, o.WorkerCount(), (*genax.Accelerator).Clone)
+	acts := Run(len(reads), o, func(w, lo, hi int) *genax.Activity {
+		return engines[w].Seed(reads[lo:hi])
+	})
+	return a.Reduce(acts...)
+}
+
+// SeedCPU seeds reads on a pool of software-baseline seeder clones and
+// reduces the shard activities into one Result, bit-identical to
+// s.SeedReads. (The pool parallelizes the host simulation; the modelled
+// thread count stays cpu.Config.Threads.)
+func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
+	engines := clonePool(s, o.WorkerCount(), (*cpu.Seeder).Clone)
+	acts := Run(len(reads), o, func(w, lo, hi int) *cpu.Activity {
+		return engines[w].Seed(reads[lo:hi])
+	})
+	return s.Reduce(acts...)
+}
+
+// FindSMEMs runs finder.FindSMEMs for every read on the worker pool and
+// returns the per-read SMEM sets in input order. newFinder must return an
+// independent finder per worker (a Clone sharing the index); it is called
+// once per worker, with worker 0 first and on the caller's goroutine, so
+// lazy sharing setups need no locking.
+func FindSMEMs(reads []dna.Sequence, minLen int, o Options, newFinder func(worker int) smem.Finder) [][]smem.Match {
+	workers := o.WorkerCount()
+	finders := make([]smem.Finder, workers)
+	for w := range finders {
+		finders[w] = newFinder(w)
+	}
+	shards := Run(len(reads), o, func(w, lo, hi int) [][]smem.Match {
+		out := make([][]smem.Match, hi-lo)
+		for i, r := range reads[lo:hi] {
+			out[i] = finders[w].FindSMEMs(r, minLen)
+		}
+		return out
+	})
+	merged := make([][]smem.Match, 0, len(reads))
+	for _, s := range shards {
+		merged = append(merged, s...)
+	}
+	return merged
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"casa/internal/dna"
 	"casa/internal/dram"
@@ -65,6 +63,21 @@ func NewWithOverlap(ref dna.Sequence, cfg Config, overlap int) (*Accelerator, er
 	return a, nil
 }
 
+// Clone returns an accelerator sharing this one's immutable index state
+// (reference slices, packed images, filter arrays) but with fresh activity
+// counters. Clones are the unit of parallelism for batch seeding: each
+// worker owns one clone, so the hot path needs no locking, and their
+// Activities reduce to totals bit-identical to a sequential run. Cloning
+// is O(partitions), not O(reference): no index data is copied.
+func (a *Accelerator) Clone() *Accelerator {
+	c := &Accelerator{cfg: a.cfg, overlap: a.overlap, starts: a.starts, refLen: a.refLen}
+	c.parts = make([]*Partition, len(a.parts))
+	for i, p := range a.parts {
+		c.parts[i] = p.Clone()
+	}
+	return c
+}
+
 // Partitions returns the number of reference partitions.
 func (a *Accelerator) Partitions() int { return len(a.parts) }
 
@@ -109,8 +122,33 @@ func (r *Result) ReadsPerMJ() float64 {
 	return float64(len(r.Reads)) / (j * 1e3)
 }
 
-// SeedReads runs the full seeding flow for a batch of reads with the
-// paper's two-stage approach (§4.3):
+// Activity is the raw, additive outcome of seeding a batch of reads: the
+// per-read SMEM results plus the per-partition, per-stage activity deltas
+// and the DRAM read-stream bytes. Every counter is a per-read sum, so the
+// Activities of disjoint sub-batches reduce (Reduce) to a Result whose
+// simulated cycles, stats and energy are bit-identical to one sequential
+// run over the concatenated batch — the invariant the parallel batch
+// runner (internal/batch) relies on. The cycle conversion (stageCycles)
+// applies ceiling divisions per partition pass, so it must run on the
+// summed deltas, never per sub-batch; Activity keeps the deltas raw for
+// exactly that reason.
+type Activity struct {
+	Reads     []ReadResult
+	Stage1    []PartStats // per-partition exact-match-stage deltas
+	Stage2    []PartStats // per-partition SMEM-stage deltas
+	ReadBytes int64       // read-stream bytes fetched from DRAM
+}
+
+// SeedReads runs the full seeding flow for a batch of reads and returns
+// the finalized Result. It is exactly Reduce(Seed(reads)): use Seed and
+// Reduce directly to split a batch across worker-owned Clones (see
+// internal/batch) without perturbing the simulated totals.
+func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
+	return a.Reduce(a.Seed(reads))
+}
+
+// Seed runs the paper's two-stage seeding flow (§4.3) for a batch of
+// reads and returns the raw activity:
 //
 //  1. Exact-match stage: every partition is swept with the cheap
 //     anchor-based ExactCheck; a strand that matches exactly retires at
@@ -119,13 +157,14 @@ func (r *Result) ReadsPerMJ() float64 {
 //  2. SMEM stage: the remaining strands run Algorithm 1 against every
 //     partition, with per-partition SMEM sets merged per strand.
 //
-// The returned Result carries the modelled time, power and DRAM traffic.
 // A read streams from DRAM for a partition pass while at least one of its
-// strands is still live.
-func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
-	res := &Result{
-		Reads: make([]ReadResult, len(reads)),
-		DRAM:  dram.NewTraffic(dram.CASAConfig()),
+// strands is still live. Seed mutates only this accelerator's partition
+// counters: concurrent calls on distinct Clones are safe.
+func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	act := &Activity{
+		Reads:  make([]ReadResult, len(reads)),
+		Stage1: make([]PartStats, len(a.parts)),
+		Stage2: make([]PartStats, len(a.parts)),
 	}
 
 	// Strand s covers read s/2: even = forward, odd = reverse complement.
@@ -139,17 +178,15 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	}
 	retired := make([]bool, 2*n)
 	exactRes := make([][]smem.Match, 2*n)
-	var totalCycles int64
 
 	// Stage 1: exact-match sweep with retirement (sequential over
 	// partitions — retirement in partition i changes partition i+1's
 	// active set, exactly as the hardware scan does).
 	if a.cfg.ExactMatchPrepass {
-		for _, p := range a.parts {
-			var passBytes int64
+		for pi, p := range a.parts {
 			for i := range reads {
 				if !retired[2*i] || !retired[2*i+1] {
-					passBytes += bytesOf[i]
+					act.ReadBytes += bytesOf[i]
 				}
 			}
 			before := p.Stats
@@ -166,79 +203,82 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 					exactRes[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
 				}
 			}
-			delta := diffStats(p.Stats, before)
-			res.Stats.add(delta)
-			totalCycles += stageCycles(delta, a.cfg)
-			res.DRAM.Read(passBytes)
+			act.Stage1[pi] = diffStats(p.Stats, before)
 		}
 	}
 
-	// Stage 2: full SMEM computing for the remaining strands. Partitions
-	// are independent now (no retirement), so the host simulation runs
-	// them on a bounded worker pool; the modelled hardware still visits
-	// them sequentially, which the cycle accounting reflects.
-	type partResult struct {
-		matches [][]smem.Match
-		delta   PartStats
-	}
-	results := make([]partResult, len(a.parts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	for pi, p := range a.parts {
-		wg.Add(1)
-		go func(pi int, p *Partition) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pr := partResult{matches: make([][]smem.Match, 2*n)}
-			before := p.Stats
-			for s := range seqs {
-				if !retired[s] {
-					pr.matches[s] = p.seedRead(seqs[s], false)
-				}
-			}
-			pr.delta = diffStats(p.Stats, before)
-			results[pi] = pr
-		}(pi, p)
-	}
-	wg.Wait()
-
+	// Stage 2: full SMEM computing for the remaining strands. The modelled
+	// hardware visits the partitions sequentially, which the per-partition
+	// cycle accounting reflects; host-level parallelism comes from sharding
+	// reads across accelerator Clones, not from racing partitions.
 	strandMatches := make([][]smem.Match, 2*n)
 	copy(strandMatches, exactRes)
-	for _, pr := range results {
+	for pi, p := range a.parts {
+		before := p.Stats
 		for s := range seqs {
-			strandMatches[s] = append(strandMatches[s], pr.matches[s]...)
+			if !retired[s] {
+				strandMatches[s] = append(strandMatches[s], p.seedRead(seqs[s], false)...)
+			}
 		}
-		// Per-partition phase overlap: the pre-seeding filter and the SMEM
-		// computing unit pipeline across read batches, so a partition pass
-		// costs the longer of the two phases (Fig 9).
-		totalCycles += stageCycles(pr.delta, a.cfg)
-		res.Stats.add(pr.delta)
+		act.Stage2[pi] = diffStats(p.Stats, before)
 		// Read streaming: a read fetched for a partition pass serves both
 		// its exact check and its SMEM computation, so with the prepass on
 		// the stage-1 loop above already charged this partition's bytes;
 		// without it, the SMEM stage is the only fetch.
 		if !a.cfg.ExactMatchPrepass {
-			var passBytes int64
 			for i := range reads {
 				if !retired[2*i] || !retired[2*i+1] {
-					passBytes += bytesOf[i]
+					act.ReadBytes += bytesOf[i]
 				}
 			}
-			res.DRAM.Read(passBytes)
 		}
+	}
+
+	for i := range reads {
+		act.Reads[i] = ReadResult{
+			Forward: MergeSMEMs(strandMatches[2*i]),
+			Reverse: MergeSMEMs(strandMatches[2*i+1]),
+		}
+	}
+	return act
+}
+
+// Reduce folds the Activities of disjoint sub-batches (in input order)
+// into one finalized Result: per-read results are concatenated, the
+// per-partition deltas are summed before the cycle conversion, and time,
+// DRAM traffic and energy are modelled once over the totals. Reducing N
+// shard Activities yields the same Result as one sequential Seed over the
+// whole batch, regardless of how the reads were sharded.
+func (a *Accelerator) Reduce(acts ...*Activity) *Result {
+	res := &Result{DRAM: dram.NewTraffic(dram.CASAConfig())}
+	stage1 := make([]PartStats, len(a.parts))
+	stage2 := make([]PartStats, len(a.parts))
+	var readBytes int64
+	for _, act := range acts {
+		res.Reads = append(res.Reads, act.Reads...)
+		for pi := range a.parts {
+			stage1[pi].add(act.Stage1[pi])
+			stage2[pi].add(act.Stage2[pi])
+		}
+		readBytes += act.ReadBytes
+	}
+	res.DRAM.Read(readBytes)
+
+	var totalCycles int64
+	for pi := range a.parts {
+		// Per-partition phase overlap: the pre-seeding filter and the SMEM
+		// computing unit pipeline across read batches, so a partition pass
+		// costs the longer of the two phases (Fig 9).
+		totalCycles += stageCycles(stage1[pi], a.cfg)
+		totalCycles += stageCycles(stage2[pi], a.cfg)
+		res.Stats.add(stage1[pi])
+		res.Stats.add(stage2[pi])
 	}
 
 	res.Cycles = totalCycles
 	res.Seconds = float64(totalCycles) / a.cfg.ClockHz
 	if d := res.DRAM.MinSeconds(); d > res.Seconds {
 		res.Seconds = d
-	}
-	for i := range reads {
-		res.Reads[i] = ReadResult{
-			Forward: MergeSMEMs(strandMatches[2*i]),
-			Reverse: MergeSMEMs(strandMatches[2*i+1]),
-		}
 	}
 	res.Energy = a.energyReport(res)
 	return res

@@ -62,6 +62,20 @@ type tagRange struct {
 	start, end int32
 }
 
+// Clone returns a filter sharing this one's index arrays (built offline,
+// never written during lookups) with fresh Stats. Lookup and Positions on
+// distinct clones are safe to run concurrently.
+func (f *Filter) Clone() *Filter {
+	return &Filter{
+		cfg:       f.cfg,
+		mini:      f.mini,
+		tags:      f.tags,
+		data:      f.data,
+		posIndex:  f.posIndex,
+		positions: f.positions,
+	}
+}
+
 // BuildFilter constructs the filter for one reference partition. Building
 // happens offline in the paper (§4.1, "CASA builds the mini index table
 // and the tag table offline for each reference partition").

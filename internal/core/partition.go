@@ -72,6 +72,14 @@ func NewPartition(ref dna.Sequence, cfg Config) (*Partition, error) {
 	return &Partition{cfg: cfg, ref: ref, packed: dna.Pack(ref), filter: f}, nil
 }
 
+// Clone returns a partition sharing this one's immutable state (the
+// reference, its packed CAM image and the filter's index arrays) with
+// fresh activity counters. Seeding mutates only the counters, so clones
+// may seed concurrently without locks.
+func (p *Partition) Clone() *Partition {
+	return &Partition{cfg: p.cfg, ref: p.ref, packed: p.packed, filter: p.filter.Clone()}
+}
+
 // Ref returns the partition's reference sequence.
 func (p *Partition) Ref() dna.Sequence { return p.ref }
 

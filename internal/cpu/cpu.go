@@ -71,6 +71,12 @@ func New(ref dna.Sequence, cfg Config) (*Seeder, error) {
 	return &Seeder{cfg: cfg, finder: smem.NewBidirectional(ref)}, nil
 }
 
+// Clone returns a seeder sharing the FM-indexes (read-only during
+// search) with its own step counter, so clones can seed concurrently.
+func (s *Seeder) Clone() *Seeder {
+	return &Seeder{cfg: s.cfg, finder: s.finder.Clone()}
+}
+
 // Result is the outcome of a software seeding run.
 type Result struct {
 	Reads      [][]smem.Match // forward-strand SMEMs per read
@@ -81,22 +87,54 @@ type Result struct {
 	ReadsPerMJ float64 // using the socket power envelope
 }
 
+// Activity is the raw, additive outcome of seeding a batch of reads: the
+// per-read SMEM results of both strands plus the FM-index step count.
+// Activities of disjoint sub-batches reduce (Reduce) to a Result
+// identical to a sequential run over the concatenated batch.
+type Activity struct {
+	Reads [][]smem.Match
+	Rev   [][]smem.Match
+	Steps int64
+}
+
 // SeedReads seeds every read on both strands and models the wall time.
+// It is exactly Reduce(Seed(reads)); use Seed and Reduce directly to
+// split a batch across worker-owned Clones.
 func (s *Seeder) SeedReads(reads []dna.Sequence) *Result {
-	res := &Result{}
+	return s.Reduce(s.Seed(reads))
+}
+
+// Seed seeds every read on both strands and returns the raw activity.
+// Seed mutates only this seeder's step counter: concurrent calls on
+// distinct Clones are safe.
+func (s *Seeder) Seed(reads []dna.Sequence) *Activity {
+	act := &Activity{}
 	for _, r := range reads {
-		res.Reads = append(res.Reads, s.finder.FindSMEMs(r, s.cfg.MinSMEM))
-		res.Steps += int64(s.finder.Steps)
-		res.Rev = append(res.Rev, s.finder.FindSMEMs(r.ReverseComplement(), s.cfg.MinSMEM))
-		res.Steps += int64(s.finder.Steps)
+		act.Reads = append(act.Reads, s.finder.FindSMEMs(r, s.cfg.MinSMEM))
+		act.Steps += int64(s.finder.Steps)
+		act.Rev = append(act.Rev, s.finder.FindSMEMs(r.ReverseComplement(), s.cfg.MinSMEM))
+		act.Steps += int64(s.finder.Steps)
+	}
+	return act
+}
+
+// Reduce folds the Activities of disjoint sub-batches (in input order)
+// into one finalized Result, modelling the wall time once over the total
+// step count.
+func (s *Seeder) Reduce(acts ...*Activity) *Result {
+	res := &Result{}
+	for _, act := range acts {
+		res.Reads = append(res.Reads, act.Reads...)
+		res.Rev = append(res.Rev, act.Rev...)
+		res.Steps += act.Steps
 	}
 	perStep := s.cfg.LatencyNS * 1e-9 * s.cfg.MissRate * s.cfg.OverheadFactor
 	res.Seconds = float64(res.Steps) * perStep / float64(s.cfg.Threads)
 	if res.Seconds > 0 {
-		res.Throughput = float64(len(reads)) / res.Seconds
+		res.Throughput = float64(len(res.Reads)) / res.Seconds
 	}
 	if j := s.cfg.SocketWatts * res.Seconds; j > 0 {
-		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+		res.ReadsPerMJ = float64(len(res.Reads)) / (j * 1e3)
 	}
 	return res
 }

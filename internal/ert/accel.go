@@ -58,6 +58,15 @@ func NewAccelerator(ref dna.Sequence, cfg AccelConfig) (*Accelerator, error) {
 // Index exposes the underlying index.
 func (a *Accelerator) Index() *Index { return a.index }
 
+// Clone returns an accelerator sharing the ERT index's immutable trees
+// with fresh activity counters and its own (empty) reuse cache. Clones
+// are the per-worker engines of batch seeding; the shared reuse-cache
+// accounting is replayed sequentially in Reduce, so clone-parallel runs
+// report the same hit rates as a sequential one.
+func (a *Accelerator) Clone() *Accelerator {
+	return &Accelerator{cfg: a.cfg, index: a.index.Clone(), cache: newLRU(a.cache.capacity)}
+}
+
 // Result is the outcome of an ERT seeding run.
 type Result struct {
 	Reads      [][]smem.Match // forward-strand SMEMs per read
@@ -72,22 +81,75 @@ type Result struct {
 	ReadsPerMJ float64
 }
 
+// Activity is the raw, additive outcome of seeding a batch of reads: the
+// per-read SMEM results of both strands plus the index-search counters
+// and the read-stream bytes. Activities of disjoint sub-batches reduce
+// (Reduce) to a Result identical to a sequential run; the reuse-cache
+// model, whose hit rates depend on read order, is replayed over the full
+// batch inside Reduce rather than counted here.
+type Activity struct {
+	Reads     [][]smem.Match
+	Rev       [][]smem.Match
+	Stats     Stats
+	ReadBytes int64
+}
+
 // SeedReads seeds every read (both strands) and models time and power.
-// The reuse cache starts cold for each batch so repeated evaluations of
-// the same workload are deterministic (a warm cache carried across
-// identical batches would fabricate hit rates no real read stream has).
+// It is exactly Reduce(reads, Seed(reads)); use Seed and Reduce directly
+// to split a batch across worker-owned Clones.
 func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
-	a.cache = newLRU(a.cache.capacity)
-	res := &Result{DRAM: dram.NewTraffic(dram.ERTConfig())}
+	return a.Reduce(reads, a.Seed(reads))
+}
+
+// Seed runs the behavioural ERT search for every read (both strands) and
+// returns the raw activity. Seed mutates only this accelerator's index
+// counters: concurrent calls on distinct Clones are safe.
+func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	act := &Activity{}
 	before := a.index.Stats
-	var hits, miss int64
 	for _, r := range reads {
-		fwd := a.seedStrand(r, &hits, &miss)
-		rev := a.seedStrand(r.ReverseComplement(), &hits, &miss)
-		res.Reads = append(res.Reads, fwd)
-		res.Rev = append(res.Rev, rev)
+		act.Reads = append(act.Reads, a.index.FindSMEMs(r, a.cfg.Index.MinSMEM))
+		act.Rev = append(act.Rev, a.index.FindSMEMs(r.ReverseComplement(), a.cfg.Index.MinSMEM))
+		act.ReadBytes += int64((len(r) + 3) / 4)
 	}
-	res.Stats = diff(a.index.Stats, before)
+	act.Stats = diff(a.index.Stats, before)
+	return act
+}
+
+// Reduce folds the Activities of disjoint sub-batches (in input order)
+// into one finalized Result. reads must be the concatenation of the
+// sub-batches, in the same order: the k-mer reuse cache is replayed over
+// it sequentially, starting cold, so cache hit rates — and therefore DRAM
+// traffic, time and energy — are identical no matter how the batch was
+// sharded (a per-worker cache would fabricate hit rates no real read
+// stream has).
+func (a *Accelerator) Reduce(reads []dna.Sequence, acts ...*Activity) *Result {
+	res := &Result{DRAM: dram.NewTraffic(dram.ERTConfig())}
+	var readBytes int64
+	for _, act := range acts {
+		res.Reads = append(res.Reads, act.Reads...)
+		res.Rev = append(res.Rev, act.Rev...)
+		res.Stats.add(act.Stats)
+		readBytes += act.ReadBytes
+	}
+
+	// Reuse-cache replay: one access per pivot k-mer per strand, in batch
+	// order, exactly as the seeding machines stream the reads.
+	cache := newLRU(a.cache.capacity)
+	var hits, miss int64
+	countStrand := func(read dna.Sequence) {
+		for i := 0; i+a.cfg.Index.K <= len(read); i++ {
+			if cache.access(dna.PackKmer(read, i, a.cfg.Index.K)) {
+				hits++
+			} else {
+				miss++
+			}
+		}
+	}
+	for _, r := range reads {
+		countStrand(r)
+		countStrand(r.ReverseComplement())
+	}
 	res.CacheHits, res.CacheMiss = hits, miss
 
 	// DRAM traffic: the single-base trie levels of the model map onto
@@ -101,10 +163,6 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	randomFetches := (res.Stats.NodeFetches+perFetch-1)/perFetch + res.Stats.RefFetches + miss
 	res.DRAM.RandomAccesses += randomFetches
 	res.DRAM.BytesRead += randomFetches * a.cfg.FetchBytes
-	var readBytes int64
-	for _, r := range reads {
-		readBytes += int64((len(r) + 3) / 4)
-	}
 	res.DRAM.Read(readBytes)
 
 	// Time: the random-access latency is overlapped across machines and
@@ -125,28 +183,13 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	m.Register("DRAM controller PHY", cfg.PHYW, 0)
 	res.Energy = m.Report(res.Seconds)
 
-	if res.Seconds > 0 {
-		res.Throughput = float64(len(reads)) / res.Seconds
+	if n := len(res.Reads); res.Seconds > 0 {
+		res.Throughput = float64(n) / res.Seconds
 	}
 	if j := res.Energy.TotalJ(); j > 0 {
-		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+		res.ReadsPerMJ = float64(len(res.Reads)) / (j * 1e3)
 	}
 	return res
-}
-
-// seedStrand seeds one strand, routing root fetches through the reuse
-// cache: a hit suppresses the index-table DRAM access.
-func (a *Accelerator) seedStrand(read dna.Sequence, hits, miss *int64) []smem.Match {
-	// The cache models root reuse across pivots and reads: count one
-	// access per pivot k-mer seen by the search.
-	for i := 0; i+a.cfg.Index.K <= len(read); i++ {
-		if a.cache.access(dna.PackKmer(read, i, a.cfg.Index.K)) {
-			*hits++
-		} else {
-			*miss++
-		}
-	}
-	return a.index.FindSMEMs(read, a.cfg.Index.MinSMEM)
 }
 
 func diff(after, before Stats) Stats {

@@ -83,6 +83,13 @@ func (s *Stats) add(o Stats) {
 	s.Reads += o.Reads
 }
 
+// Clone returns an index sharing this one's trees, suffix array and root
+// table (never written after Build) with a fresh Stats counter, so clones
+// can search concurrently without locks.
+func (ix *Index) Clone() *Index {
+	return &Index{cfg: ix.cfg, ref: ix.ref, sa: ix.sa, roots: ix.roots, nodes: ix.nodes}
+}
+
 // Build constructs the index: the suffix array, one radix tree per
 // distinct k-mer (built from the k-mer's suffix-array interval), and the
 // root table.

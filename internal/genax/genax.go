@@ -162,6 +162,15 @@ func (t *Tables) lookup(kmer dna.Kmer) []int32 {
 // (GenCache's fast-seeding path reuses the same tables).
 func (t *Tables) Lookup(kmer dna.Kmer) []int32 { return t.lookup(kmer) }
 
+// Clone returns tables sharing this segment's seed & position arrays
+// (never written after BuildTables) with fresh Stats, so clones can seed
+// concurrently. The OnFetch hook is copied: callers installing one on a
+// cloned table set must make it safe for concurrent use (or leave it nil,
+// as the plain GenAx accelerator does).
+func (t *Tables) Clone() *Tables {
+	return &Tables{cfg: t.cfg, ref: t.ref, seed: t.seed, positions: t.positions, OnFetch: t.OnFetch}
+}
+
 // Ref returns the segment's reference sequence.
 func (t *Tables) Ref() dna.Sequence { return t.ref }
 
@@ -309,6 +318,18 @@ func NewWithOverlap(ref dna.Sequence, cfg Config, overlap int) (*Accelerator, er
 // Segments returns the number of reference segments.
 func (a *Accelerator) Segments() int { return len(a.segments) }
 
+// Clone returns an accelerator sharing this one's segment tables (their
+// immutable seed & position arrays) with fresh activity counters, for
+// lock-free per-worker batch seeding.
+func (a *Accelerator) Clone() *Accelerator {
+	c := &Accelerator{cfg: a.cfg}
+	c.segments = make([]*Tables, len(a.segments))
+	for i, t := range a.segments {
+		c.segments[i] = t.Clone()
+	}
+	return c
+}
+
 // Result is the outcome of a GenAx seeding run.
 type Result struct {
 	Reads      [][]smem.Match // merged forward-strand SMEMs per read
@@ -321,9 +342,30 @@ type Result struct {
 	ReadsPerMJ float64
 }
 
-// SeedReads seeds every read (both strands) against every segment.
+// Activity is the raw, additive outcome of seeding a batch of reads: the
+// per-read SMEM results of both strands (already merged across segments)
+// plus the lane-activity counters and read-stream bytes. Activities of
+// disjoint sub-batches reduce (Reduce) to a Result identical to a
+// sequential run over the concatenated batch.
+type Activity struct {
+	Reads     [][]smem.Match
+	Rev       [][]smem.Match
+	Stats     Stats
+	ReadBytes int64
+}
+
+// SeedReads seeds every read (both strands) against every segment. It is
+// exactly Reduce(Seed(reads)); use Seed and Reduce directly to split a
+// batch across worker-owned Clones.
 func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
-	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	return a.Reduce(a.Seed(reads))
+}
+
+// Seed seeds every read (both strands) against every segment and returns
+// the raw activity. Seed mutates only this accelerator's segment
+// counters: concurrent calls on distinct Clones are safe.
+func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	act := &Activity{}
 	fwd := make([][]smem.Match, len(reads))
 	rev := make([][]smem.Match, len(reads))
 	var readBytes int64
@@ -336,13 +378,30 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 			fwd[i] = append(fwd[i], seg.FindSMEMs(r, a.cfg.MinSMEM)...)
 			rev[i] = append(rev[i], seg.FindSMEMs(r.ReverseComplement(), a.cfg.MinSMEM)...)
 		}
-		res.Stats.add(diff(seg.Stats, before))
-		res.DRAM.Read(readBytes)
+		act.Stats.add(diff(seg.Stats, before))
+		act.ReadBytes += readBytes
 	}
 	for i := range reads {
-		res.Reads = append(res.Reads, mergeSMEMs(fwd[i]))
-		res.Rev = append(res.Rev, mergeSMEMs(rev[i]))
+		act.Reads = append(act.Reads, mergeSMEMs(fwd[i]))
+		act.Rev = append(act.Rev, mergeSMEMs(rev[i]))
 	}
+	return act
+}
+
+// Reduce folds the Activities of disjoint sub-batches (in input order)
+// into one finalized Result; the lane timing and energy are modelled once
+// over the summed counters, so the totals match a sequential run no
+// matter how the batch was sharded.
+func (a *Accelerator) Reduce(acts ...*Activity) *Result {
+	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	var readBytes int64
+	for _, act := range acts {
+		res.Reads = append(res.Reads, act.Reads...)
+		res.Rev = append(res.Rev, act.Rev...)
+		res.Stats.add(act.Stats)
+		readBytes += act.ReadBytes
+	}
+	res.DRAM.Read(readBytes)
 
 	// Timing: each lane serializes its read's dependent fetches (at the
 	// SRAM pipeline latency) and intersection operations; the lanes run in
@@ -367,11 +426,11 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	m.Register("DRAM controller PHY", res.DRAM.Config().PHYW, 0)
 	res.Energy = m.Report(res.Seconds)
 
-	if res.Seconds > 0 {
-		res.Throughput = float64(len(reads)) / res.Seconds
+	if n := len(res.Reads); res.Seconds > 0 {
+		res.Throughput = float64(n) / res.Seconds
 	}
 	if j := res.Energy.TotalJ(); j > 0 {
-		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+		res.ReadsPerMJ = float64(len(res.Reads)) / (j * 1e3)
 	}
 	return res
 }

@@ -1,0 +1,137 @@
+package smem_test
+
+import (
+	"strings"
+	"testing"
+
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/genax"
+	"casa/internal/readsim"
+	"casa/internal/smem"
+)
+
+// The differential harness of the issue: randomized references with
+// repeat families and N runs, reads at several lengths and error rates,
+// and every SMEM engine — brute force (golden), FM-index bidirectional,
+// the hash-based seed-table search (GenAx) and CASA — must agree exactly
+// (smem.Equal: intervals AND hit counts) on every read. CASA runs over a
+// single partition with the exact-match prepass off, the configuration
+// under which its output is defined to be the exact SMEM set (the
+// prepass intentionally retires the non-matching strand, and partition
+// overlap double-counts hits; both are covered by core's own tests).
+
+// diffRef builds a repeat-rich reference; withNs splices runs of 'N'
+// through the FASTA ingestion path (dna.FromString replaces ambiguous
+// bases deterministically, so every engine sees the same bases).
+func diffRef(length int, seed int64, withNs bool) dna.Sequence {
+	ref := readsim.GenerateReference(readsim.DefaultGenome(length, seed))
+	if !withNs {
+		return ref
+	}
+	s := []byte(ref.String())
+	for _, span := range []struct{ at, n int }{
+		{len(s) / 7, 15}, {len(s) / 3, 40}, {len(s) / 2, 7}, {5 * len(s) / 6, 25},
+	} {
+		for i := 0; i < span.n && span.at+i < len(s); i++ {
+			s[span.at+i] = 'N'
+		}
+	}
+	return dna.FromString(string(s))
+}
+
+// casaSingle builds a single-partition CASA accelerator whose SMEM output
+// is directly comparable to the golden finder.
+func casaSingle(t *testing.T, ref dna.Sequence, minSMEM int, filter func(*core.Config)) *core.Accelerator {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.K = 7
+	cfg.M = 4
+	cfg.Stride = 5
+	cfg.Groups = 4
+	cfg.MinSMEM = minSMEM
+	cfg.PartitionBases = len(ref)
+	cfg.ExactMatchPrepass = false
+	filter(&cfg)
+	a, err := core.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDifferentialEnginesAgree(t *testing.T) {
+	filters := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"table+analysis", func(*core.Config) {}},
+		{"table-only", func(c *core.Config) { c.UseAnalysis = false }},
+		{"no-filter", func(c *core.Config) { c.UseFilterTable = false; c.UseAnalysis = false }},
+	}
+	profiles := []struct {
+		name    string
+		readLen int
+		errRate float64
+		minSMEM int
+	}{
+		{"exact-51bp", 51, 0, 11},
+		{"err1pct-101bp", 101, 0.01, 11},
+		{"err5pct-151bp", 151, 0.05, 15},
+	}
+	for _, withNs := range []bool{false, true} {
+		refName := "plain"
+		if withNs {
+			refName = "with-Ns"
+		}
+		ref := diffRef(1<<14, 5, withNs)
+		golden := smem.BruteForce{Ref: ref}
+		fm := smem.NewBidirectional(ref)
+		gcfg := genax.DefaultConfig()
+		gcfg.K = 7
+		gcfg.MinSMEM = 11
+		gcfg.PartitionBases = len(ref)
+		tables, err := genax.BuildTables(ref, gcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range profiles {
+			prof := readsim.ReadProfile{
+				Length: p.readLen, Count: 25, Seed: 13,
+				ErrRate: p.errRate, IndelRate: p.errRate / 5, RevComp: true,
+			}
+			reads := readsim.Sequences(readsim.Simulate(ref, prof))
+
+			// The golden SMEM sets, and the filter-independent engines,
+			// computed once per read profile.
+			want := make([][]smem.Match, len(reads))
+			wantR := make([][]smem.Match, len(reads))
+			t.Run(strings.Join([]string{refName, "finders", p.name}, "/"), func(t *testing.T) {
+				for i, read := range reads {
+					want[i] = golden.FindSMEMs(read, p.minSMEM)
+					wantR[i] = golden.FindSMEMs(read.ReverseComplement(), p.minSMEM)
+					if got := fm.FindSMEMs(read, p.minSMEM); !smem.Equal(want[i], got) {
+						t.Fatalf("read %d: fm-index disagrees\n got %v\nwant %v", i, got, want[i])
+					}
+					if got := tables.FindSMEMs(read, p.minSMEM); !smem.Equal(want[i], got) {
+						t.Fatalf("read %d: genax tables disagree\n got %v\nwant %v", i, got, want[i])
+					}
+				}
+			})
+			for _, fc := range filters {
+				t.Run(strings.Join([]string{refName, "casa-" + fc.name, p.name}, "/"), func(t *testing.T) {
+					acc := casaSingle(t, ref, p.minSMEM, fc.mut)
+					res := acc.SeedReads(reads)
+					for i := range reads {
+						if got := res.Reads[i].Forward; !smem.Equal(want[i], got) {
+							t.Fatalf("read %d: casa disagrees\n got %v\nwant %v", i, got, want[i])
+						}
+						if got := res.Reads[i].Reverse; !smem.Equal(wantR[i], got) {
+							t.Fatalf("read %d reverse: casa disagrees\n got %v\nwant %v", i, got, wantR[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package smem_test
+
+import (
+	"testing"
+
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/readsim"
+	"casa/internal/smem"
+)
+
+// fuzzRef is the fixed reference the fuzz target searches: small enough
+// that one brute-force pass per input is cheap, repeat-rich enough that
+// arbitrary reads still hit it.
+func fuzzRef() dna.Sequence {
+	return readsim.GenerateReference(readsim.DefaultGenome(2048, 3))
+}
+
+func fuzzAccelerator(ref dna.Sequence) (*core.Accelerator, core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.K = 7
+	cfg.M = 4
+	cfg.Stride = 5
+	cfg.Groups = 4
+	cfg.MinSMEM = 11
+	cfg.PartitionBases = len(ref)
+	cfg.ExactMatchPrepass = false
+	a, err := core.New(ref, cfg)
+	return a, cfg, err
+}
+
+// FuzzSMEMEnginesAgree feeds arbitrary read bytes (mapped onto 2-bit
+// bases) to the brute-force golden finder and the single-partition CASA
+// accelerator and requires identical SMEM sets — intervals and hit
+// counts — on both strands.
+func FuzzSMEMEnginesAgree(f *testing.F) {
+	ref := fuzzRef()
+	acc, cfg, err := fuzzAccelerator(ref)
+	if err != nil {
+		f.Fatal(err)
+	}
+	golden := smem.BruteForce{Ref: ref}
+
+	f.Add([]byte(ref[100:201].String()))
+	f.Add([]byte(ref[500:520].String()))
+	f.Add([]byte("ACGTACGTACGTACGTACGT"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x01\x02\x03ACGT\xfe\xff repeats"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 256 {
+			raw = raw[:256] // keep the brute-force oracle cheap
+		}
+		read := make(dna.Sequence, len(raw))
+		for i, c := range raw {
+			read[i] = dna.Base(c & 3)
+		}
+		res := acc.SeedReads([]dna.Sequence{read})
+		want := golden.FindSMEMs(read, cfg.MinSMEM)
+		if got := res.Reads[0].Forward; !smem.Equal(want, got) {
+			t.Fatalf("forward SMEMs disagree on %q:\n casa %v\nbrute %v", read, got, want)
+		}
+		wantR := golden.FindSMEMs(read.ReverseComplement(), cfg.MinSMEM)
+		if got := res.Reads[0].Reverse; !smem.Equal(wantR, got) {
+			t.Fatalf("reverse SMEMs disagree on %q:\n casa %v\nbrute %v", read, got, wantR)
+		}
+	})
+}

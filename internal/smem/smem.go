@@ -213,6 +213,12 @@ func NewBidirectional(ref dna.Sequence) *Bidirectional {
 	return &Bidirectional{Index: fmindex.BuildBidirectional(ref)}
 }
 
+// Clone returns a finder sharing the FM-indexes (read-only during search)
+// with its own Steps counter, so clones can search concurrently.
+func (f *Bidirectional) Clone() *Bidirectional {
+	return &Bidirectional{Index: f.Index}
+}
+
 // FindSMEMs implements Finder.
 func (f *Bidirectional) FindSMEMs(read dna.Sequence, minLen int) []Match {
 	f.Steps = 0
@@ -259,6 +265,12 @@ type Unidirectional struct {
 // NewUnidirectional builds the finder over ref.
 func NewUnidirectional(ref dna.Sequence) *Unidirectional {
 	return &Unidirectional{Index: fmindex.BuildBidirectional(ref)}
+}
+
+// Clone returns a finder sharing the FM-indexes with its own Pivots
+// counter, so clones can search concurrently.
+func (f *Unidirectional) Clone() *Unidirectional {
+	return &Unidirectional{Index: f.Index}
 }
 
 // FindSMEMs implements Finder.
