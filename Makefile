@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments ablations examples clean
+.PHONY: all build test race cover bench bench-quick bench-all fuzz experiments ablations examples clean
 
 all: build test
 
@@ -20,8 +20,23 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One bench pass per table/figure plus the ablation benches.
+# Batch-seeding benchmarks: the BenchmarkBatch* suites plus the
+# cross-engine casa-bench run, which writes BENCH_seeding.json
+# (schema casa-bench/v1; host throughput + modelled seconds/cycles per
+# engine and worker count) and re-validates it.
 bench:
+	$(GO) test -bench=BenchmarkBatch -benchmem -benchtime=1x .
+	$(GO) run ./cmd/casa-bench -out BENCH_seeding.json
+	$(GO) run ./cmd/casa-bench -validate BENCH_seeding.json
+
+# CI smoke variant: small workload, fewer pool sizes.
+bench-quick:
+	$(GO) test -bench=BenchmarkBatch -benchtime=1x .
+	$(GO) run ./cmd/casa-bench -scale quick -workers 1,4 -out BENCH_seeding.json
+	$(GO) run ./cmd/casa-bench -validate BENCH_seeding.json
+
+# One bench pass per paper table/figure plus the ablation benches.
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 fuzz:

@@ -30,6 +30,7 @@ import (
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/gencache"
+	"casa/internal/metrics"
 	"casa/internal/pairing"
 	"casa/internal/pipeline"
 	"casa/internal/readsim"
@@ -121,6 +122,27 @@ func RunBatchGenAx(acc *GenAxAccelerator, reads []Sequence, o BatchOptions) *gen
 func RunBatchCPU(s *CPUSeeder, reads []Sequence, o BatchOptions) *cpu.Result {
 	return batch.SeedCPU(s, reads, o)
 }
+
+// RunBatchGenCache is RunBatch for the GenCache baseline. The
+// order-sensitive cache model is replayed from recorded per-shard fetch
+// streams during reduction, so results stay bit-identical to a
+// sequential SeedReads at any worker count.
+func RunBatchGenCache(acc *GenCacheAccelerator, reads []Sequence, o BatchOptions) *gencache.Result {
+	return batch.SeedGenCache(acc, reads, o)
+}
+
+// Observability: engines publish activity counters and model gauges into
+// a MetricsRegistry under names of the form engine/stage/counter; see
+// docs/OBSERVABILITY.md. Set BatchOptions.Metrics to collect a batch
+// run's metrics — the merged registry is byte-identical for any worker
+// count.
+type (
+	// MetricsRegistry is an in-process counter/gauge/histogram registry.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // FindSMEMsBatch runs any Finder over a read batch on the worker pool,
 // returning per-read SMEM sets in input order. newFinder must return an

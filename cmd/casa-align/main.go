@@ -15,11 +15,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 
 	"casa/internal/batch"
 	"casa/internal/core"
 	"casa/internal/dna"
+	"casa/internal/metrics"
 	"casa/internal/pairing"
 	"casa/internal/refidx"
 	"casa/internal/sam"
@@ -56,8 +60,10 @@ func main() {
 		outPath   = flag.String("out", "-", "SAM output path (- = stdout)")
 		partition = flag.Int("partition", 4<<20, "CASA partition size in bases")
 		maxHits   = flag.Int("max-hits", 4, "extension candidates per SMEM")
-		batchSize = flag.Int("batch", 4096, "reads seeded per batch")
-		workers   = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
+		batchSize  = flag.Int("batch", 4096, "reads seeded per batch")
+		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
+		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on this address until interrupted")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -107,10 +113,15 @@ func main() {
 	for _, c := range ix.Chromosomes() {
 		refSeqs = append(refSeqs, sam.RefSeq{Name: c.Name, Length: c.Length})
 	}
+	reg := metrics.New()
 	a := &aligner{
 		acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
-		pool:   batch.Options{Workers: *workers},
+		pool:   batch.Options{Workers: *workers, Metrics: reg},
 		writer: sam.NewWriter(out, refSeqs, "casa-align"),
+	}
+	if *httpAddr != "" {
+		// Start before aligning so /debug/pprof can profile the run.
+		serveHTTP(*httpAddr, reg)
 	}
 
 	if *reads2 == "" {
@@ -124,7 +135,41 @@ func main() {
 	if err := a.writer.Flush(); err != nil {
 		log.Fatal(err)
 	}
+	a.sx.PublishMetrics(reg)
+	reg.Counter("align/reads/total").Add(int64(a.total))
+	reg.Counter("align/reads/aligned").Add(int64(a.aligned))
 	fmt.Fprintf(os.Stderr, "casa-align: %d/%d reads aligned\n", a.aligned, a.total)
+	if *metricsOut {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "casa-align: serving /metrics and /debug/pprof on %s, interrupt to exit\n", *httpAddr)
+		waitForInterrupt()
+	}
+}
+
+// serveHTTP exposes the registry at /metrics and the net/http/pprof
+// handlers (registered on the default mux by the blank import) on addr.
+func serveHTTP(addr string, reg *metrics.Registry) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 // runSingle streams single-end reads in batches.

@@ -1,0 +1,273 @@
+// Command casa-bench runs the cross-engine batch-seeding benchmark and
+// writes a machine-readable BENCH_seeding.json (schema casa-bench/v1):
+// for every engine and worker-pool size, the host wall-clock throughput
+// of the simulation plus the engine's modelled seconds, cycles and
+// throughput. `make bench` drives it; CI runs `-scale quick` and then
+// `-validate` to keep the schema honest.
+//
+// Usage:
+//
+//	casa-bench [-scale quick|default] [-workers 1,2,4,8] [-out BENCH_seeding.json]
+//	casa-bench -validate BENCH_seeding.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"casa/internal/batch"
+	"casa/internal/core"
+	"casa/internal/cpu"
+	"casa/internal/dna"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/gencache"
+	"casa/internal/readsim"
+	"casa/internal/smem"
+)
+
+// benchSchema identifies the document layout.
+const benchSchema = "casa-bench/v1"
+
+type workload struct {
+	RefBases int `json:"ref_bases"`
+	Reads    int `json:"reads"`
+	ReadLen  int `json:"read_len"`
+	MinSMEM  int `json:"min_smem"`
+}
+
+// row is one engine × worker-count measurement. Host numbers measure the
+// simulator on this machine; model numbers are the simulated hardware's
+// and are identical at every worker count (the determinism contract).
+type row struct {
+	Engine         string  `json:"engine"`
+	Workers        int     `json:"workers"`
+	HostSeconds    float64 `json:"host_seconds"`
+	HostReadsPerS  float64 `json:"host_reads_per_s"`
+	ModelSeconds   float64 `json:"model_seconds,omitempty"`
+	ModelCycles    int64   `json:"model_cycles,omitempty"`
+	ModelReadsPerS float64 `json:"model_reads_per_s,omitempty"`
+}
+
+type doc struct {
+	Schema   string   `json:"schema"`
+	Scale    string   `json:"scale"`
+	Workload workload `json:"workload"`
+	Engines  []row    `json:"engines"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-bench: ")
+	var (
+		scale    = flag.String("scale", "default", "workload scale: quick (CI smoke) or default")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker-pool sizes")
+		out      = flag.String("out", "BENCH_seeding.json", "output path (- = stdout)")
+		validate = flag.String("validate", "", "validate an existing benchmark file against the schema and exit")
+	)
+	flag.Parse()
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("casa-bench: %s is a valid %s document\n", *validate, benchSchema)
+		return
+	}
+
+	refBases, nReads := 1<<17, 1000
+	if *scale == "quick" {
+		refBases, nReads = 1<<16, 200
+	}
+	ws, err := parseWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref := readsim.GenerateReference(readsim.DefaultGenome(refBases, 21))
+	reads := readsim.Sequences(readsim.Simulate(ref, readsim.DefaultProfile(nReads, 22)))
+	const minSMEM = 19
+	d := doc{
+		Schema: benchSchema,
+		Scale:  *scale,
+		Workload: workload{
+			RefBases: len(ref), Reads: len(reads), ReadLen: len(reads[0]), MinSMEM: minSMEM,
+		},
+	}
+
+	for _, e := range buildEngines(ref, minSMEM) {
+		for _, w := range ws {
+			opts := batch.Options{Workers: w}
+			start := time.Now()
+			m := e.run(reads, opts)
+			host := time.Since(start).Seconds()
+			r := row{Engine: e.name, Workers: w, HostSeconds: host}
+			if host > 0 {
+				r.HostReadsPerS = float64(len(reads)) / host
+			}
+			r.ModelSeconds, r.ModelCycles, r.ModelReadsPerS = m.seconds, m.cycles, m.throughput
+			d.Engines = append(d.Engines, r)
+			log.Printf("%-8s workers=%d host=%.3fs (%.0f reads/s)", e.name, w, host, r.HostReadsPerS)
+		}
+	}
+
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" {
+		log.Printf("wrote %s (%d rows)", *out, len(d.Engines))
+	}
+}
+
+// model carries the simulated-hardware outputs of one run; zero for
+// engines with no hardware model (fmindex).
+type model struct {
+	seconds    float64
+	cycles     int64
+	throughput float64
+}
+
+type engine struct {
+	name string
+	run  func(reads []dna.Sequence, o batch.Options) model
+}
+
+// buildEngines constructs every engine over ref, scaled to bench size
+// (small segments so multi-partition paths are exercised, table k-mers
+// kept small enough for CI memory).
+func buildEngines(ref dna.Sequence, minSMEM int) []engine {
+	part := len(ref) / 4
+	ccfg := core.DefaultConfig()
+	ccfg.MinSMEM = minSMEM
+	ccfg.PartitionBases = part
+	casaAcc, err := core.New(ref, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ertAcc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcfg := genax.DefaultConfig()
+	gcfg.K = 8
+	gcfg.MinSMEM = minSMEM
+	gcfg.PartitionBases = part
+	genaxAcc, err := genax.New(ref, gcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gccfg := gencache.DefaultConfig()
+	gccfg.GenAx = gcfg
+	gccfg.CacheBytes = 1 << 14
+	gencacheAcc, err := gencache.New(ref, gccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuSeeder, err := cpu.New(ref, cpu.B12T())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fm := smem.NewBidirectional(ref)
+
+	return []engine{
+		{"casa", func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedCASA(casaAcc, reads, o)
+			return model{res.Seconds, res.Cycles, res.Throughput()}
+		}},
+		{"ert", func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedERT(ertAcc, reads, o)
+			return model{res.Seconds, 0, res.Throughput}
+		}},
+		{"genax", func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedGenAx(genaxAcc, reads, o)
+			return model{res.Seconds, 0, res.Throughput}
+		}},
+		{"gencache", func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedGenCache(gencacheAcc, reads, o)
+			return model{res.Seconds, 0, res.Throughput}
+		}},
+		{"cpu", func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedCPU(cpuSeeder, reads, o)
+			return model{res.Seconds, 0, res.Throughput}
+		}},
+		{"fmindex", func(reads []dna.Sequence, o batch.Options) model {
+			batch.FindSMEMs(reads, minSMEM, o, func(worker int) smem.Finder {
+				if worker == 0 {
+					return fm
+				}
+				return fm.Clone()
+			})
+			return model{}
+		}},
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var ws []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("casa-bench: bad -workers entry %q", f)
+		}
+		ws = append(ws, n)
+	}
+	return ws, nil
+}
+
+// validateFile checks that path holds a well-formed casa-bench/v1
+// document: the right schema tag, a plausible workload, and positive
+// host measurements for every engine row.
+func validateFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d doc
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return fmt.Errorf("casa-bench: %s: %w", path, err)
+	}
+	if d.Schema != benchSchema {
+		return fmt.Errorf("casa-bench: %s: schema %q, want %q", path, d.Schema, benchSchema)
+	}
+	if d.Workload.RefBases <= 0 || d.Workload.Reads <= 0 || d.Workload.ReadLen <= 0 {
+		return fmt.Errorf("casa-bench: %s: implausible workload %+v", path, d.Workload)
+	}
+	if len(d.Engines) == 0 {
+		return fmt.Errorf("casa-bench: %s: no engine rows", path)
+	}
+	seen := map[string]bool{}
+	for i, r := range d.Engines {
+		if r.Engine == "" || r.Workers < 1 {
+			return fmt.Errorf("casa-bench: %s: row %d malformed: %+v", path, i, r)
+		}
+		if r.HostSeconds <= 0 || r.HostReadsPerS <= 0 {
+			return fmt.Errorf("casa-bench: %s: row %d (%s workers=%d) has no host measurement", path, i, r.Engine, r.Workers)
+		}
+		seen[r.Engine] = true
+	}
+	for _, want := range []string{"casa", "ert", "genax", "gencache", "cpu", "fmindex"} {
+		if !seen[want] {
+			return fmt.Errorf("casa-bench: %s: engine %q missing", path, want)
+		}
+	}
+	return nil
+}

@@ -1,22 +1,32 @@
 // Command casa-smem computes SMEMs for reads against a reference with a
-// selectable engine (casa, fmindex, genax, ert, brute) and optionally
-// cross-checks two engines against each other, mirroring the paper's §6
-// validation ("CASA produces identical SMEMs to GenAx and 100% SMEMs of
-// BWA-MEM2 are contained").
+// selectable engine (casa, fmindex, genax, gencache, ert, brute) and
+// optionally cross-checks two engines against each other, mirroring the
+// paper's §6 validation ("CASA produces identical SMEMs to GenAx and 100%
+// SMEMs of BWA-MEM2 are contained").
 //
 // Reads are seeded as one batch over a worker pool (-workers); results
 // are reported in input order regardless of completion order.
 //
+// Observability (see docs/OBSERVABILITY.md): every engine publishes its
+// activity counters and model gauges into a metrics registry. -json emits
+// a stable machine-readable report (schema casa-smem/v1) on stdout;
+// -metrics writes the Prometheus-style text exposition to stderr; -http
+// serves /metrics and net/http/pprof until interrupted.
+//
 // Usage:
 //
-//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8]
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-http localhost:6060]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 
 	"casa/internal/batch"
 	"casa/internal/core"
@@ -24,28 +34,51 @@ import (
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/gencache"
+	"casa/internal/metrics"
 	"casa/internal/seqio"
 	"casa/internal/smem"
 )
 
 // engine computes forward-strand SMEMs for a read batch on a worker pool,
-// returning per-read SMEM sets in input order.
+// returning per-read SMEM sets in input order. When pool.Metrics is set,
+// the engine publishes its activity counters and model gauges into it.
 type engine interface {
 	findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match
+}
+
+// reportSchema identifies the -json document layout.
+const reportSchema = "casa-smem/v1"
+
+// report is the -json output document. Field order is fixed and the
+// embedded registry serializes with sorted names, so the same run always
+// produces the same bytes.
+type report struct {
+	Schema     string            `json:"schema"`
+	Engine     string            `json:"engine"`
+	Verify     string            `json:"verify,omitempty"`
+	MinSMEM    int               `json:"min_smem"`
+	Workers    int               `json:"workers"`
+	Reads      int               `json:"reads"`
+	SMEMs      int               `json:"smems"`
+	Mismatches int               `json:"mismatches"`
+	Metrics    *metrics.Registry `json:"metrics"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casa-smem: ")
 	var (
-		refPath   = flag.String("ref", "", "reference FASTA (required)")
-		readsPath = flag.String("reads", "", "reads FASTQ (required)")
-		engName   = flag.String("engine", "casa", "engine: casa, fmindex, genax, gencache, ert, brute")
-		verify    = flag.String("verify", "", "second engine to cross-check against")
-		minSMEM   = flag.Int("min-smem", 19, "minimum SMEM length")
-		maxReads  = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
-		workers   = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
-		quiet     = flag.Bool("quiet", false, "suppress per-read output (counts only)")
+		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		readsPath  = flag.String("reads", "", "reads FASTQ (required)")
+		engName    = flag.String("engine", "casa", "engine: casa, fmindex, genax, gencache, ert, brute")
+		verify     = flag.String("verify", "", "second engine to cross-check against")
+		minSMEM    = flag.Int("min-smem", 19, "minimum SMEM length")
+		maxReads   = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
+		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
+		quiet      = flag.Bool("quiet", false, "suppress per-read output (counts only)")
+		jsonOut    = flag.Bool("json", false, "emit a "+reportSchema+" JSON report on stdout instead of text")
+		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on this address until interrupted")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -56,7 +89,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool := batch.Options{Workers: *workers}
+	reg := metrics.New()
+	pool := batch.Options{Workers: *workers, Metrics: reg}
+	if *httpAddr != "" {
+		// Start before seeding so /debug/pprof can profile the run.
+		serveHTTP(*httpAddr, reg)
+	}
 
 	eng, err := build(*engName, ref, *minSMEM)
 	if err != nil {
@@ -76,7 +114,7 @@ func main() {
 	for i := range reads {
 		ms := got[i]
 		totalSMEMs += len(ms)
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			fmt.Printf("%s\t%d SMEMs", names[i], len(ms))
 			for _, m := range ms {
 				fmt.Printf("\t%s", m)
@@ -88,14 +126,63 @@ func main() {
 			fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  %s: %v\n  %s: %v\n", names[i], *engName, ms, *verify, want[i])
 		}
 	}
-	fmt.Printf("\n%d reads, %d SMEMs via %s", len(reads), totalSMEMs, *engName)
-	if want != nil {
-		fmt.Printf("; %d mismatches vs %s", mismatches, *verify)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Schema:     reportSchema,
+			Engine:     *engName,
+			Verify:     *verify,
+			MinSMEM:    *minSMEM,
+			Workers:    pool.WorkerCount(),
+			Reads:      len(reads),
+			SMEMs:      totalSMEMs,
+			Mismatches: mismatches,
+			Metrics:    reg,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("\n%d reads, %d SMEMs via %s", len(reads), totalSMEMs, *engName)
+		if want != nil {
+			fmt.Printf("; %d mismatches vs %s", mismatches, *verify)
+		}
+		fmt.Println()
 	}
-	fmt.Println()
+	if *metricsOut {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "casa-smem: serving /metrics and /debug/pprof on %s, interrupt to exit\n", *httpAddr)
+		waitForInterrupt()
+	}
 	if mismatches > 0 {
 		os.Exit(1)
 	}
+}
+
+// serveHTTP exposes the registry at /metrics and the net/http/pprof
+// handlers (registered on the default mux by the blank import) on addr.
+func serveHTTP(addr string, reg *metrics.Registry) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
@@ -116,16 +203,21 @@ func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
 		return casaEngine{a}, nil
 	case "fmindex":
 		f := smem.NewBidirectional(ref)
-		return finderEngine{func(worker int) smem.Finder {
-			if worker == 0 {
-				return f
-			}
-			return f.Clone()
-		}}, nil
+		return finderEngine{
+			newFinder: func(worker int) smem.Finder {
+				if worker == 0 {
+					return f
+				}
+				return f.Clone()
+			},
+			publish: func(f smem.Finder, reg *metrics.Registry) {
+				f.(*smem.Bidirectional).PublishMetrics(reg)
+			},
+		}, nil
 	case "brute":
 		// BruteForce holds no mutable state: every worker shares it.
 		bf := smem.BruteForce{Ref: ref}
-		return finderEngine{func(int) smem.Finder { return bf }}, nil
+		return finderEngine{newFinder: func(int) smem.Finder { return bf }}, nil
 	case "genax":
 		cfg := genax.DefaultConfig()
 		cfg.MinSMEM = minSMEM
@@ -149,24 +241,44 @@ func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finderEngine{func(worker int) smem.Finder {
-			if worker == 0 {
-				return ertFinder{ix}
-			}
-			return ertFinder{ix.Clone()}
-		}}, nil
+		return finderEngine{
+			newFinder: func(worker int) smem.Finder {
+				if worker == 0 {
+					return ertFinder{ix}
+				}
+				return ertFinder{ix.Clone()}
+			},
+			publish: func(f smem.Finder, reg *metrics.Registry) {
+				f.(ertFinder).ix.PublishMetrics(reg)
+			},
+		}, nil
 	default:
 		return nil, fmt.Errorf("casa-smem: unknown engine %q", name)
 	}
 }
 
-// finderEngine batches any smem.Finder via a per-worker constructor.
+// finderEngine batches any smem.Finder via a per-worker constructor; when
+// the pool carries a registry and the finder counts work, publish folds
+// each worker's counters in after the batch drains.
 type finderEngine struct {
 	newFinder func(worker int) smem.Finder
+	publish   func(f smem.Finder, reg *metrics.Registry)
 }
 
 func (e finderEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
-	return batch.FindSMEMs(reads, minLen, pool, e.newFinder)
+	finders := make([]smem.Finder, pool.WorkerCount())
+	for w := range finders {
+		finders[w] = e.newFinder(w)
+	}
+	out := batch.FindSMEMs(reads, minLen, pool, func(worker int) smem.Finder {
+		return finders[worker]
+	})
+	if pool.Metrics != nil && e.publish != nil {
+		for _, f := range finders {
+			e.publish(f, pool.Metrics)
+		}
+	}
+	return out
 }
 
 type ertFinder struct{ ix *ert.Index }
@@ -186,12 +298,13 @@ func (e casaEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options
 	return out
 }
 
-// gencacheEngine seeds sequentially: GenCache's fast-seeding cache is
-// order-sensitive shared state with no Clone, so it does not shard.
+// gencacheEngine shards like the other accelerators: the order-sensitive
+// multi-bank cache is replayed from the recorded per-shard fetch streams
+// during reduction, so -workers applies without perturbing the model.
 type gencacheEngine struct{ a *gencache.Accelerator }
 
 func (e gencacheEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
-	res := e.a.SeedReads(reads)
+	res := batch.SeedGenCache(e.a, reads, pool)
 	return res.Reads
 }
 

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"casa/internal/metrics"
 )
 
 // Options configures the worker pool.
@@ -37,6 +39,15 @@ type Options struct {
 	// grain that gives each worker several shards (for load balancing)
 	// while keeping shards large enough to amortize scheduling.
 	Grain int
+
+	// Metrics, when non-nil, receives the run's observability data: each
+	// worker publishes its shard activity into a private registry, the
+	// per-worker registries are merged in worker order after the pool
+	// drains, and the finalized model gauges are layered on after Reduce.
+	// Because activity metrics are additive integer counters, the merged
+	// registry is byte-identical to the one a sequential run publishes,
+	// for any worker count.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the default pool configuration: one worker per

@@ -6,6 +6,8 @@ import (
 	"casa/internal/dna"
 	"casa/internal/ert"
 	"casa/internal/genax"
+	"casa/internal/gencache"
+	"casa/internal/metrics"
 	"casa/internal/smem"
 )
 
@@ -21,15 +23,48 @@ func clonePool[E any](original E, workers int, clone func(E) E) []E {
 	return engines
 }
 
+// workerRegistries returns one private registry per worker when o.Metrics
+// is set (so workers publish without contending), else nil.
+func workerRegistries(o Options) []*metrics.Registry {
+	if o.Metrics == nil {
+		return nil
+	}
+	regs := make([]*metrics.Registry, o.WorkerCount())
+	for i := range regs {
+		regs[i] = metrics.New()
+	}
+	return regs
+}
+
+// mergeRegistries folds the per-worker registries into o.Metrics in
+// worker order. Activity metrics are additive integer counters, so any
+// merge order yields the sequential run's totals; worker order keeps the
+// operation deterministic anyway.
+func mergeRegistries(o Options, regs []*metrics.Registry) {
+	for _, r := range regs {
+		o.Metrics.Merge(r)
+	}
+}
+
 // SeedCASA seeds reads on a pool of CASA accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads on
 // the same batch.
 func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result {
 	engines := clonePool(a, o.WorkerCount(), (*core.Accelerator).Clone)
+	regs := workerRegistries(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *core.Activity {
-		return engines[w].Seed(reads[lo:hi])
+		act := engines[w].Seed(reads[lo:hi])
+		if regs != nil {
+			act.PublishMetrics(regs[w])
+		}
+		return act
 	})
-	return a.Reduce(acts...)
+	res := a.Reduce(acts...)
+	if o.Metrics != nil {
+		mergeRegistries(o, regs)
+		res.PublishModelMetrics(o.Metrics)
+	}
+	return res
 }
 
 // SeedERT seeds reads on a pool of ASIC-ERT clones; the order-sensitive
@@ -37,20 +72,62 @@ func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result
 // the Result matches a.SeedReads exactly.
 func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
 	engines := clonePool(a, o.WorkerCount(), (*ert.Accelerator).Clone)
+	regs := workerRegistries(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *ert.Activity {
-		return engines[w].Seed(reads[lo:hi])
+		act := engines[w].Seed(reads[lo:hi])
+		if regs != nil {
+			act.PublishMetrics(regs[w])
+		}
+		return act
 	})
-	return a.Reduce(reads, acts...)
+	res := a.Reduce(reads, acts...)
+	if o.Metrics != nil {
+		mergeRegistries(o, regs)
+		res.PublishModelMetrics(o.Metrics)
+	}
+	return res
 }
 
 // SeedGenAx seeds reads on a pool of GenAx accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads.
 func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Result {
 	engines := clonePool(a, o.WorkerCount(), (*genax.Accelerator).Clone)
+	regs := workerRegistries(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *genax.Activity {
-		return engines[w].Seed(reads[lo:hi])
+		act := engines[w].Seed(reads[lo:hi])
+		if regs != nil {
+			act.PublishMetrics(regs[w])
+		}
+		return act
 	})
-	return a.Reduce(acts...)
+	res := a.Reduce(acts...)
+	if o.Metrics != nil {
+		mergeRegistries(o, regs)
+		res.PublishModelMetrics(o.Metrics)
+	}
+	return res
+}
+
+// SeedGenCache seeds reads on a pool of GenCache accelerator clones; the
+// order-sensitive multi-bank cache model is replayed over the recorded
+// fetch streams during reduction, so the Result matches a.SeedReads
+// exactly.
+func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gencache.Result {
+	engines := clonePool(a, o.WorkerCount(), (*gencache.Accelerator).Clone)
+	regs := workerRegistries(o)
+	acts := Run(len(reads), o, func(w, lo, hi int) *gencache.Activity {
+		act := engines[w].Seed(reads[lo:hi])
+		if regs != nil {
+			act.PublishMetrics(regs[w])
+		}
+		return act
+	})
+	res := a.Reduce(acts...)
+	if o.Metrics != nil {
+		mergeRegistries(o, regs)
+		res.PublishModelMetrics(o.Metrics)
+	}
+	return res
 }
 
 // SeedCPU seeds reads on a pool of software-baseline seeder clones and
@@ -59,10 +136,20 @@ func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Res
 // thread count stays cpu.Config.Threads.)
 func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
 	engines := clonePool(s, o.WorkerCount(), (*cpu.Seeder).Clone)
+	regs := workerRegistries(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *cpu.Activity {
-		return engines[w].Seed(reads[lo:hi])
+		act := engines[w].Seed(reads[lo:hi])
+		if regs != nil {
+			act.PublishMetrics(regs[w])
+		}
+		return act
 	})
-	return s.Reduce(acts...)
+	res := s.Reduce(acts...)
+	if o.Metrics != nil {
+		mergeRegistries(o, regs)
+		res.PublishModelMetrics(o.Metrics)
+	}
+	return res
 }
 
 // FindSMEMs runs finder.FindSMEMs for every read on the worker pool and

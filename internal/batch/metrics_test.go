@@ -1,0 +1,193 @@
+package batch_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"casa/internal/batch"
+	"casa/internal/core"
+	"casa/internal/cpu"
+	"casa/internal/ert"
+	"casa/internal/genax"
+	"casa/internal/gencache"
+	"casa/internal/metrics"
+)
+
+func testGenCache(t *testing.T, fast bool) *gencache.Accelerator {
+	t.Helper()
+	ref, _ := testWorkload(t, 1<<15, 0)
+	cfg := gencache.DefaultConfig()
+	cfg.GenAx.K = 8                    // keep the 4^K seed table test-sized
+	cfg.GenAx.PartitionBases = 1 << 13 // 4 segments
+	cfg.CacheBytes = 1 << 12           // tiny cache: hits AND misses occur
+	cfg.FastSeeding = fast
+	acc, err := gencache.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// TestSeedGenCacheDeterminism extends the worker-count determinism matrix
+// to GenCache: the order-sensitive multi-bank cache is replayed from the
+// recorded fetch streams during Reduce, so hit/miss counts — and with
+// them DRAM traffic, time and energy — must be byte-identical to the
+// sequential run at every pool size.
+func TestSeedGenCacheDeterminism(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		acc := testGenCache(t, fast)
+		_, reads := testWorkload(t, 1<<15, 150)
+		want := acc.SeedReads(reads)
+		if want.Stats.CacheHits == 0 || want.Stats.CacheMisses == 0 {
+			t.Fatalf("fast=%v: degenerate cache workload (hits=%d misses=%d)",
+				fast, want.Stats.CacheHits, want.Stats.CacheMisses)
+		}
+		for _, w := range workerCounts {
+			got := batch.SeedGenCache(acc, reads, batch.Options{Workers: w})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("fast=%v workers=%d: batch Result differs from sequential SeedReads", fast, w)
+			}
+		}
+	}
+}
+
+// sequentialRegistry publishes one activity plus the reduced model
+// metrics — the reference a batch run of any worker count must match.
+func sequentialRegistry(publish func(reg *metrics.Registry)) *metrics.Registry {
+	reg := metrics.New()
+	publish(reg)
+	return reg
+}
+
+func jsonBytes(t *testing.T, reg *metrics.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBatchMetricsDeterminism is the cross-engine registry regression:
+// for every engine, the per-worker registries merged at Reduce must be
+// byte-identical (as serialized JSON) to the registry a sequential run
+// publishes, at workers = 1, 4, 16.
+func TestBatchMetricsDeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<15, 150)
+
+	type engine struct {
+		name  string
+		seq   func(reg *metrics.Registry)
+		batch func(w int, reg *metrics.Registry)
+	}
+	var engines []engine
+
+	{
+		cfg := core.DefaultConfig()
+		cfg.PartitionBases = 1 << 13
+		acc, err := core.New(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{
+			name: "casa",
+			seq: func(reg *metrics.Registry) {
+				act := acc.Clone().Seed(reads)
+				act.PublishMetrics(reg)
+				acc.Reduce(act).PublishModelMetrics(reg)
+			},
+			batch: func(w int, reg *metrics.Registry) {
+				batch.SeedCASA(acc, reads, batch.Options{Workers: w, Metrics: reg})
+			},
+		})
+	}
+	{
+		acc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{
+			name: "ert",
+			seq: func(reg *metrics.Registry) {
+				act := acc.Clone().Seed(reads)
+				act.PublishMetrics(reg)
+				acc.Reduce(reads, act).PublishModelMetrics(reg)
+			},
+			batch: func(w int, reg *metrics.Registry) {
+				batch.SeedERT(acc, reads, batch.Options{Workers: w, Metrics: reg})
+			},
+		})
+	}
+	{
+		cfg := genax.DefaultConfig()
+		cfg.K = 8
+		cfg.PartitionBases = 1 << 13
+		acc, err := genax.New(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{
+			name: "genax",
+			seq: func(reg *metrics.Registry) {
+				act := acc.Clone().Seed(reads)
+				act.PublishMetrics(reg)
+				acc.Reduce(act).PublishModelMetrics(reg)
+			},
+			batch: func(w int, reg *metrics.Registry) {
+				batch.SeedGenAx(acc, reads, batch.Options{Workers: w, Metrics: reg})
+			},
+		})
+	}
+	{
+		acc := testGenCache(t, true)
+		engines = append(engines, engine{
+			name: "gencache",
+			seq: func(reg *metrics.Registry) {
+				act := acc.Clone().Seed(reads)
+				act.PublishMetrics(reg)
+				acc.Reduce(act).PublishModelMetrics(reg)
+			},
+			batch: func(w int, reg *metrics.Registry) {
+				batch.SeedGenCache(acc, reads, batch.Options{Workers: w, Metrics: reg})
+			},
+		})
+	}
+	{
+		s, err := cpu.New(ref, cpu.B12T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{
+			name: "cpu",
+			seq: func(reg *metrics.Registry) {
+				act := s.Clone().Seed(reads)
+				act.PublishMetrics(reg)
+				s.Reduce(act).PublishModelMetrics(reg)
+			},
+			batch: func(w int, reg *metrics.Registry) {
+				batch.SeedCPU(s, reads, batch.Options{Workers: w, Metrics: reg})
+			},
+		})
+	}
+
+	for _, e := range engines {
+		want := sequentialRegistry(e.seq)
+		if len(want.Snapshots()) == 0 {
+			t.Fatalf("%s: sequential run published no metrics", e.name)
+		}
+		wantJSON := jsonBytes(t, want)
+		for _, w := range workerCounts {
+			reg := metrics.New()
+			e.batch(w, reg)
+			if !metrics.Equal(reg, want) {
+				t.Errorf("%s workers=%d: merged registry differs from sequential:\n%s",
+					e.name, w, metrics.Diff(reg, want))
+				continue
+			}
+			if !bytes.Equal(jsonBytes(t, reg), wantJSON) {
+				t.Errorf("%s workers=%d: registry JSON not byte-identical to sequential", e.name, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package energy
+
+import "casa/internal/metrics"
+
+// PublishMetrics publishes the report's totals as gauges under
+// engine/energy/*. Call once per run with the final report: gauges
+// overwrite, so the registry always holds the latest run's values.
+func (r Report) PublishMetrics(reg *metrics.Registry, engine string) {
+	reg.Gauge(engine + "/energy/total_j").Set(r.TotalJ())
+	reg.Gauge(engine + "/energy/dynamic_j").Set(r.DynamicJ())
+	reg.Gauge(engine + "/energy/leakage_w").Set(r.LeakageW())
+	reg.Gauge(engine + "/energy/power_w").Set(r.PowerW())
+	reg.Gauge(engine + "/energy/area_mm2").Set(r.AreaMM2())
+}

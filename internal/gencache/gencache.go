@@ -63,11 +63,27 @@ type Stats struct {
 	FastCheckOps int64 // anchor fetches spent on bypass attempts
 }
 
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.FastSeeded += o.FastSeeded
+	s.SlowSeeded += o.SlowSeeded
+	s.FastChecks += o.FastChecks
+	s.FastCheckOps += o.FastCheckOps
+}
+
 // Accelerator is the GenCache model over a partitioned reference.
+//
+// Stats accumulates this instance's Seed-side activity (bypass and
+// seeding counters). Cache hit/miss classification is order-sensitive, so
+// it is not counted during Seed: Reduce replays the recorded fetch
+// streams through a cold cache and reports the counts on the Result.
 type Accelerator struct {
-	cfg      Config
-	segments []*genax.Tables
-	cache    *lineCache
+	cfg        Config
+	segments   []*genax.Tables
+	cacheLines int
+	rec        *[]dna.Kmer // fetch stream of the in-progress Seed pass
 
 	Stats Stats
 }
@@ -81,8 +97,8 @@ func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
 		return nil, fmt.Errorf("gencache: empty reference")
 	}
 	a := &Accelerator{
-		cfg:   cfg,
-		cache: newLineCache(int(cfg.CacheBytes / cfg.LineBytes)),
+		cfg:        cfg,
+		cacheLines: int(cfg.CacheBytes / cfg.LineBytes),
 	}
 	const overlap = 100
 	step := cfg.GenAx.PartitionBases - overlap
@@ -92,7 +108,7 @@ func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.OnFetch = a.observeFetch
+		t.OnFetch = a.recordFetch
 		a.segments = append(a.segments, t)
 		if end == len(ref) {
 			break
@@ -101,15 +117,30 @@ func New(ref dna.Sequence, cfg Config) (*Accelerator, error) {
 	return a, nil
 }
 
+// Clone returns an accelerator sharing this one's segment tables (their
+// immutable seed & position arrays) with fresh activity counters and its
+// own fetch recorder, for lock-free per-worker batch seeding. The
+// order-sensitive cache model needs no per-clone state: Reduce replays
+// the recorded fetch streams sequentially.
+func (a *Accelerator) Clone() *Accelerator {
+	c := &Accelerator{cfg: a.cfg, cacheLines: a.cacheLines}
+	c.segments = make([]*genax.Tables, len(a.segments))
+	for i, t := range a.segments {
+		ct := t.Clone()
+		ct.OnFetch = c.recordFetch
+		c.segments[i] = ct
+	}
+	return c
+}
+
 // Segments returns the segment count.
 func (a *Accelerator) Segments() int { return len(a.segments) }
 
-// observeFetch classifies one seed-table fetch through the cache.
-func (a *Accelerator) observeFetch(kmer dna.Kmer) {
-	if a.cache.access(uint64(kmer)) {
-		a.Stats.CacheHits++
-	} else {
-		a.Stats.CacheMisses++
+// recordFetch appends one seed-table fetch to the in-progress pass's
+// stream, for the cache replay in Reduce.
+func (a *Accelerator) recordFetch(kmer dna.Kmer) {
+	if a.rec != nil {
+		*a.rec = append(*a.rec, kmer)
 	}
 }
 
@@ -126,14 +157,43 @@ type Result struct {
 	ReadsPerMJ float64
 }
 
+// Activity is the raw outcome of seeding one shard of reads: per-read
+// matches, additive counters, and the per-pass fetch streams the cache
+// model needs. Activities from concurrent workers combine in Reduce.
+type Activity struct {
+	Reads [][]smem.Match
+	Rev   [][]smem.Match
+	Stats Stats       // bypass/seeding counters (cache fields stay zero)
+	GenAx genax.Stats // fetch & intersection deltas for this shard
+
+	// Fetches holds one seed-table fetch stream per sequential pass:
+	// first the fast-seeding pass over each segment, then the SMEM pass
+	// over each segment (2×Segments() entries). Reduce replays pass p of
+	// every activity, in activity order, through a cold cache — which for
+	// in-order shards of one read set reproduces the sequential stream
+	// exactly.
+	Fetches [][]dna.Kmer
+
+	ReadCount int
+	ReadBytes int64 // packed read bytes streamed per segment pass
+}
+
 // SeedReads runs the GenCache flow: fast-seeding bypass first (retiring
 // exactly matching reads at their first matching segment), then the
 // GenAx SMEM algorithm for the rest, with every table fetch classified
-// through the cache.
+// through the cache. It is Reduce(Seed(reads)).
 func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
-	// Cold cache per batch: repeated evaluations stay deterministic.
-	a.cache = newLineCache(len(a.cache.lines))
-	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	return a.Reduce(a.Seed(reads))
+}
+
+// Seed runs the per-read portion of the GenCache flow for one shard of
+// reads, recording the fetch streams instead of classifying them, so
+// shards may run concurrently on Clones.
+func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	act := &Activity{
+		Fetches:   make([][]dna.Kmer, 2*len(a.segments)),
+		ReadCount: len(reads),
+	}
 	statsBefore := a.Stats
 	n := len(reads)
 	seqs := make([]dna.Sequence, 2*n)
@@ -151,17 +211,19 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	}
 
 	// Fast-seeding bypass.
-	if a.cfg.FastSeeding {
-		for _, seg := range a.segments {
-			for s := range seqs {
-				if retired[s] || len(seqs[s]) < a.cfg.GenAx.MinSMEM {
-					continue
-				}
-				if hits, ok := a.fastSeed(seg, seqs[s]); ok {
-					retired[s] = true
-					retired[s^1] = true
-					exact[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
-				}
+	for si, seg := range a.segments {
+		a.rec = &act.Fetches[si]
+		if !a.cfg.FastSeeding {
+			continue
+		}
+		for s := range seqs {
+			if retired[s] || len(seqs[s]) < a.cfg.GenAx.MinSMEM {
+				continue
+			}
+			if hits, ok := a.fastSeed(seg, seqs[s]); ok {
+				retired[s] = true
+				retired[s^1] = true
+				exact[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
 			}
 		}
 	}
@@ -169,7 +231,8 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	// Full SMEM computation for the remaining strands.
 	strand := make([][]smem.Match, 2*n)
 	copy(strand, exact)
-	for _, seg := range a.segments {
+	for si, seg := range a.segments {
+		a.rec = &act.Fetches[len(a.segments)+si]
 		for s := range seqs {
 			if retired[s] {
 				continue
@@ -177,6 +240,7 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 			strand[s] = append(strand[s], seg.FindSMEMs(seqs[s], a.cfg.GenAx.MinSMEM)...)
 		}
 	}
+	a.rec = nil
 	for s := range seqs {
 		if !retired[s] {
 			a.Stats.SlowSeeded++
@@ -184,26 +248,63 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	}
 
 	for i := 0; i < n; i++ {
-		res.Reads = append(res.Reads, merge(strand[2*i]))
-		res.Rev = append(res.Rev, merge(strand[2*i+1]))
+		act.Reads = append(act.Reads, merge(strand[2*i]))
+		act.Rev = append(act.Rev, merge(strand[2*i+1]))
 	}
-	res.Stats = diffStats(a.Stats, statsBefore)
+	act.Stats = diffStats(a.Stats, statsBefore)
 	for _, seg := range a.segments {
-		res.GenAx.Fetches += seg.Stats.Fetches
-		res.GenAx.IntersectionOps += seg.Stats.IntersectionOps
+		act.GenAx.Fetches += seg.Stats.Fetches
+		act.GenAx.IntersectionOps += seg.Stats.IntersectionOps
 	}
-	res.GenAx.Fetches -= genaxBefore.Fetches
-	res.GenAx.IntersectionOps -= genaxBefore.IntersectionOps
+	act.GenAx.Fetches -= genaxBefore.Fetches
+	act.GenAx.IntersectionOps -= genaxBefore.IntersectionOps
+
+	for _, r := range reads {
+		act.ReadBytes += int64((len(r) + 3) / 4)
+	}
+	act.ReadBytes *= int64(len(a.segments))
+	return act
+}
+
+// Reduce combines shard activities into the final model result. The
+// order-sensitive cache is replayed here, sequentially and from cold:
+// pass by pass, activities in argument order — identical to the
+// single-threaded fetch stream when the activities cover in-order shards
+// of one read set, so hit/miss counts never depend on worker count.
+func (a *Accelerator) Reduce(acts ...*Activity) *Result {
+	res := &Result{DRAM: dram.NewTraffic(dram.GenAxConfig())}
+	var totalReads int
+	var readBytes int64
+	for _, act := range acts {
+		res.Reads = append(res.Reads, act.Reads...)
+		res.Rev = append(res.Rev, act.Rev...)
+		res.Stats.add(act.Stats)
+		res.GenAx.Fetches += act.GenAx.Fetches
+		res.GenAx.IntersectionOps += act.GenAx.IntersectionOps
+		totalReads += act.ReadCount
+		readBytes += act.ReadBytes
+	}
+	cache := newLineCache(a.cacheLines)
+	for p := 0; p < 2*len(a.segments); p++ {
+		for _, act := range acts {
+			if p >= len(act.Fetches) {
+				continue
+			}
+			for _, kmer := range act.Fetches[p] {
+				if cache.access(uint64(kmer)) {
+					res.Stats.CacheHits++
+				} else {
+					res.Stats.CacheMisses++
+				}
+			}
+		}
+	}
 
 	// DRAM: cache misses are random bursts against the DRAM-resident
 	// tables; reads stream per segment pass (live strands only).
 	res.DRAM.RandomAccesses += res.Stats.CacheMisses
 	res.DRAM.BytesRead += res.Stats.CacheMisses * a.cfg.LineBytes
-	var readBytes int64
-	for _, r := range reads {
-		readBytes += int64((len(r) + 3) / 4)
-	}
-	res.DRAM.Read(readBytes * int64(len(a.segments)))
+	res.DRAM.Read(readBytes)
 
 	// Timing: GenAx's lane model for the on-chip work, plus the
 	// latency-bound DRAM misses ("significantly diminishing the overall
@@ -232,10 +333,10 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 	res.Energy = m.Report(res.Seconds)
 
 	if res.Seconds > 0 {
-		res.Throughput = float64(len(reads)) / res.Seconds
+		res.Throughput = float64(totalReads) / res.Seconds
 	}
 	if j := res.Energy.TotalJ(); j > 0 {
-		res.ReadsPerMJ = float64(len(reads)) / (j * 1e3)
+		res.ReadsPerMJ = float64(totalReads) / (j * 1e3)
 	}
 	return res
 }

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGetOrCreateIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("casa/pivots/total")
+	b := r.Counter("casa/pivots/total")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(3)
+	b.Inc()
+	if got := r.Counter("casa/pivots/total").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	r := New()
+	for _, good := range []string{"casa/pivots/total", "ert/cache/hits", "a/b", "x/y/z/w", "cpu/model/reads_per_mj"} {
+		r.Counter(good) // must not panic
+	}
+	for _, bad := range []string{"", "casa", "Casa/pivots/total", "casa//total", "/casa/x", "casa/x/", "a/b/c/d/e", "casa/piv ots/x", "casa/pivots/Total"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("malformed name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("casa/model/cycles")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge under counter name accepted")
+		}
+	}()
+	r.Gauge("casa/model/cycles")
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("casa/model/seconds")
+	g.Set(1.5)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("casa/reads/smems_per_read", []int64{0, 1, 4})
+	for _, v := range []int64{0, 0, 1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 3, 1} // <=0, <=1, <=4, +Inf
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 110 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("a/b", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("bounds mismatch accepted")
+		}
+	}()
+	r.Histogram("a/b", []int64{1, 3})
+}
+
+func TestMergeSumsCountersAndHistograms(t *testing.T) {
+	shard := func(n int64) *Registry {
+		r := New()
+		r.Counter("casa/pivots/total").Add(n)
+		r.Gauge("casa/model/seconds").Set(float64(n))
+		h := r.Histogram("casa/reads/smems_per_read", []int64{1, 10})
+		h.Observe(n)
+		return r
+	}
+	merged := New()
+	for _, n := range []int64{1, 2, 3} {
+		merged.Merge(shard(n))
+	}
+	if got := merged.Counter("casa/pivots/total").Value(); got != 6 {
+		t.Errorf("merged counter = %d, want 6", got)
+	}
+	if got := merged.Gauge("casa/model/seconds").Value(); got != 3 {
+		t.Errorf("merged gauge = %g, want 3 (last write)", got)
+	}
+	h := merged.Histogram("casa/reads/smems_per_read", []int64{1, 10})
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("merged histogram count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	counts := h.BucketCounts()
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 0 {
+		t.Errorf("merged buckets = %v", counts)
+	}
+}
+
+func TestMergeOrderInvariant(t *testing.T) {
+	mk := func(order []int64) *Registry {
+		dst := New()
+		for _, n := range order {
+			src := New()
+			src.Counter("e/s/c").Add(n)
+			src.Histogram("e/s/h", []int64{5}).Observe(n)
+			dst.Merge(src)
+		}
+		return dst
+	}
+	a := mk([]int64{1, 2, 3, 4})
+	b := mk([]int64{4, 3, 2, 1})
+	if !Equal(a, b) {
+		t.Fatalf("merge order changed totals: %s", Diff(a, b))
+	}
+}
+
+func TestSelfMergeIsNoop(t *testing.T) {
+	r := New()
+	r.Counter("e/s/c").Add(5)
+	r.Merge(r)
+	if got := r.Counter("e/s/c").Value(); got != 5 {
+		t.Fatalf("self-merge doubled counter: %d", got)
+	}
+}
+
+func TestSnapshotsSorted(t *testing.T) {
+	r := New()
+	r.Counter("z/s/c").Inc()
+	r.Gauge("a/s/g").Set(1)
+	r.Counter("m/s/c").Inc()
+	snaps := r.Snapshots()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name >= snaps[i].Name {
+			t.Fatalf("snapshots not sorted: %q >= %q", snaps[i-1].Name, snaps[i].Name)
+		}
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		r.Counter("casa/pivots/total").Add(42)
+		r.Counter("ert/cache/hits").Add(7)
+		r.Gauge("casa/model/seconds").Set(0.5)
+		r.Histogram("casa/reads/smems_per_read", []int64{1}).Observe(3)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON output not byte-stable across identical registries")
+	}
+	var doc struct {
+		Schema   string             `json:"schema"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", doc.Schema, SchemaVersion)
+	}
+	if doc.Counters["casa/pivots/total"] != 42 || doc.Gauges["casa/model/seconds"] != 0.5 {
+		t.Errorf("document content wrong: %+v", doc)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	r.Counter("casa/pivots/total").Add(42)
+	r.Gauge("casa/model/seconds").Set(0.5)
+	r.Histogram("casa/reads/smems_per_read", []int64{1, 4}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE casa_pivots_total counter",
+		"casa_pivots_total 42",
+		"casa_model_seconds 0.5",
+		`casa_reads_smems_per_read_bucket{le="4"} 1`,
+		`casa_reads_smems_per_read_bucket{le="+Inf"} 1`,
+		"casa_reads_smems_per_read_sum 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentCounterAdds(t *testing.T) {
+	r := New()
+	c := r.Counter("e/s/c")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Counter("e/s/c2").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || r.Counter("e/s/c2").Value() != 8000 {
+		t.Fatalf("lost updates: %d %d", c.Value(), r.Counter("e/s/c2").Value())
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("e/s/c").Add(1)
+	b.Counter("e/s/c").Add(1)
+	if !Equal(a, b) || Diff(a, b) != "" {
+		t.Fatal("identical registries reported unequal")
+	}
+	b.Counter("e/s/c").Add(1)
+	if Equal(a, b) || Diff(a, b) == "" {
+		t.Fatal("different registries reported equal")
+	}
+}

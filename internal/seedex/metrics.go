@@ -1,0 +1,23 @@
+package seedex
+
+import "casa/internal/metrics"
+
+// Engine is the metric-name prefix for the seed-extension machine array.
+const Engine = "seedex"
+
+// PublishMetrics adds one extension-counter snapshot into the seedex/*
+// counters. Snapshots from concurrent machines merged in any order equal
+// a sequential run's totals.
+func (s Stats) PublishMetrics(reg *metrics.Registry) {
+	reg.Counter("seedex/extend/reads").Add(s.Reads)
+	reg.Counter("seedex/extend/extensions").Add(s.Extensions)
+	reg.Counter("seedex/extend/bsw_cycles").Add(s.BSWCycles)
+	reg.Counter("seedex/extend/edit_runs").Add(s.EditRuns)
+	reg.Counter("seedex/extend/edit_cycles").Add(s.EditCycles)
+}
+
+// PublishMetrics adds the machine's accumulated counters into reg. Call
+// once per run per machine instance.
+func (m *Machine) PublishMetrics(reg *metrics.Registry) {
+	m.Stats.PublishMetrics(reg)
+}

@@ -2,6 +2,13 @@
 // reference genomes and sequencing reads. It is the I/O substrate for the
 // CASA evaluation pipeline (§6 of the paper loads UCSC assemblies as FASTA
 // and ERR194147 / DWGSIM reads as FASTQ).
+//
+// Wrap invariance: ambiguous bases (N and the other IUPAC codes) are
+// replaced deterministically as a function of the base's global offset
+// within its record, never of the line layout. The same reference wrapped
+// at any line width therefore decodes to the identical genome, and a
+// WriteFasta → ReadFasta round trip preserves every sequence exactly
+// regardless of the width chosen.
 package seqio
 
 import (
@@ -46,7 +53,7 @@ func ReadFasta(r io.Reader) ([]Record, error) {
 			case cur == nil:
 				return nil, fmt.Errorf("seqio: line %d: sequence data before first FASTA header", lineNo)
 			default:
-				appendBases(&cur.Seq, line, lineNo)
+				appendBases(&cur.Seq, line)
 			}
 		}
 		if err == io.EOF {
@@ -129,6 +136,16 @@ func ForEachFastq(r io.Reader, fn func(Record) error) error {
 		if err != nil || len(plus) == 0 || plus[0] != '+' {
 			return fmt.Errorf("seqio: line %d: FASTQ separator '+' missing", lineNo)
 		}
+		name, desc := splitHeader(string(header[1:]))
+		// The separator line may repeat the header; when it carries text,
+		// a name that contradicts the '@' header means the record
+		// boundaries are off by a line (or the file is corrupt).
+		if sep := string(plus[1:]); sep != "" {
+			sepName, _ := splitHeader(sep)
+			if sepName != name {
+				return fmt.Errorf("seqio: line %d: FASTQ separator %q contradicts header %q", lineNo, sepName, name)
+			}
+		}
 		qual, err := readLine()
 		if err != nil {
 			return fmt.Errorf("seqio: line %d: truncated FASTQ record (missing quality)", lineNo)
@@ -136,9 +153,8 @@ func ForEachFastq(r io.Reader, fn func(Record) error) error {
 		if len(qual) != len(seqLine) {
 			return fmt.Errorf("seqio: line %d: quality length %d != sequence length %d", lineNo, len(qual), len(seqLine))
 		}
-		name, desc := splitHeader(string(header[1:]))
 		var seq dna.Sequence
-		appendBases(&seq, seqLine, lineNo)
+		appendBases(&seq, seqLine)
 		if e := fn(Record{Name: name, Desc: desc, Seq: seq, Qual: append([]byte(nil), qual...)}); e != nil {
 			return e
 		}
@@ -174,14 +190,18 @@ func splitHeader(h string) (name, desc string) {
 	return h, ""
 }
 
-func appendBases(seq *dna.Sequence, line []byte, lineNo int) {
+// appendBases decodes one line of sequence text onto seq. Ambiguous bases
+// are replaced as a function of the character and the base's global offset
+// in the record (len(*seq)+i), so runs of N do not become a constant base
+// (which would fabricate artificial repeats) while the decoded sequence
+// stays invariant under re-wrapping the same text at any line width.
+func appendBases(seq *dna.Sequence, line []byte) {
+	off := len(*seq)
 	for i, c := range line {
-		// Mix the position in so runs of N do not become a constant base,
-		// which would fabricate artificial repeats in the reference.
 		if dna.IsStandard(c) {
 			*seq = append(*seq, dna.BaseFromByte(c))
 		} else {
-			*seq = append(*seq, dna.Base((int(c)+lineNo+i)&3))
+			*seq = append(*seq, dna.Base((int(c)+off+i)&3))
 		}
 	}
 }

@@ -93,6 +93,90 @@ func TestFastaRoundTrip(t *testing.T) {
 	}
 }
 
+// rewrap re-wraps raw sequence text (which may contain ambiguous bases) at
+// the given width, preserving the header lines.
+func rewrap(raw string, width int) string {
+	var out strings.Builder
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.HasPrefix(line, ">") {
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		for len(line) > width {
+			out.WriteString(line[:width])
+			out.WriteByte('\n')
+			line = line[width:]
+		}
+		if len(line) > 0 {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+// TestReadFastaWrapInvariance is the headline-bugfix property test: the
+// same raw sequence text (including N runs spanning line breaks) must
+// decode to the identical genome at every line width.
+func TestReadFastaWrapInvariance(t *testing.T) {
+	const raw = ">chr1 with ambiguity\n" +
+		"ACGTNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNACGTRYKMSWBDHVacgtnnn\n" +
+		"NNNNACGTACGTNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNTTT\n" +
+		">chr2\nNNNNNNNNNNNNNNNNNNNNNNNNNNNNNN\n"
+	want, err := ReadFasta(strings.NewReader(rewrap(raw, 60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 7, 60, 10_000} {
+		got, err := ReadFasta(strings.NewReader(rewrap(raw, width)))
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("width %d: %d records, want %d", width, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Seq.Equal(want[i].Seq) {
+				t.Errorf("width %d: record %d decodes differently from width 60:\n got %s\nwant %s",
+					width, i, got[i].Seq, want[i].Seq)
+			}
+		}
+	}
+}
+
+// TestFastaRoundTripWrapWidths asserts ReadFasta(WriteFasta(recs, w)) is
+// identical for the issue's width set, for sequences long enough that
+// every width actually wraps.
+func TestFastaRoundTripWrapWidths(t *testing.T) {
+	seq := make([]byte, 500)
+	for i := range seq {
+		seq[i] = "ACGT"[i%4]
+	}
+	recs := []Record{
+		{Name: "a", Desc: "desc", Seq: dna.FromString(string(seq))},
+		{Name: "b", Seq: dna.FromString("TTTACGTACGT")},
+	}
+	for _, width := range []int{1, 7, 60, 10_000} {
+		var buf bytes.Buffer
+		if err := WriteFasta(&buf, recs, width); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		got, err := ReadFasta(&buf)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("width %d: %d records, want %d", width, len(got), len(recs))
+		}
+		for i := range recs {
+			if !got[i].Seq.Equal(recs[i].Seq) {
+				t.Errorf("width %d: record %d not preserved", width, i)
+			}
+		}
+	}
+}
+
 func TestReadFastqBasic(t *testing.T) {
 	in := "@read1 desc\nACGT\n+\nIIII\n@read2\nTT\n+read2\nAB\n"
 	recs, err := ReadFastq(strings.NewReader(in))
@@ -117,6 +201,7 @@ func TestReadFastqErrors(t *testing.T) {
 		"@r\nACGT\n+\nII\n", // qual length mismatch
 		"@r\nACGT\n+\n",     // truncated
 		"@r\nACGT\n",        // truncated earlier
+		"@r\nACGT\n+OTHERNAME\nIIII\n", // separator contradicts header
 	}
 	for _, in := range cases {
 		if _, err := ReadFastq(strings.NewReader(in)); err == nil {
@@ -171,6 +256,24 @@ func TestForEachFastqStreams(t *testing.T) {
 	}
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Errorf("names = %v", names)
+	}
+}
+
+func TestFastqSeparatorValidation(t *testing.T) {
+	// Matching name (with or without description) is accepted.
+	for _, in := range []string{
+		"@read1\nAC\n+\nII\n",
+		"@read1\nAC\n+read1\nII\n",
+		"@read1 desc\nAC\n+read1\nII\n",
+		"@read1 desc\nAC\n+read1 desc\nII\n",
+	} {
+		if _, err := ReadFastq(strings.NewReader(in)); err != nil {
+			t.Errorf("valid separator rejected: %q: %v", in, err)
+		}
+	}
+	// Contradicting name is a parse error.
+	if _, err := ReadFastq(strings.NewReader("@read1\nAC\n+read2\nII\n")); err == nil {
+		t.Error("contradicting separator name accepted")
 	}
 }
 

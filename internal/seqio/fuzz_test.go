@@ -14,6 +14,10 @@ func FuzzReadFasta(f *testing.F) {
 	f.Add(">a\n>b\nTT\n")
 	f.Add("")
 	f.Add(">only-header")
+	// N runs spanning line breaks: the decoded replacement must depend on
+	// the record offset only, never the wrap position (wrap-invariance).
+	f.Add(">n\nACGTNNN\nNNNNACG\nNNNNNNN\n")
+	f.Add(">n\nNN\nNN\nNN\nNN\nNN\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		recs, err := ReadFasta(strings.NewReader(in))
 		if err != nil {
@@ -34,6 +38,44 @@ func FuzzReadFasta(f *testing.F) {
 		for i := range recs {
 			if !again[i].Seq.Equal(recs[i].Seq) {
 				t.Fatalf("record %d sequence changed", i)
+			}
+		}
+		// Wrap invariance: splitting every sequence line into width-1
+		// lines must decode to the same sequences. (Skipped for inputs
+		// with \r, where re-splitting moves the carriage return onto its
+		// own — then trimmed-to-blank — line and legitimately changes the
+		// decoded bytes.)
+		if strings.ContainsAny(in, "\r") {
+			return
+		}
+		var narrow strings.Builder
+		for _, line := range strings.Split(in, "\n") {
+			if strings.HasPrefix(line, ">") {
+				narrow.WriteString(line)
+				narrow.WriteByte('\n')
+				continue
+			}
+			if strings.Contains(line, ">") {
+				// An isolated mid-line '>' would become a header line at
+				// width 1, changing the record structure rather than the
+				// decoding — not a wrap-invariance question.
+				return
+			}
+			for i := 0; i < len(line); i++ {
+				narrow.WriteByte(line[i])
+				narrow.WriteByte('\n')
+			}
+		}
+		rewrapped, err := ReadFasta(strings.NewReader(narrow.String()))
+		if err != nil {
+			t.Fatalf("width-1 rewrap of accepted input rejected: %v", err)
+		}
+		if len(rewrapped) != len(recs) {
+			t.Fatalf("rewrap changed record count: %d -> %d", len(recs), len(rewrapped))
+		}
+		for i := range recs {
+			if !rewrapped[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d decodes differently at width 1 (wrap-dependent decoding)", i)
 			}
 		}
 	})

@@ -20,6 +20,7 @@ import (
 
 	"casa/internal/dna"
 	"casa/internal/fmindex"
+	"casa/internal/metrics"
 )
 
 // Match is an exact match of read[Start..End] (inclusive bounds) against
@@ -206,6 +207,10 @@ type Bidirectional struct {
 	// Steps counts FM-index extension operations performed by the last
 	// FindSMEMs call, for the CPU/ERT cost models.
 	Steps int
+
+	// TotalSteps accumulates Steps across every FindSMEMs call on this
+	// finder, for end-of-run metrics publishing.
+	TotalSteps int64
 }
 
 // NewBidirectional builds the finder (and both FM-indexes) over ref.
@@ -247,7 +252,15 @@ func (f *Bidirectional) FindSMEMs(read dna.Sequence, minLen int) []Match {
 		}
 		pivot = steps[len(steps)-1].End + 1 // first mismatch becomes next pivot
 	}
+	f.TotalSteps += int64(f.Steps)
 	return dedupSMEMs(cands, minLen)
+}
+
+// PublishMetrics adds the finder's accumulated FM-index step count into
+// reg under the fmindex engine prefix. Call once per run per finder
+// instance; counts from concurrently used clones sum.
+func (f *Bidirectional) PublishMetrics(reg *metrics.Registry) {
+	reg.Counter("fmindex/search/steps").Add(f.TotalSteps)
 }
 
 // Unidirectional finds SMEMs with the GenAx strategy: for every pivot, the
