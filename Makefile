@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-quick bench-all fuzz experiments ablations examples clean
+.PHONY: all build test race cover bench bench-quick bench-baseline bench-all fuzz experiments ablations examples clean
 
 all: build test
 
@@ -29,11 +29,18 @@ bench:
 	$(GO) run ./cmd/casa-bench -out BENCH_seeding.json
 	$(GO) run ./cmd/casa-bench -validate BENCH_seeding.json
 
-# CI smoke variant: small workload, fewer pool sizes.
+# CI smoke variant: small workload, fewer pool sizes, then the model
+# regression gate against the committed baseline (model numbers only —
+# deterministic, machine-independent).
 bench-quick:
 	$(GO) test -bench=BenchmarkBatch -benchtime=1x .
 	$(GO) run ./cmd/casa-bench -scale quick -workers 1,4 -out BENCH_seeding.json
 	$(GO) run ./cmd/casa-bench -validate BENCH_seeding.json
+	$(GO) run ./cmd/casa-bench -compare bench/baseline-quick.json -threshold 0.10 BENCH_seeding.json
+
+# Refresh the committed gate baseline after an intentional model change.
+bench-baseline:
+	$(GO) run ./cmd/casa-bench -scale quick -workers 1,4 -out bench/baseline-quick.json
 
 # One bench pass per paper table/figure plus the ablation benches.
 bench-all:

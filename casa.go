@@ -36,6 +36,7 @@ import (
 	"casa/internal/readsim"
 	"casa/internal/seedex"
 	"casa/internal/smem"
+	"casa/internal/trace"
 	"casa/internal/vcall"
 )
 
@@ -144,6 +145,32 @@ type (
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
+// Tracing: engines emit per-read, per-stage spans in the modelled cycle
+// domain into a Trace session; see docs/OBSERVABILITY.md. Set
+// BatchOptions.Trace to record a batch run — the merged span stream is
+// byte-identical for any worker count.
+type (
+	// Trace is a cycle-domain span recording session.
+	Trace = trace.Trace
+	// TraceSpan is one recorded cycle-domain event.
+	TraceSpan = trace.Span
+	// TracePolicy selects which reads a Trace keeps (all, head:N,
+	// slowest:N).
+	TracePolicy = trace.Policy
+)
+
+// NewTrace returns a trace session with the given sampling policy and
+// ring capacity in spans (<= 0 picks the default).
+func NewTrace(policy TracePolicy, capacity int) *Trace { return trace.New(policy, capacity) }
+
+// ParseTracePolicy parses "all", "head:N" or "slowest:N".
+func ParseTracePolicy(s string) (TracePolicy, error) { return trace.ParsePolicy(s) }
+
+// WriteTraceFile writes a merged span stream (Trace.Spans) to path:
+// Chrome trace_event JSON (Perfetto-loadable), or JSONL when the path
+// ends in .jsonl.
+func WriteTraceFile(path string, spans []TraceSpan) error { return trace.WriteFile(path, spans) }
+
 // FindSMEMsBatch runs any Finder over a read batch on the worker pool,
 // returning per-read SMEM sets in input order. newFinder must return an
 // independent finder per worker (e.g. a Clone sharing the index).
@@ -249,6 +276,13 @@ func BuildPipeline(ref Sequence, casaCfg Config, ertCfg ERTConfig, genaxCfg GenA
 // RunPipeline executes the end-to-end comparison on a read batch.
 func RunPipeline(e *PipelineEngines, reads []Sequence, cfg PipelineConfig) (*pipeline.Result, error) {
 	return pipeline.Run(e, reads, cfg)
+}
+
+// RunPipelineTrace is RunPipeline with each system's stage waterfall
+// (the paper's Fig 14 timelines) recorded into tr as system spans, in
+// modelled-wall nanoseconds.
+func RunPipelineTrace(e *PipelineEngines, reads []Sequence, cfg PipelineConfig, tr *Trace) (*pipeline.Result, error) {
+	return pipeline.RunTrace(e, reads, cfg, tr)
 }
 
 // Seed chaining (long-read anchoring, extension preprocessing).

@@ -15,8 +15,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -24,12 +22,14 @@ import (
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/metrics"
+	"casa/internal/obshttp"
 	"casa/internal/pairing"
 	"casa/internal/refidx"
 	"casa/internal/sam"
 	"casa/internal/seedex"
 	"casa/internal/seqio"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Proper-pair template length window (FR orientation).
@@ -53,17 +53,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casa-align: ")
 	var (
-		refPath   = flag.String("ref", "", "reference FASTA (required)")
-		indexPath = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference")
-		readsPath = flag.String("reads", "", "reads FASTQ (required; mate 1 in paired mode)")
-		reads2    = flag.String("reads2", "", "mate-2 FASTQ (enables paired-end mode)")
-		outPath   = flag.String("out", "-", "SAM output path (- = stdout)")
-		partition = flag.Int("partition", 4<<20, "CASA partition size in bases")
-		maxHits   = flag.Int("max-hits", 4, "extension candidates per SMEM")
+		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		indexPath  = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference")
+		readsPath  = flag.String("reads", "", "reads FASTQ (required; mate 1 in paired mode)")
+		reads2     = flag.String("reads2", "", "mate-2 FASTQ (enables paired-end mode)")
+		outPath    = flag.String("out", "-", "SAM output path (- = stdout)")
+		partition  = flag.Int("partition", 4<<20, "CASA partition size in bases")
+		maxHits    = flag.Int("max-hits", 4, "extension candidates per SMEM")
 		batchSize  = flag.Int("batch", 4096, "reads seeded per batch")
 		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
-		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on this address until interrupted")
+		tracePath  = flag.String("trace", "", "write a casa-trace/v1 seeding trace (.jsonl = JSONL, else Chrome JSON)")
+		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address until interrupted")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -114,14 +116,26 @@ func main() {
 		refSeqs = append(refSeqs, sam.RefSeq{Name: c.Name, Length: c.Length})
 	}
 	reg := metrics.New()
+	var tr *trace.Trace
+	if *tracePath != "" || *httpAddr != "" {
+		policy, err := trace.ParsePolicy(*traceSamp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = trace.New(policy, 0)
+	}
 	a := &aligner{
 		acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
-		pool:   batch.Options{Workers: *workers, Metrics: reg},
+		pool:   batch.Options{Workers: *workers, Metrics: reg, Trace: tr},
 		writer: sam.NewWriter(out, refSeqs, "casa-align"),
 	}
+	var srv *obshttp.Server
 	if *httpAddr != "" {
 		// Start before aligning so /debug/pprof can profile the run.
-		serveHTTP(*httpAddr, reg)
+		srv, err = obshttp.Start(*httpAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *reads2 == "" {
@@ -139,31 +153,29 @@ func main() {
 	reg.Counter("align/reads/total").Add(int64(a.total))
 	reg.Counter("align/reads/aligned").Add(int64(a.aligned))
 	fmt.Fprintf(os.Stderr, "casa-align: %d/%d reads aligned\n", a.aligned, a.total)
+	if tr != nil {
+		spans := tr.Spans()
+		if srv != nil {
+			srv.PublishTrace(spans)
+		}
+		if *tracePath != "" {
+			if err := trace.WriteFile(*tracePath, spans); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	if *metricsOut {
 		if err := reg.WriteText(os.Stderr); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if *httpAddr != "" {
-		fmt.Fprintf(os.Stderr, "casa-align: serving /metrics and /debug/pprof on %s, interrupt to exit\n", *httpAddr)
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "casa-align: serving /metrics, /trace and /debug/pprof on %s, interrupt to exit\n", srv.Addr())
 		waitForInterrupt()
+		if err := srv.Close(); err != nil {
+			log.Print(err)
+		}
 	}
-}
-
-// serveHTTP exposes the registry at /metrics and the net/http/pprof
-// handlers (registered on the default mux by the blank import) on addr.
-func serveHTTP(addr string, reg *metrics.Registry) {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteText(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Fatalf("http: %v", err)
-		}
-	}()
 }
 
 func waitForInterrupt() {
@@ -189,6 +201,8 @@ func (a *aligner) runSingle(path string, batchSize int) error {
 		for i := range recs {
 			reads[i] = recs[i].Seq
 		}
+		// Later batches keep globally unique read indices in the trace.
+		a.pool.ReadBase = a.total
 		res := batch.SeedCASA(a.acc, reads, a.pool)
 		for i, rec := range recs {
 			p := a.place(rec.Seq, res.Reads[i])
@@ -236,6 +250,7 @@ func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 		for i := lo; i < hi; i++ {
 			reads = append(reads, r1[i].Seq, r2[i].Seq)
 		}
+		a.pool.ReadBase = 2 * lo // mates interleave: global read index = 2*pair + mate
 		res := batch.SeedCASA(a.acc, reads, a.pool)
 		for i := lo; i < hi; i++ {
 			p1 := a.place(r1[i].Seq, res.Reads[2*(i-lo)])

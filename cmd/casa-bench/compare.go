@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Bench regression gate: -compare checks a casa-bench/v1 document
+// against a committed baseline and fails (exit 1) when any engine's
+// *model* numbers regress beyond the threshold. Only modelled seconds,
+// cycles and throughput participate — they are deterministic functions
+// of the workload, identical on every machine and at every worker
+// count, so any drift is a real change to the simulated hardware. Host
+// numbers are excluded: they measure the CI runner, not the model.
+
+// loadDoc reads and decodes one casa-bench/v1 file.
+func loadDoc(path string) (doc, error) {
+	var d doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return d, fmt.Errorf("casa-bench: %s: %w", path, err)
+	}
+	if d.Schema != benchSchema {
+		return d, fmt.Errorf("casa-bench: %s: schema %q, want %q", path, d.Schema, benchSchema)
+	}
+	return d, nil
+}
+
+// modelRows collapses a document to one row per engine: model numbers
+// are worker-count independent (the determinism contract), so the first
+// row of each engine represents it.
+func modelRows(d doc) map[string]row {
+	out := map[string]row{}
+	for _, r := range d.Engines {
+		if _, ok := out[r.Engine]; !ok {
+			out[r.Engine] = r
+		}
+	}
+	return out
+}
+
+// compareDocs returns one message per regression of cur against base
+// beyond threshold (a fraction: 0.10 = 10%). Engines with no model
+// numbers in the baseline (fmindex) are skipped; an engine present in
+// the baseline but absent from cur is itself a regression. Comparing
+// documents with different workloads is an error — the gate must
+// compare like against like.
+func compareDocs(base, cur doc, threshold float64) ([]string, error) {
+	if base.Scale != cur.Scale || base.Workload != cur.Workload {
+		return nil, fmt.Errorf("casa-bench: workload mismatch: baseline %s %+v vs current %s %+v",
+			base.Scale, base.Workload, cur.Scale, cur.Workload)
+	}
+	baseRows, curRows := modelRows(base), modelRows(cur)
+	engines := make([]string, 0, len(baseRows))
+	for e := range baseRows {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+
+	var regressions []string
+	for _, e := range engines {
+		b := baseRows[e]
+		if b.ModelSeconds == 0 && b.ModelCycles == 0 && b.ModelReadsPerS == 0 {
+			continue // no hardware model to gate (fmindex)
+		}
+		c, ok := curRows[e]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: engine missing from current run", e))
+			continue
+		}
+		if b.ModelSeconds > 0 && c.ModelSeconds > b.ModelSeconds*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: model seconds %.6g exceeds baseline %.6g by more than %.0f%%",
+				e, c.ModelSeconds, b.ModelSeconds, threshold*100))
+		}
+		if b.ModelCycles > 0 && float64(c.ModelCycles) > float64(b.ModelCycles)*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: model cycles %d exceeds baseline %d by more than %.0f%%",
+				e, c.ModelCycles, b.ModelCycles, threshold*100))
+		}
+		if b.ModelReadsPerS > 0 && c.ModelReadsPerS < b.ModelReadsPerS*(1-threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: model throughput %.6g below baseline %.6g by more than %.0f%%",
+				e, c.ModelReadsPerS, b.ModelReadsPerS, threshold*100))
+		}
+	}
+	return regressions, nil
+}

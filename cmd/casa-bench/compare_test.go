@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc(rows ...row) doc {
+	return doc{
+		Schema:   benchSchema,
+		Scale:    "quick",
+		Workload: workload{RefBases: 1 << 16, Reads: 200, ReadLen: 150, MinSMEM: 19},
+		Engines:  rows,
+	}
+}
+
+func TestCompareDocs(t *testing.T) {
+	base := benchDoc(
+		row{Engine: "casa", Workers: 1, HostSeconds: 1, ModelSeconds: 0.010, ModelCycles: 1000, ModelReadsPerS: 20000},
+		row{Engine: "ert", Workers: 1, HostSeconds: 1, ModelSeconds: 0.020, ModelReadsPerS: 10000},
+		row{Engine: "fmindex", Workers: 1, HostSeconds: 1},
+	)
+
+	t.Run("identical passes", func(t *testing.T) {
+		regs, err := compareDocs(base, base, 0.10)
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("regs=%v err=%v", regs, err)
+		}
+	})
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostSeconds: 9, ModelSeconds: 0.0108, ModelCycles: 1080, ModelReadsPerS: 18200},
+			row{Engine: "ert", Workers: 1, HostSeconds: 9, ModelSeconds: 0.021, ModelReadsPerS: 9500},
+			row{Engine: "fmindex", Workers: 1, HostSeconds: 9},
+		)
+		regs, err := compareDocs(base, cur, 0.10)
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("regs=%v err=%v", regs, err)
+		}
+	})
+
+	t.Run("regressions caught", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostSeconds: 1, ModelSeconds: 0.012, ModelCycles: 1200, ModelReadsPerS: 17000},
+			row{Engine: "ert", Workers: 1, HostSeconds: 1, ModelSeconds: 0.020, ModelReadsPerS: 10000},
+			row{Engine: "fmindex", Workers: 1, HostSeconds: 1},
+		)
+		regs, err := compareDocs(base, cur, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 3 {
+			t.Fatalf("want 3 regressions (seconds, cycles, throughput), got %v", regs)
+		}
+		for _, r := range regs {
+			if !strings.HasPrefix(r, "casa:") {
+				t.Errorf("regression blames %q, want casa", r)
+			}
+		}
+	})
+
+	t.Run("missing engine is a regression", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostSeconds: 1, ModelSeconds: 0.010, ModelCycles: 1000, ModelReadsPerS: 20000},
+			row{Engine: "fmindex", Workers: 1, HostSeconds: 1},
+		)
+		regs, err := compareDocs(base, cur, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "ert") {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("host-only drift ignored", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostSeconds: 100, HostReadsPerS: 2, ModelSeconds: 0.010, ModelCycles: 1000, ModelReadsPerS: 20000},
+			row{Engine: "ert", Workers: 1, HostSeconds: 100, ModelSeconds: 0.020, ModelReadsPerS: 10000},
+			row{Engine: "fmindex", Workers: 1, HostSeconds: 100},
+		)
+		regs, err := compareDocs(base, cur, 0.10)
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("host drift must not gate: regs=%v err=%v", regs, err)
+		}
+	})
+
+	t.Run("workload mismatch errors", func(t *testing.T) {
+		cur := base
+		cur.Workload.Reads = 999
+		if _, err := compareDocs(base, cur, 0.10); err == nil {
+			t.Fatal("want workload mismatch error")
+		}
+	})
+}

@@ -5,10 +5,17 @@
 // throughput. `make bench` drives it; CI runs `-scale quick` and then
 // `-validate` to keep the schema honest.
 //
+// -compare is the regression gate: the run's (or a given file's) model
+// numbers are checked against a committed baseline and the process exits
+// non-zero when modelled seconds, cycles or throughput regress beyond
+// -threshold. Host numbers never participate — they measure the machine,
+// not the model. `make bench-quick` gates against bench/baseline-quick.json.
+//
 // Usage:
 //
 //	casa-bench [-scale quick|default] [-workers 1,2,4,8] [-out BENCH_seeding.json]
 //	casa-bench -validate BENCH_seeding.json
+//	casa-bench -compare bench/baseline-quick.json [-threshold 0.10] BENCH_seeding.json
 package main
 
 import (
@@ -66,10 +73,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casa-bench: ")
 	var (
-		scale    = flag.String("scale", "default", "workload scale: quick (CI smoke) or default")
-		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker-pool sizes")
-		out      = flag.String("out", "BENCH_seeding.json", "output path (- = stdout)")
-		validate = flag.String("validate", "", "validate an existing benchmark file against the schema and exit")
+		scale     = flag.String("scale", "default", "workload scale: quick (CI smoke) or default")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker-pool sizes")
+		out       = flag.String("out", "BENCH_seeding.json", "output path (- = stdout)")
+		validate  = flag.String("validate", "", "validate an existing benchmark file against the schema and exit")
+		compare   = flag.String("compare", "", "baseline benchmark file: exit non-zero if model numbers regress beyond -threshold")
+		threshold = flag.Float64("threshold", 0.10, "allowed fractional model regression for -compare")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -77,6 +86,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("casa-bench: %s is a valid %s document\n", *validate, benchSchema)
+		return
+	}
+	if *compare != "" && flag.NArg() == 1 {
+		// Gate an already-written document without re-running the bench.
+		cur, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runGate(*compare, cur, *threshold)
 		return
 	}
 
@@ -134,6 +152,29 @@ func main() {
 	if *out != "-" {
 		log.Printf("wrote %s (%d rows)", *out, len(d.Engines))
 	}
+	if *compare != "" {
+		runGate(*compare, d, *threshold)
+	}
+}
+
+// runGate compares cur against the baseline file and exits non-zero on
+// any model regression.
+func runGate(baselinePath string, cur doc, threshold float64) {
+	base, err := loadDoc(baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regressions, err := compareDocs(base, cur, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			log.Printf("REGRESSION %s", r)
+		}
+		log.Fatalf("%d model regression(s) vs %s (threshold %.0f%%)", len(regressions), baselinePath, threshold*100)
+	}
+	log.Printf("model numbers within %.0f%% of %s", threshold*100, baselinePath)
 }
 
 // model carries the simulated-hardware outputs of one run; zero for

@@ -10,12 +10,14 @@
 // Observability (see docs/OBSERVABILITY.md): every engine publishes its
 // activity counters and model gauges into a metrics registry. -json emits
 // a stable machine-readable report (schema casa-smem/v1) on stdout;
-// -metrics writes the Prometheus-style text exposition to stderr; -http
-// serves /metrics and net/http/pprof until interrupted.
+// -metrics writes the Prometheus-style text exposition to stderr; -trace
+// records the run's cycle-domain spans (casa-trace/v1; Chrome JSON, or
+// JSONL for .jsonl paths) with optional -trace-sample sampling; -http
+// serves /metrics, /trace and /debug/pprof until interrupted.
 //
 // Usage:
 //
-//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-http localhost:6060]
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-http localhost:6060]
 package main
 
 import (
@@ -23,8 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -35,8 +35,10 @@ import (
 	"casa/internal/genax"
 	"casa/internal/gencache"
 	"casa/internal/metrics"
+	"casa/internal/obshttp"
 	"casa/internal/seqio"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // engine computes forward-strand SMEMs for a read batch on a worker pool,
@@ -78,7 +80,9 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-read output (counts only)")
 		jsonOut    = flag.Bool("json", false, "emit a "+reportSchema+" JSON report on stdout instead of text")
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
-		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on this address until interrupted")
+		tracePath  = flag.String("trace", "", "write a casa-trace/v1 trace of the run (.jsonl = JSONL, else Chrome JSON)")
+		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address until interrupted")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -90,10 +94,24 @@ func main() {
 		log.Fatal(err)
 	}
 	reg := metrics.New()
-	pool := batch.Options{Workers: *workers, Metrics: reg}
+	// Record spans whenever anything could consume them: a -trace file or
+	// the HTTP server's /trace endpoint.
+	var tr *trace.Trace
+	if *tracePath != "" || *httpAddr != "" {
+		policy, err := trace.ParsePolicy(*traceSamp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = trace.New(policy, 0)
+	}
+	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	var srv *obshttp.Server
 	if *httpAddr != "" {
 		// Start before seeding so /debug/pprof can profile the run.
-		serveHTTP(*httpAddr, reg)
+		srv, err = obshttp.Start(*httpAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	eng, err := build(*engName, ref, *minSMEM)
@@ -108,6 +126,20 @@ func main() {
 			log.Fatal(err)
 		}
 		want = ver.findAll(reads, *minSMEM, pool)
+	}
+	if tr != nil {
+		// The pool has drained: merge once and fan the snapshot out to the
+		// -trace file and the /trace endpoint. With -verify both engines'
+		// spans land in one trace as separate processes.
+		spans := tr.Spans()
+		if srv != nil {
+			srv.PublishTrace(spans)
+		}
+		if *tracePath != "" {
+			if err := trace.WriteFile(*tracePath, spans); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	totalSMEMs, mismatches := 0, 0
@@ -154,29 +186,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *httpAddr != "" {
-		fmt.Fprintf(os.Stderr, "casa-smem: serving /metrics and /debug/pprof on %s, interrupt to exit\n", *httpAddr)
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "casa-smem: serving /metrics, /trace and /debug/pprof on %s, interrupt to exit\n", srv.Addr())
 		waitForInterrupt()
+		if err := srv.Close(); err != nil {
+			log.Print(err)
+		}
 	}
 	if mismatches > 0 {
 		os.Exit(1)
 	}
-}
-
-// serveHTTP exposes the registry at /metrics and the net/http/pprof
-// handlers (registered on the default mux by the blank import) on addr.
-func serveHTTP(addr string, reg *metrics.Registry) {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteText(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Fatalf("http: %v", err)
-		}
-	}()
 }
 
 func waitForInterrupt() {

@@ -1,0 +1,253 @@
+// Command casa-trace analyzes casa-trace/v1 trace files (Chrome JSON or
+// JSONL, as written by casa-smem/casa-align -trace) without a browser:
+// per engine it ranks the slowest reads with per-track cycle breakdowns,
+// prints power-of-two histograms of per-read track time, and summarizes
+// stage overlap on the system timelines (the pipeline model's Fig-14
+// waterfalls).
+//
+// Times are modelled units, never host time: engine cycles (or fetches /
+// FM-index steps — see docs/OBSERVABILITY.md for each engine's unit) for
+// read spans, modelled-wall nanoseconds for pipeline system spans.
+//
+// Usage:
+//
+//	casa-trace [-top 10] trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/bits"
+	"os"
+	"sort"
+
+	"casa/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casa-trace: ")
+	top := flag.Int("top", 10, "slowest reads to show per engine")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: casa-trace [-top N] trace.json")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *top); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, path string, top int) error {
+	spans, err := trace.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Validate(spans); err != nil {
+		fmt.Fprintf(os.Stderr, "casa-trace: warning: stream violates casa-trace/v1 invariants: %v\n", err)
+	}
+	printReport(w, analyze(spans), top)
+	return nil
+}
+
+// readStat is one read's cost on one process: the length of its span
+// window and the per-track interval-union breakdown (union, not sum, so
+// nested sub-spans — casa's per-partition spans inside a stage span —
+// are not double counted).
+type readStat struct {
+	read    int32
+	window  int64            // max end - min start over the read's spans
+	byTrack map[string]int64 // track -> union of span intervals
+}
+
+// procReport aggregates one process (engine or pipeline system).
+type procReport struct {
+	proc   string
+	spans  int
+	reads  []readStat       // slowest first (window desc, read asc)
+	hist   map[string][]int // track -> power-of-two buckets of per-read union
+	system []trace.Span     // system-timeline spans in stream order
+}
+
+// analyze folds a span stream into per-process reports, sorted by
+// process name.
+func analyze(spans []trace.Span) []procReport {
+	type key struct {
+		proc string
+		read int32
+	}
+	perRead := map[key][]trace.Span{}
+	sysSpans := map[string][]trace.Span{}
+	count := map[string]int{}
+	for _, s := range spans {
+		count[s.Proc]++
+		if s.Read == trace.SystemRead {
+			sysSpans[s.Proc] = append(sysSpans[s.Proc], s)
+			continue
+		}
+		k := key{s.Proc, s.Read}
+		perRead[k] = append(perRead[k], s)
+	}
+
+	stats := map[string][]readStat{}
+	for k, ss := range perRead {
+		st := readStat{read: k.read, byTrack: map[string]int64{}}
+		lo, hi := ss[0].Start, ss[0].End()
+		perTrack := map[string][]trace.Span{}
+		for _, s := range ss {
+			if s.Start < lo {
+				lo = s.Start
+			}
+			if s.End() > hi {
+				hi = s.End()
+			}
+			perTrack[s.Track] = append(perTrack[s.Track], s)
+		}
+		st.window = hi - lo
+		for t, ts := range perTrack {
+			st.byTrack[t] = unionLen(ts)
+		}
+		stats[k.proc] = append(stats[k.proc], st)
+	}
+
+	var out []procReport
+	for proc := range count {
+		rep := procReport{proc: proc, spans: count[proc], system: sysSpans[proc]}
+		rep.reads = stats[proc]
+		sort.Slice(rep.reads, func(i, j int) bool {
+			a, b := rep.reads[i], rep.reads[j]
+			if a.window != b.window {
+				return a.window > b.window
+			}
+			return a.read < b.read
+		})
+		rep.hist = map[string][]int{}
+		for _, st := range rep.reads {
+			for t, u := range st.byTrack {
+				b := bucket(u)
+				for len(rep.hist[t]) <= b {
+					rep.hist[t] = append(rep.hist[t], 0)
+				}
+				rep.hist[t][b]++
+			}
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].proc < out[j].proc })
+	return out
+}
+
+// unionLen returns the total length covered by the spans' intervals,
+// counting overlapping (nested) stretches once.
+func unionLen(ss []trace.Span) int64 {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+	var total, end int64
+	end = -1 << 62
+	for _, s := range ss {
+		if s.Start > end {
+			total += s.Dur
+			end = s.End()
+		} else if s.End() > end {
+			total += s.End() - end
+			end = s.End()
+		}
+	}
+	return total
+}
+
+// bucket maps a duration to its power-of-two histogram bucket: bucket b
+// holds values in [2^(b-1), 2^b), with 0 in bucket 0.
+func bucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+func printReport(w io.Writer, reps []procReport, top int) {
+	for _, rep := range reps {
+		fmt.Fprintf(w, "== %s: %d spans, %d reads ==\n", rep.proc, rep.spans, len(rep.reads))
+
+		if len(rep.reads) > 0 {
+			n := top
+			if n > len(rep.reads) {
+				n = len(rep.reads)
+			}
+			fmt.Fprintf(w, "slowest %d reads (modelled units; per-track interval union):\n", n)
+			for _, st := range rep.reads[:n] {
+				fmt.Fprintf(w, "  read %6d  total %10d", st.read, st.window)
+				for _, t := range sortedTracks(st.byTrack) {
+					fmt.Fprintf(w, "  %s=%d", t, st.byTrack[t])
+				}
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintln(w, "per-track histogram (bucket 2^b covers [2^(b-1), 2^b)):")
+			tracks := make([]string, 0, len(rep.hist))
+			for t := range rep.hist {
+				tracks = append(tracks, t)
+			}
+			sort.Strings(tracks)
+			for _, t := range tracks {
+				fmt.Fprintf(w, "  %-12s", t)
+				for b, c := range rep.hist[t] {
+					if c > 0 {
+						fmt.Fprintf(w, " 2^%d:%d", b, c)
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+
+		if len(rep.system) > 0 {
+			wall, covered := overlapSummary(rep.system)
+			fmt.Fprintf(w, "system timeline: wall %d\n", wall)
+			var sum int64
+			for _, t := range sortedTracks(covered) {
+				c := covered[t]
+				sum += c
+				pct := 0.0
+				if wall > 0 {
+					pct = 100 * float64(c) / float64(wall)
+				}
+				fmt.Fprintf(w, "  %-12s covered %10d  (%.1f%% of wall)\n", t, c, pct)
+			}
+			if wall > 0 {
+				fmt.Fprintf(w, "  parallelism %.2fx (total stage time / wall)\n", float64(sum)/float64(wall))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// overlapSummary reduces a system timeline to its wall length (max end -
+// min start) and the per-track covered lengths; covered/wall over all
+// tracks is the timeline's average stage parallelism.
+func overlapSummary(ss []trace.Span) (wall int64, covered map[string]int64) {
+	lo, hi := ss[0].Start, ss[0].End()
+	perTrack := map[string][]trace.Span{}
+	for _, s := range ss {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End() > hi {
+			hi = s.End()
+		}
+		perTrack[s.Track] = append(perTrack[s.Track], s)
+	}
+	covered = map[string]int64{}
+	for t, ts := range perTrack {
+		covered[t] = unionLen(ts)
+	}
+	return hi - lo, covered
+}
+
+func sortedTracks(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -22,11 +22,15 @@
 package batch
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"casa/internal/metrics"
+	"casa/internal/trace"
 )
 
 // Options configures the worker pool.
@@ -48,6 +52,25 @@ type Options struct {
 	// registry is byte-identical to the one a sequential run publishes,
 	// for any worker count.
 	Metrics *metrics.Registry
+
+	// Trace, when non-nil, records cycle-domain spans: each worker emits
+	// into a private trace.Buffer (created via Trace.NewBuffer, labelled
+	// with Engine), keyed by global read index with read-local timestamps.
+	// The merged span stream — and its exported bytes — is identical for
+	// any worker count, the same discipline Metrics follows.
+	Trace *trace.Trace
+
+	// Engine labels this run's observability output: it becomes the trace
+	// process name and the "engine" pprof goroutine label on the workers.
+	// Empty means the Seed* entry point's default ("casa", "ert", ...).
+	Engine string
+
+	// ReadBase is the global index of reads[0], for callers that stream a
+	// long input through Seed* in successive batches (casa-align): trace
+	// spans are keyed by ReadBase + index-in-batch, so every read of the
+	// whole run keeps a unique, stable identity. Zero for single-batch
+	// callers.
+	ReadBase int
 }
 
 // DefaultOptions returns the default pool configuration: one worker per
@@ -99,10 +122,12 @@ func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
 	}
 	results := make([]R, numShards)
 	if workers <= 1 {
-		for s := 0; s < numShards; s++ {
-			lo := s * grain
-			results[s] = fn(0, lo, min(lo+grain, n))
-		}
+		o.labeled(0, func() {
+			for s := 0; s < numShards; s++ {
+				lo := s * grain
+				results[s] = fn(0, lo, min(lo+grain, n))
+			}
+		})
 		return results
 	}
 	var next atomic.Int64
@@ -111,18 +136,29 @@ func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= numShards {
-					return
+			o.labeled(w, func() {
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= numShards {
+						return
+					}
+					lo := s * grain
+					results[s] = fn(w, lo, min(lo+grain, n))
 				}
-				lo := s * grain
-				results[s] = fn(w, lo, min(lo+grain, n))
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
 	return results
+}
+
+// labeled runs body with pprof goroutine labels identifying the engine
+// and the worker index, so CPU and goroutine profiles of a batch run
+// attribute samples to engines ("engine" label) and expose load imbalance
+// across the pool ("worker" label).
+func (o Options) labeled(worker int, body func()) {
+	labels := pprof.Labels("engine", o.Engine, "worker", strconv.Itoa(worker))
+	pprof.Do(context.Background(), labels, func(context.Context) { body() })
 }
 
 func min(a, b int) int {

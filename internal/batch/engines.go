@@ -9,6 +9,7 @@ import (
 	"casa/internal/gencache"
 	"casa/internal/metrics"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // clonePool returns workers engine instances for the resolved pool size:
@@ -46,14 +47,36 @@ func mergeRegistries(o Options, regs []*metrics.Registry) {
 	}
 }
 
+// withEngine resolves the observability label for a Seed* entry point:
+// the caller's Options.Engine if set, else the engine's default name.
+func withEngine(o Options, def string) Options {
+	if o.Engine == "" {
+		o.Engine = def
+	}
+	return o
+}
+
+// traceBuffers returns one span buffer per worker, labelled with the
+// run's engine name. With tracing off (o.Trace nil) every buffer is the
+// nil no-op sink, so callers index unconditionally.
+func traceBuffers(o Options) []*trace.Buffer {
+	bufs := make([]*trace.Buffer, o.WorkerCount())
+	for i := range bufs {
+		bufs[i] = o.Trace.NewBuffer(o.Engine)
+	}
+	return bufs
+}
+
 // SeedCASA seeds reads on a pool of CASA accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads on
 // the same batch.
 func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result {
+	o = withEngine(o, "casa")
 	engines := clonePool(a, o.WorkerCount(), (*core.Accelerator).Clone)
 	regs := workerRegistries(o)
+	bufs := traceBuffers(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *core.Activity {
-		act := engines[w].Seed(reads[lo:hi])
+		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
@@ -71,10 +94,12 @@ func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result
 // reuse-cache model is replayed over the full batch during reduction, so
 // the Result matches a.SeedReads exactly.
 func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
+	o = withEngine(o, "ert")
 	engines := clonePool(a, o.WorkerCount(), (*ert.Accelerator).Clone)
 	regs := workerRegistries(o)
+	bufs := traceBuffers(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *ert.Activity {
-		act := engines[w].Seed(reads[lo:hi])
+		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
@@ -91,10 +116,12 @@ func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
 // SeedGenAx seeds reads on a pool of GenAx accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads.
 func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Result {
+	o = withEngine(o, "genax")
 	engines := clonePool(a, o.WorkerCount(), (*genax.Accelerator).Clone)
 	regs := workerRegistries(o)
+	bufs := traceBuffers(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *genax.Activity {
-		act := engines[w].Seed(reads[lo:hi])
+		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
@@ -113,10 +140,12 @@ func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Res
 // fetch streams during reduction, so the Result matches a.SeedReads
 // exactly.
 func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gencache.Result {
+	o = withEngine(o, "gencache")
 	engines := clonePool(a, o.WorkerCount(), (*gencache.Accelerator).Clone)
 	regs := workerRegistries(o)
+	bufs := traceBuffers(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *gencache.Activity {
-		act := engines[w].Seed(reads[lo:hi])
+		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
@@ -135,10 +164,12 @@ func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gen
 // s.SeedReads. (The pool parallelizes the host simulation; the modelled
 // thread count stays cpu.Config.Threads.)
 func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
+	o = withEngine(o, "cpu")
 	engines := clonePool(s, o.WorkerCount(), (*cpu.Seeder).Clone)
 	regs := workerRegistries(o)
+	bufs := traceBuffers(o)
 	acts := Run(len(reads), o, func(w, lo, hi int) *cpu.Activity {
-		act := engines[w].Seed(reads[lo:hi])
+		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
@@ -152,21 +183,39 @@ func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
 	return res
 }
 
+// seedCoster is the optional finder extension the traced FindSMEMs path
+// uses: the modelled cost of the finder's most recent FindSMEMs call, in
+// the finder's native unit (FM-index steps, RMEM pivots, ...).
+type seedCoster interface {
+	SeedCost() int64
+}
+
 // FindSMEMs runs finder.FindSMEMs for every read on the worker pool and
 // returns the per-read SMEM sets in input order. newFinder must return an
 // independent finder per worker (a Clone sharing the index); it is called
 // once per worker, with worker 0 first and on the caller's goroutine, so
 // lazy sharing setups need no locking.
+//
+// With o.Trace set and finders implementing SeedCost, every read gets one
+// "find" span on the "seed" track (engine label per o.Engine, default
+// "fmindex").
 func FindSMEMs(reads []dna.Sequence, minLen int, o Options, newFinder func(worker int) smem.Finder) [][]smem.Match {
+	o = withEngine(o, "fmindex")
 	workers := o.WorkerCount()
 	finders := make([]smem.Finder, workers)
 	for w := range finders {
 		finders[w] = newFinder(w)
 	}
+	bufs := traceBuffers(o)
 	shards := Run(len(reads), o, func(w, lo, hi int) [][]smem.Match {
 		out := make([][]smem.Match, hi-lo)
+		tb := bufs[w]
+		costed, _ := finders[w].(seedCoster)
 		for i, r := range reads[lo:hi] {
 			out[i] = finders[w].FindSMEMs(r, minLen)
+			if tb != nil && costed != nil {
+				tb.Emit(o.ReadBase+lo+i, "seed", "find", 0, costed.SeedCost())
+			}
 		}
 		return out
 	})

@@ -7,6 +7,7 @@ import (
 	"casa/internal/dram"
 	"casa/internal/energy"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Accelerator is a full CASA instance: the reference split into partitions
@@ -161,83 +162,117 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 // strands is still live. Seed mutates only this accelerator's partition
 // counters: concurrent calls on distinct Clones are safe.
 func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	return a.SeedTrace(reads, nil, 0)
+}
+
+// SeedTrace is Seed with cycle-domain tracing: when tb is non-nil, every
+// read gets a two-level span timeline — one span per stage on the "exact"
+// and "smem" tracks, plus per-partition sub-spans on the "pNN" tracks —
+// with read-local timestamps in modelled controller cycles. Reads are
+// keyed base+i, so batch shards pass their shard offset and the merged
+// trace is worker-count independent.
+//
+// Per-read cycles apply stageCycles to the read's own partition deltas;
+// because the conversion takes ceilings over banked lanes, per-read cycles
+// are an attribution of the batch total, not an exact decomposition (the
+// Result's Cycles still come from Reduce over the summed deltas).
+//
+// Reads are mutually independent (exact-match retirement only couples a
+// read's own two strands), so processing read-outer here yields an
+// Activity bit-identical to a partition-outer sweep.
+func (a *Accelerator) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
 	act := &Activity{
 		Reads:  make([]ReadResult, len(reads)),
 		Stage1: make([]PartStats, len(a.parts)),
 		Stage2: make([]PartStats, len(a.parts)),
 	}
 
-	// Strand s covers read s/2: even = forward, odd = reverse complement.
-	n := len(reads)
-	seqs := make([]dna.Sequence, 2*n)
-	bytesOf := make([]int64, n)
-	for i, r := range reads {
-		seqs[2*i] = r
-		seqs[2*i+1] = r.ReverseComplement()
-		bytesOf[i] = int64((len(r) + 3) / 4) // 2-bit packed
+	var tracks []string
+	if tb != nil {
+		tracks = make([]string, len(a.parts))
+		for pi := range a.parts {
+			tracks[pi] = fmt.Sprintf("p%02d", pi)
+		}
 	}
-	retired := make([]bool, 2*n)
-	exactRes := make([][]smem.Match, 2*n)
 
-	// Stage 1: exact-match sweep with retirement (sequential over
-	// partitions — retirement in partition i changes partition i+1's
-	// active set, exactly as the hardware scan does).
-	if a.cfg.ExactMatchPrepass {
-		for pi, p := range a.parts {
-			for i := range reads {
-				if !retired[2*i] || !retired[2*i+1] {
-					act.ReadBytes += bytesOf[i]
+	for i, r := range reads {
+		// Strand 0 = forward, strand 1 = reverse complement.
+		seqs := [2]dna.Sequence{r, r.ReverseComplement()}
+		readBytes := int64((len(r) + 3) / 4) // 2-bit packed
+		var retired [2]bool
+		var strandMatches [2][]smem.Match
+		var cursor, stage1Total int64
+
+		// Stage 1: exact-match sweep with retirement. The hardware scans
+		// the partitions sequentially; a read streams from DRAM for a
+		// partition pass while at least one of its strands is live, and a
+		// resolved read retires BOTH strands (its exact placement is known,
+		// so the opposite strand reports no SMEMs — the aligner already has
+		// the position) and skips every later partition.
+		if a.cfg.ExactMatchPrepass {
+			for pi, p := range a.parts {
+				if retired[0] && retired[1] {
+					break
 				}
+				act.ReadBytes += readBytes
+				before := p.Stats
+				for s := 0; s < 2; s++ {
+					if retired[s] || len(seqs[s]) < a.cfg.MinSMEM {
+						continue
+					}
+					if hits, ok := p.ExactCheck(seqs[s]); ok {
+						retired[s] = true
+						retired[s^1] = true
+						strandMatches[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
+					}
+				}
+				d := diffStats(p.Stats, before)
+				act.Stage1[pi].add(d)
+				if tb != nil {
+					cyc := stageCycles(d, a.cfg)
+					if cyc > 0 {
+						tb.Emit(base+i, tracks[pi], "exact", cursor, cyc)
+					}
+					cursor += cyc
+				}
+			}
+			stage1Total = cursor
+			tb.Emit(base+i, "exact", "exact", 0, stage1Total)
+		}
+
+		// Stage 2: full SMEM computing for the remaining strands, again
+		// sweeping the partitions in order. Read streaming: a read fetched
+		// for a partition pass serves both its exact check and its SMEM
+		// computation, so with the prepass on, stage 1 already charged this
+		// read's bytes; without it, the SMEM stage is the only fetch.
+		for pi, p := range a.parts {
+			if retired[0] && retired[1] {
+				break
+			}
+			if !a.cfg.ExactMatchPrepass {
+				act.ReadBytes += readBytes
 			}
 			before := p.Stats
-			for s := range seqs {
-				if retired[s] || len(seqs[s]) < a.cfg.MinSMEM {
-					continue
-				}
-				if hits, ok := p.ExactCheck(seqs[s]); ok {
-					// The read is resolved: its exact placement is known,
-					// so BOTH strands retire (the opposite strand reports
-					// no SMEMs — the aligner already has the position).
-					retired[s] = true
-					retired[s^1] = true
-					exactRes[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
+			for s := 0; s < 2; s++ {
+				if !retired[s] {
+					strandMatches[s] = append(strandMatches[s], p.seedRead(seqs[s], false)...)
 				}
 			}
-			act.Stage1[pi] = diffStats(p.Stats, before)
+			d := diffStats(p.Stats, before)
+			act.Stage2[pi].add(d)
+			if tb != nil {
+				cyc := stageCycles(d, a.cfg)
+				if cyc > 0 {
+					tb.Emit(base+i, tracks[pi], "smem", cursor, cyc)
+				}
+				cursor += cyc
+			}
 		}
-	}
+		tb.Emit(base+i, "smem", "smem", stage1Total, cursor-stage1Total)
 
-	// Stage 2: full SMEM computing for the remaining strands. The modelled
-	// hardware visits the partitions sequentially, which the per-partition
-	// cycle accounting reflects; host-level parallelism comes from sharding
-	// reads across accelerator Clones, not from racing partitions.
-	strandMatches := make([][]smem.Match, 2*n)
-	copy(strandMatches, exactRes)
-	for pi, p := range a.parts {
-		before := p.Stats
-		for s := range seqs {
-			if !retired[s] {
-				strandMatches[s] = append(strandMatches[s], p.seedRead(seqs[s], false)...)
-			}
-		}
-		act.Stage2[pi] = diffStats(p.Stats, before)
-		// Read streaming: a read fetched for a partition pass serves both
-		// its exact check and its SMEM computation, so with the prepass on
-		// the stage-1 loop above already charged this partition's bytes;
-		// without it, the SMEM stage is the only fetch.
-		if !a.cfg.ExactMatchPrepass {
-			for i := range reads {
-				if !retired[2*i] || !retired[2*i+1] {
-					act.ReadBytes += bytesOf[i]
-				}
-			}
-		}
-	}
-
-	for i := range reads {
 		act.Reads[i] = ReadResult{
-			Forward: MergeSMEMs(strandMatches[2*i]),
-			Reverse: MergeSMEMs(strandMatches[2*i+1]),
+			Forward: MergeSMEMs(strandMatches[0]),
+			Reverse: MergeSMEMs(strandMatches[1]),
 		}
 	}
 	return act

@@ -15,6 +15,7 @@ import (
 
 	"casa/internal/dna"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Config describes the CPU platform (Table 2) and the memory model.
@@ -108,12 +109,27 @@ func (s *Seeder) SeedReads(reads []dna.Sequence) *Result {
 // Seed mutates only this seeder's step counter: concurrent calls on
 // distinct Clones are safe.
 func (s *Seeder) Seed(reads []dna.Sequence) *Activity {
+	return s.SeedTrace(reads, nil, 0)
+}
+
+// SeedTrace is Seed with cycle-domain tracing: when tb is non-nil, every
+// read gets "fwd" and "rev" spans on the "seed" track, with read-local
+// timestamps in FM-index extension steps — the dependent pointer-chases
+// the CPU timing model charges. Reads are keyed base+i so batch shards
+// merge worker-count independently.
+func (s *Seeder) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
 	act := &Activity{}
-	for _, r := range reads {
+	for i, r := range reads {
 		act.Reads = append(act.Reads, s.finder.FindSMEMs(r, s.cfg.MinSMEM))
-		act.Steps += int64(s.finder.Steps)
+		fwd := int64(s.finder.Steps)
+		act.Steps += fwd
 		act.Rev = append(act.Rev, s.finder.FindSMEMs(r.ReverseComplement(), s.cfg.MinSMEM))
-		act.Steps += int64(s.finder.Steps)
+		rev := int64(s.finder.Steps)
+		act.Steps += rev
+		if tb != nil {
+			tb.Emit(base+i, "seed", "fwd", 0, fwd)
+			tb.Emit(base+i, "seed", "rev", fwd, rev)
+		}
 	}
 	return act
 }

@@ -5,6 +5,7 @@ import (
 	"casa/internal/dram"
 	"casa/internal/energy"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // AccelConfig sets the ASIC-ERT performance model: 16 seeding machines
@@ -105,15 +106,47 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 // returns the raw activity. Seed mutates only this accelerator's index
 // counters: concurrent calls on distinct Clones are safe.
 func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	return a.SeedTrace(reads, nil, 0)
+}
+
+// SeedTrace is Seed with cycle-domain tracing: when tb is non-nil, every
+// read gets "fwd" and "rev" spans on the "seed" track, with read-local
+// timestamps in modelled DRAM fetches (tree-node fetches converted at
+// BasesPerFetch, plus reference verifies) — the unit the ERT timing model
+// is latency-bound on. Reuse-cache misses are order-sensitive and counted
+// in Reduce, so they are not in per-read durations. Reads are keyed
+// base+i so batch shards merge worker-count independently.
+func (a *Accelerator) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
 	act := &Activity{}
-	before := a.index.Stats
-	for _, r := range reads {
+	start := a.index.Stats
+	for i, r := range reads {
+		before := a.index.Stats
 		act.Reads = append(act.Reads, a.index.FindSMEMs(r, a.cfg.Index.MinSMEM))
-		act.Rev = append(act.Rev, a.index.FindSMEMs(r.ReverseComplement(), a.cfg.Index.MinSMEM))
+		if tb != nil {
+			fwd := a.fetchWork(diff(a.index.Stats, before))
+			before = a.index.Stats
+			act.Rev = append(act.Rev, a.index.FindSMEMs(r.ReverseComplement(), a.cfg.Index.MinSMEM))
+			rev := a.fetchWork(diff(a.index.Stats, before))
+			tb.Emit(base+i, "seed", "fwd", 0, fwd)
+			tb.Emit(base+i, "seed", "rev", fwd, rev)
+		} else {
+			act.Rev = append(act.Rev, a.index.FindSMEMs(r.ReverseComplement(), a.cfg.Index.MinSMEM))
+		}
 		act.ReadBytes += int64((len(r) + 3) / 4)
 	}
-	act.Stats = diff(a.index.Stats, before)
+	act.Stats = diff(a.index.Stats, start)
 	return act
+}
+
+// fetchWork converts an activity delta into modelled DRAM fetches, the
+// same conversion Reduce applies to the batch totals (minus the
+// order-sensitive reuse-cache misses).
+func (a *Accelerator) fetchWork(d Stats) int64 {
+	perFetch := int64(a.cfg.BasesPerFetch)
+	if perFetch < 1 {
+		perFetch = 1
+	}
+	return (d.NodeFetches+perFetch-1)/perFetch + d.RefFetches
 }
 
 // Reduce folds the Activities of disjoint sub-batches (in input order)

@@ -15,6 +15,7 @@ import (
 	"casa/internal/dram"
 	"casa/internal/energy"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Config sets GenAx's dimensions.
@@ -365,25 +366,56 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 // the raw activity. Seed mutates only this accelerator's segment
 // counters: concurrent calls on distinct Clones are safe.
 func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	return a.SeedTrace(reads, nil, 0)
+}
+
+// SeedTrace is Seed with cycle-domain tracing: when tb is non-nil, every
+// read gets per-segment spans "sNN" on the "seed" track, with read-local
+// timestamps in serialized lane cycles (LaneCycles over the read's own
+// activity delta: a lane owns one read at a time, so the per-read cycle
+// count is exactly what a lane spends on it). Reads are keyed base+i so
+// batch shards merge worker-count independently.
+//
+// Reads are mutually independent (the tables keep only additive
+// counters), so sweeping read-outer here yields an Activity bit-identical
+// to the segment-outer order a sequential hardware pass implies.
+func (a *Accelerator) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
 	act := &Activity{}
-	fwd := make([][]smem.Match, len(reads))
-	rev := make([][]smem.Match, len(reads))
-	var readBytes int64
-	for _, r := range reads {
-		readBytes += int64((len(r) + 3) / 4)
-	}
-	for _, seg := range a.segments {
-		before := seg.Stats
-		for i, r := range reads {
-			fwd[i] = append(fwd[i], seg.FindSMEMs(r, a.cfg.MinSMEM)...)
-			rev[i] = append(rev[i], seg.FindSMEMs(r.ReverseComplement(), a.cfg.MinSMEM)...)
+	var tracks []string
+	if tb != nil {
+		tracks = make([]string, len(a.segments))
+		for si := range a.segments {
+			tracks[si] = fmt.Sprintf("s%02d", si)
 		}
-		act.Stats.add(diff(seg.Stats, before))
-		act.ReadBytes += readBytes
 	}
-	for i := range reads {
-		act.Reads = append(act.Reads, mergeSMEMs(fwd[i]))
-		act.Rev = append(act.Rev, mergeSMEMs(rev[i]))
+	befores := make([]Stats, len(a.segments))
+	for si, seg := range a.segments {
+		befores[si] = seg.Stats
+	}
+	nseg := int64(len(a.segments))
+	for i, r := range reads {
+		rc := r.ReverseComplement()
+		var fwd, rev []smem.Match
+		var cursor int64
+		for si, seg := range a.segments {
+			var before Stats
+			if tb != nil {
+				before = seg.Stats
+			}
+			fwd = append(fwd, seg.FindSMEMs(r, a.cfg.MinSMEM)...)
+			rev = append(rev, seg.FindSMEMs(rc, a.cfg.MinSMEM)...)
+			if tb != nil {
+				cyc := LaneCycles(diff(seg.Stats, before), a.cfg)
+				tb.Emit(base+i, "seed", tracks[si], cursor, cyc)
+				cursor += cyc
+			}
+		}
+		act.Reads = append(act.Reads, mergeSMEMs(fwd))
+		act.Rev = append(act.Rev, mergeSMEMs(rev))
+		act.ReadBytes += int64((len(r)+3)/4) * nseg
+	}
+	for si, seg := range a.segments {
+		act.Stats.add(diff(seg.Stats, befores[si]))
 	}
 	return act
 }
@@ -406,8 +438,7 @@ func (a *Accelerator) Reduce(acts ...*Activity) *Result {
 	// Timing: each lane serializes its read's dependent fetches (at the
 	// SRAM pipeline latency) and intersection operations; the lanes run in
 	// parallel, derated by bank conflicts.
-	laneCycles := res.Stats.Fetches*int64(a.cfg.FetchCycles) +
-		(res.Stats.IntersectionOps+int64(a.cfg.IntersectOpsPerCycle)-1)/int64(a.cfg.IntersectOpsPerCycle)
+	laneCycles := LaneCycles(res.Stats, a.cfg)
 	effLanes := float64(a.cfg.Lanes) * a.cfg.LaneEfficiency
 	res.Seconds = float64(laneCycles) / effLanes / a.cfg.ClockHz
 	if d := res.DRAM.MinSeconds(); d > res.Seconds {
@@ -464,6 +495,16 @@ func mergeSMEMs(ms []smem.Match) []smem.Match {
 		}
 	}
 	return out
+}
+
+// LaneCycles converts lane activity into serialized per-lane cycles: each
+// dependent table fetch stalls for the SRAM pipeline depth, and
+// intersections run at the SIMD width of the intersection units. This is
+// the conversion the timing model applies to the batch totals; applied to
+// one read's delta it gives the cycles a lane spends on that read.
+func LaneCycles(s Stats, cfg Config) int64 {
+	return s.Fetches*int64(cfg.FetchCycles) +
+		(s.IntersectionOps+int64(cfg.IntersectOpsPerCycle)-1)/int64(cfg.IntersectOpsPerCycle)
 }
 
 func diff(after, before Stats) Stats {

@@ -16,6 +16,7 @@ import (
 	"casa/internal/energy"
 	"casa/internal/genax"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Config sets the GenCache refinements on top of a GenAx configuration.
@@ -190,19 +191,28 @@ func (a *Accelerator) SeedReads(reads []dna.Sequence) *Result {
 // reads, recording the fetch streams instead of classifying them, so
 // shards may run concurrently on Clones.
 func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
+	return a.SeedTrace(reads, nil, 0)
+}
+
+// SeedTrace is Seed with cycle-domain tracing: when tb is non-nil, every
+// read gets one span on the "bypass" track (the fast-seeding attempts)
+// and one on the "smem" track (the full SMEM computation), with
+// read-local timestamps in serialized lane cycles (genax.LaneCycles over
+// the read's own table activity in that pass). The cache-miss DRAM
+// latency is order-sensitive and modelled over the replayed stream in
+// Reduce, so it is not in per-read durations. Reads are keyed base+i so
+// batch shards merge worker-count independently.
+//
+// Reads are mutually independent (bypass retirement only couples a
+// read's own two strands), so processing read-outer here records the
+// same per-(pass, segment) fetch streams — reads in order, forward then
+// reverse within a read — and the same counters as a pass-outer sweep.
+func (a *Accelerator) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
 	act := &Activity{
 		Fetches:   make([][]dna.Kmer, 2*len(a.segments)),
 		ReadCount: len(reads),
 	}
 	statsBefore := a.Stats
-	n := len(reads)
-	seqs := make([]dna.Sequence, 2*n)
-	for i, r := range reads {
-		seqs[2*i] = r
-		seqs[2*i+1] = r.ReverseComplement()
-	}
-	retired := make([]bool, 2*n)
-	exact := make([][]smem.Match, 2*n)
 
 	var genaxBefore genax.Stats
 	for _, seg := range a.segments {
@@ -210,47 +220,82 @@ func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
 		genaxBefore.IntersectionOps += seg.Stats.IntersectionOps
 	}
 
-	// Fast-seeding bypass.
-	for si, seg := range a.segments {
-		a.rec = &act.Fetches[si]
-		if !a.cfg.FastSeeding {
-			continue
-		}
-		for s := range seqs {
-			if retired[s] || len(seqs[s]) < a.cfg.GenAx.MinSMEM {
-				continue
-			}
-			if hits, ok := a.fastSeed(seg, seqs[s]); ok {
-				retired[s] = true
-				retired[s^1] = true
-				exact[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
-			}
-		}
-	}
+	for i, r := range reads {
+		// Strand 0 = forward, strand 1 = reverse complement.
+		seqs := [2]dna.Sequence{r, r.ReverseComplement()}
+		var retired [2]bool
+		var strand [2][]smem.Match
+		var bypassCyc, smemCyc int64
 
-	// Full SMEM computation for the remaining strands.
-	strand := make([][]smem.Match, 2*n)
-	copy(strand, exact)
-	for si, seg := range a.segments {
-		a.rec = &act.Fetches[len(a.segments)+si]
-		for s := range seqs {
-			if retired[s] {
-				continue
+		// Fast-seeding bypass: a resolved read retires both strands at its
+		// first matching segment and skips every later one.
+		if a.cfg.FastSeeding {
+			for si, seg := range a.segments {
+				if retired[0] && retired[1] {
+					break
+				}
+				a.rec = &act.Fetches[si]
+				var before genax.Stats
+				if tb != nil {
+					before = seg.Stats
+				}
+				for s := 0; s < 2; s++ {
+					if retired[s] || len(seqs[s]) < a.cfg.GenAx.MinSMEM {
+						continue
+					}
+					if hits, ok := a.fastSeed(seg, seqs[s]); ok {
+						retired[s] = true
+						retired[s^1] = true
+						strand[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
+					}
+				}
+				if tb != nil {
+					bypassCyc += genax.LaneCycles(genax.Stats{
+						Fetches:         seg.Stats.Fetches - before.Fetches,
+						IntersectionOps: seg.Stats.IntersectionOps - before.IntersectionOps,
+					}, a.cfg.GenAx)
+				}
 			}
-			strand[s] = append(strand[s], seg.FindSMEMs(seqs[s], a.cfg.GenAx.MinSMEM)...)
+			if tb != nil {
+				tb.Emit(base+i, "bypass", "bypass", 0, bypassCyc)
+			}
 		}
+
+		// Full SMEM computation for the remaining strands.
+		for si, seg := range a.segments {
+			if retired[0] && retired[1] {
+				break
+			}
+			a.rec = &act.Fetches[len(a.segments)+si]
+			var before genax.Stats
+			if tb != nil {
+				before = seg.Stats
+			}
+			for s := 0; s < 2; s++ {
+				if !retired[s] {
+					strand[s] = append(strand[s], seg.FindSMEMs(seqs[s], a.cfg.GenAx.MinSMEM)...)
+				}
+			}
+			if tb != nil {
+				smemCyc += genax.LaneCycles(genax.Stats{
+					Fetches:         seg.Stats.Fetches - before.Fetches,
+					IntersectionOps: seg.Stats.IntersectionOps - before.IntersectionOps,
+				}, a.cfg.GenAx)
+			}
+		}
+		tb.Emit(base+i, "smem", "smem", bypassCyc, smemCyc)
+		for s := 0; s < 2; s++ {
+			if !retired[s] {
+				a.Stats.SlowSeeded++
+			}
+		}
+
+		act.Reads = append(act.Reads, merge(strand[0]))
+		act.Rev = append(act.Rev, merge(strand[1]))
+		act.ReadBytes += int64((len(r) + 3) / 4)
 	}
 	a.rec = nil
-	for s := range seqs {
-		if !retired[s] {
-			a.Stats.SlowSeeded++
-		}
-	}
 
-	for i := 0; i < n; i++ {
-		act.Reads = append(act.Reads, merge(strand[2*i]))
-		act.Rev = append(act.Rev, merge(strand[2*i+1]))
-	}
 	act.Stats = diffStats(a.Stats, statsBefore)
 	for _, seg := range a.segments {
 		act.GenAx.Fetches += seg.Stats.Fetches
@@ -258,10 +303,6 @@ func (a *Accelerator) Seed(reads []dna.Sequence) *Activity {
 	}
 	act.GenAx.Fetches -= genaxBefore.Fetches
 	act.GenAx.IntersectionOps -= genaxBefore.IntersectionOps
-
-	for _, r := range reads {
-		act.ReadBytes += int64((len(r) + 3) / 4)
-	}
 	act.ReadBytes *= int64(len(a.segments))
 	return act
 }
@@ -310,8 +351,7 @@ func (a *Accelerator) Reduce(acts ...*Activity) *Result {
 	// latency-bound DRAM misses ("significantly diminishing the overall
 	// SMEM seeding performance").
 	g := a.cfg.GenAx
-	laneCycles := res.GenAx.Fetches*int64(g.FetchCycles) +
-		(res.GenAx.IntersectionOps+int64(g.IntersectOpsPerCycle)-1)/int64(g.IntersectOpsPerCycle)
+	laneCycles := genax.LaneCycles(res.GenAx, g)
 	computeSeconds := float64(laneCycles) / (float64(g.Lanes) * g.LaneEfficiency) / g.ClockHz
 	missSeconds := res.DRAM.Config().RandAccessSeconds(res.Stats.CacheMisses) / float64(g.Lanes)
 	res.Seconds = computeSeconds + missSeconds

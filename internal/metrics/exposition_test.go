@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextExpositionGrammar checks WriteText against the Prometheus
+// text-exposition rules a scraper depends on: every sample line matches
+// the grammar, each family's TYPE line precedes its samples, families
+// appear in sorted order, histogram buckets are cumulative with an +Inf
+// bucket equal to the family's _count, and metric names contain no
+// characters the format forbids.
+func TestWriteTextExpositionGrammar(t *testing.T) {
+	r := New()
+	r.Counter("engine/casa/reads").Add(42)
+	r.Counter("engine/casa/cycles").Add(9000)
+	r.Gauge("model/throughput").Set(123.5)
+	h := r.Histogram("seed/len", []int64{10, 20, 40})
+	for _, v := range []int64{5, 15, 15, 30, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	var (
+		typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]+)"\})? (-?[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?|\+Inf|-Inf|NaN)$`)
+	)
+
+	typed := map[string]string{} // family -> declared type
+	var familyOrder []string
+	type bucketState struct {
+		last    int64
+		inf     int64
+		hasInf  bool
+		lastLE  float64
+		ordered bool
+	}
+	buckets := map[string]*bucketState{}
+	values := map[string]string{}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("family %s declared twice", m[1])
+			}
+			typed[m[1]] = m[2]
+			familyOrder = append(familyOrder, m[1])
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("sample line %q does not match the exposition grammar", line)
+		}
+		name, le, val := m[1], m[2], m[3]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		kind, ok := typed[family]
+		if !ok {
+			t.Fatalf("sample %q appears before its TYPE line", line)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			if kind != "histogram" {
+				t.Fatalf("%s: bucket sample on %s family", name, kind)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bucket value %q: %v", name, val, err)
+			}
+			st := buckets[family]
+			if st == nil {
+				st = &bucketState{ordered: true}
+				buckets[family] = st
+			}
+			if n < st.last {
+				t.Errorf("%s: bucket counts not cumulative: %d after %d", family, n, st.last)
+			}
+			st.last = n
+			if le == "+Inf" {
+				st.hasInf, st.inf = true, n
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: le=%q: %v", family, le, err)
+				}
+				if st.hasInf || b <= st.lastLE && st.lastLE != 0 {
+					st.ordered = false
+				}
+				st.lastLE = b
+			}
+			continue
+		}
+		if le != "" {
+			t.Fatalf("non-bucket sample %q carries an le label", line)
+		}
+		values[name] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !sort.StringsAreSorted(familyOrder) {
+		t.Errorf("families not emitted in sorted order: %v", familyOrder)
+	}
+	for fam, kind := range typed {
+		switch kind {
+		case "counter", "gauge":
+			if _, ok := values[fam]; !ok {
+				t.Errorf("%s family %s has no sample", kind, fam)
+			}
+		case "histogram":
+			st := buckets[fam]
+			if st == nil || !st.hasInf {
+				t.Fatalf("histogram %s missing an +Inf bucket", fam)
+			}
+			if !st.ordered {
+				t.Errorf("histogram %s bucket bounds not increasing with +Inf last", fam)
+			}
+			count, ok := values[fam+"_count"]
+			if !ok {
+				t.Fatalf("histogram %s missing _count", fam)
+			}
+			if n, _ := strconv.ParseInt(count, 10, 64); n != st.inf {
+				t.Errorf("histogram %s: +Inf bucket %d != _count %d", fam, st.inf, n)
+			}
+			if _, ok := values[fam+"_sum"]; !ok {
+				t.Errorf("histogram %s missing _sum", fam)
+			}
+		}
+	}
+
+	// Pin the histogram numbers themselves: 5 observations, cumulative
+	// buckets 1/3/4 then +Inf=5, sum 165.
+	st := buckets["seed_len"]
+	if st == nil || st.inf != 5 {
+		t.Fatalf("seed_len +Inf bucket = %+v, want 5", st)
+	}
+	if values["seed_len_sum"] != "165" {
+		t.Errorf("seed_len_sum = %s, want 165", values["seed_len_sum"])
+	}
+}

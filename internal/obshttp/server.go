@@ -1,0 +1,142 @@
+// Package obshttp is the shared observability HTTP server behind the
+// CLIs' -http flag: one dedicated-mux server exposing /metrics (the
+// Prometheus text exposition), /debug/pprof/* (explicitly registered, no
+// default-mux blank import) and /trace (the run's casa-trace/v1 Chrome
+// JSON), with conservative timeouts and graceful shutdown. It replaces
+// the per-command copies of the default-mux ListenAndServe/log.Fatal
+// pattern, which leaked pprof handlers onto every mux in the process and
+// could not be shut down or bound to :0 for tests.
+package obshttp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"casa/internal/metrics"
+	"casa/internal/trace"
+)
+
+// Server is a running observability endpoint. Create with Start.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	spans []trace.Span
+	err   error
+
+	done chan struct{}
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// the observability endpoints in a background goroutine:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/trace         Chrome trace_event JSON of the published span stream
+//	/debug/pprof/  the standard runtime profiles
+//
+// The trace endpoint returns 503 until PublishTrace is called — a trace
+// is only complete once the run has drained, and publishing a finished
+// snapshot keeps the handler race-free against still-emitting workers.
+func Start(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "casa observability endpoints:\n  /metrics\n  /trace\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		spans := s.spans
+		s.mu.Unlock()
+		if spans == nil {
+			http.Error(w, "trace not yet available: run with -trace and wait for the run to finish",
+				http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChrome(w, spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{
+		Handler: mux,
+		// Slow-client protection without breaking the long pollers: a 30 s
+		// CPU profile (/debug/pprof/profile) streams for its whole window,
+		// so the write timeout must comfortably exceed it.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// PublishTrace makes spans available at /trace. Call it with the merged
+// stream (Trace.Spans) after the run drains; publishing an immutable
+// snapshot is what keeps the handler free of data races with workers.
+func (s *Server) PublishTrace(spans []trace.Span) {
+	s.mu.Lock()
+	s.spans = spans
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully drains in-flight requests and stops the server.
+// It returns the first background serve error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}
+
+// Close is Shutdown with a 5-second drain budget.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

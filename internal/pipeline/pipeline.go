@@ -15,6 +15,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 
 	"casa/internal/core"
 	"casa/internal/cpu"
@@ -23,6 +24,7 @@ import (
 	"casa/internal/genax"
 	"casa/internal/seedex"
 	"casa/internal/smem"
+	"casa/internal/trace"
 )
 
 // Config sets the pipeline cost model around the engines.
@@ -141,6 +143,17 @@ type Result struct {
 
 // Run executes the end-to-end comparison for a read batch.
 func Run(e *Engines, reads []dna.Sequence, cfg Config) (*Result, error) {
+	return RunTrace(e, reads, cfg, nil)
+}
+
+// RunTrace is Run with system-timeline tracing: when tr is non-nil, each
+// compared system gets one trace process ("pipeline:<system>") holding the
+// Fig 14 stage waterfall as system spans in modelled-wall nanoseconds —
+// tracks io, seeding, chaining, extension and postprocess. For the
+// overlapped systems (CASA, GenAx) the seeding and extension spans start
+// together and run in parallel, so the §7.3 overlap is directly visible
+// on the Perfetto timeline; the serial systems stack every stage.
+func RunTrace(e *Engines, reads []dna.Sequence, cfg Config, tr *trace.Trace) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,7 +232,47 @@ func Run(e *Engines, reads []dna.Sequence, cfg Config) (*Result, error) {
 		Overlapped:     maxF(genaxSeed, extSeconds),
 		PostProcessing: post,
 	})
+
+	if tr != nil {
+		emitSerial(tr, "BWA-MEM2", ioSeconds, bwaRes.Seconds, chain, bwaExt, post)
+		emitOverlapped(tr, "CASA+SeedEx", ioSeconds, casaSeed, extSeconds, post)
+		emitSerial(tr, "ERT+SeedEx", ioSeconds, ertRes.Seconds, chain, extSeconds, post)
+		emitOverlapped(tr, "GenAx+SeedEx", ioSeconds, genaxSeed, extSeconds, post)
+	}
 	return res, nil
+}
+
+// ns converts modelled seconds to the trace's nanosecond unit.
+func ns(seconds float64) int64 { return int64(math.Round(seconds * 1e9)) }
+
+// emitSerial records a serial system's stage waterfall: every stage ends
+// before the next begins.
+func emitSerial(tr *trace.Trace, system string, io, seed, chain, ext, post float64) {
+	tb := tr.NewBuffer("pipeline:" + system)
+	var cursor int64
+	for _, stage := range []struct {
+		track   string
+		seconds float64
+	}{
+		{"io", io}, {"seeding", seed}, {"chaining", chain},
+		{"extension", ext}, {"postprocess", post},
+	} {
+		tb.EmitSystem(stage.track, stage.track, cursor, ns(stage.seconds))
+		cursor += ns(stage.seconds)
+	}
+}
+
+// emitOverlapped records an overlapped system's waterfall: seeding and
+// extension start together after IO (the on-chip reference lets them run
+// in parallel), and postprocessing follows the longer of the two.
+func emitOverlapped(tr *trace.Trace, system string, io, seed, ext, post float64) {
+	tb := tr.NewBuffer("pipeline:" + system)
+	tb.EmitSystem("io", "io", 0, ns(io))
+	cursor := ns(io)
+	tb.EmitSystem("seeding", "seeding", cursor, ns(seed))
+	tb.EmitSystem("extension", "extension", cursor, ns(ext))
+	cursor += ns(maxF(seed, ext))
+	tb.EmitSystem("postprocess", "postprocess", cursor, ns(post))
 }
 
 func scaleOr1(s float64) float64 {

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"testing"
+
+	"casa/internal/readsim"
+	"casa/internal/trace"
+)
+
+// TestRunTraceTimeline checks the Fig 14 system timelines: every system
+// gets a valid stage waterfall, serial systems stack their stages, and the
+// overlapped systems start seeding and extension together.
+func TestRunTraceTimeline(t *testing.T) {
+	e, ref := testEngines(t, 1<<16, 5)
+	reads := readsim.Sequences(readsim.Simulate(ref, readsim.DefaultProfile(40, 6)))
+
+	tr := trace.New(trace.PolicyAll, 0)
+	res, err := RunTrace(e, reads, DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if err := trace.Validate(spans); err != nil {
+		t.Fatal(err)
+	}
+
+	bySystem := map[string]map[string]trace.Span{}
+	for _, s := range spans {
+		if s.Read != trace.SystemRead {
+			t.Fatalf("pipeline span %+v is not a system span", s)
+		}
+		if bySystem[s.Proc] == nil {
+			bySystem[s.Proc] = map[string]trace.Span{}
+		}
+		bySystem[s.Proc][s.Track] = s
+	}
+	for _, b := range res.Breakdowns {
+		proc := "pipeline:" + b.System
+		stages := bySystem[proc]
+		if stages == nil {
+			t.Fatalf("no timeline for %s", proc)
+		}
+		if _, ok := stages["io"]; !ok {
+			t.Fatalf("%s: no io span", proc)
+		}
+	}
+
+	// Serial systems: every stage starts where the previous ended.
+	for _, sys := range []string{"BWA-MEM2", "ERT+SeedEx"} {
+		stages := bySystem["pipeline:"+sys]
+		var cursor int64
+		for _, track := range []string{"io", "seeding", "chaining", "extension", "postprocess"} {
+			s, ok := stages[track]
+			if !ok {
+				t.Fatalf("%s: missing %s span", sys, track)
+			}
+			if s.Start != cursor {
+				t.Errorf("%s/%s starts at %d, want %d", sys, track, s.Start, cursor)
+			}
+			cursor = s.End()
+		}
+	}
+
+	// Overlapped systems: seeding and extension share a start after io,
+	// and postprocess begins at the longer one's end.
+	for _, sys := range []string{"CASA+SeedEx", "GenAx+SeedEx"} {
+		stages := bySystem["pipeline:"+sys]
+		io, seed, ext, post := stages["io"], stages["seeding"], stages["extension"], stages["postprocess"]
+		if seed.Start != io.End() || ext.Start != io.End() {
+			t.Errorf("%s: seeding (%d) and extension (%d) must both start at io end (%d)",
+				sys, seed.Start, ext.Start, io.End())
+		}
+		longer := seed.End()
+		if ext.End() > longer {
+			longer = ext.End()
+		}
+		if post.Start != longer {
+			t.Errorf("%s: postprocess starts at %d, want %d", sys, post.Start, longer)
+		}
+	}
+
+	// Run must be exactly RunTrace with no trace attached.
+	res2, err := Run(e, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Breakdowns) != len(res.Breakdowns) {
+		t.Fatalf("Run and RunTrace disagree on breakdown count")
+	}
+}

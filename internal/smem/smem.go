@@ -263,6 +263,11 @@ func (f *Bidirectional) PublishMetrics(reg *metrics.Registry) {
 	reg.Counter("fmindex/search/steps").Add(f.TotalSteps)
 }
 
+// SeedCost returns the modelled cost of the most recent FindSMEMs call in
+// FM-index extension steps — the per-read span duration the traced batch
+// runner records for finder-backed engines.
+func (f *Bidirectional) SeedCost() int64 { return int64(f.Steps) }
+
 // Unidirectional finds SMEMs with the GenAx strategy: for every pivot, the
 // right-maximal exact match (RMEM); SMEMs are the RMEMs not contained in an
 // earlier, longer RMEM. Because e(i) is non-decreasing in i, containment
@@ -285,6 +290,10 @@ func NewUnidirectional(ref dna.Sequence) *Unidirectional {
 func (f *Unidirectional) Clone() *Unidirectional {
 	return &Unidirectional{Index: f.Index}
 }
+
+// SeedCost returns the modelled cost of the most recent FindSMEMs call in
+// RMEM pivot searches, for the traced batch runner.
+func (f *Unidirectional) SeedCost() int64 { return int64(f.Pivots) }
 
 // FindSMEMs implements Finder.
 func (f *Unidirectional) FindSMEMs(read dna.Sequence, minLen int) []Match {

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the casa-trace/v1 mapping is
+//
+//   - one trace_event *process* per Proc (engine or pipeline system),
+//   - one *thread* per Track (stage or partition),
+//   - one complete ("X") event per span, with one modelled cycle
+//     rendered as one microsecond (trace_event's ts/dur unit), so
+//     Perfetto's time axis reads directly in cycles.
+//
+// Read spans carry read-local timestamps; the exporter serializes each
+// process's reads onto its timeline back to back (read r starts where
+// read r-1's timeline ended), which preserves every span's duration and
+// intra-read structure while giving Perfetto a single non-overlapping
+// waterfall per process. The read index is in every event's args.
+//
+// Output is deterministic: events are written in (Proc, Read, emission)
+// order with sorted metadata up front, so identical span streams —
+// guaranteed by the recorder across worker counts — produce identical
+// bytes.
+
+// chromeDoc is the top-level Chrome JSON object format.
+type chromeDoc struct {
+	TraceEvents []chromeEvent   `json:"traceEvents"`
+	OtherData   chromeOtherData `json:"otherData"`
+}
+
+type chromeOtherData struct {
+	Schema string `json:"schema"`
+}
+
+// chromeEvent is one trace_event entry. Args is a pointer to a fixed
+// struct so field order (and therefore the output bytes) is stable.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   int64       `json:"ts"`
+	Dur  *int64      `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name   string `json:"name,omitempty"`   // metadata events
+	Read   *int   `json:"read,omitempty"`   // read-scoped span events
+	Cycles *int64 `json:"cycles,omitempty"` // span events
+}
+
+// WriteChrome writes the span stream as Chrome trace_event JSON (object
+// format), loadable in Perfetto and chrome://tracing. spans must be in
+// the deterministic merged order Trace.Spans returns.
+func WriteChrome(w io.Writer, spans []Span) error {
+	doc := chromeDoc{
+		TraceEvents: buildChromeEvents(spans),
+		OtherData:   chromeOtherData{Schema: SchemaVersion},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func buildChromeEvents(spans []Span) []chromeEvent {
+	// Assign pids to procs and tids to tracks, both in sorted order.
+	procs := map[string]int{}
+	tracks := map[string]map[string]int{}
+	for _, s := range spans {
+		if _, ok := procs[s.Proc]; !ok {
+			procs[s.Proc] = 0
+			tracks[s.Proc] = map[string]int{}
+		}
+		tracks[s.Proc][s.Track] = 0
+	}
+	procNames := sortedKeys(procs)
+	for i, p := range procNames {
+		procs[p] = i + 1
+		trackNames := sortedKeys(tracks[p])
+		for j, t := range trackNames {
+			tracks[p][t] = j + 1
+		}
+	}
+
+	// Per-process read base offsets: reads are laid out back to back in
+	// index order, each occupying its read-local timeline length.
+	base := map[string]map[int32]int64{}
+	for _, p := range procNames {
+		base[p] = map[int32]int64{}
+	}
+	ends := map[string]map[int32]int64{}
+	for _, s := range spans {
+		if s.Read == SystemRead {
+			continue
+		}
+		if ends[s.Proc] == nil {
+			ends[s.Proc] = map[int32]int64{}
+		}
+		if e := s.End(); e > ends[s.Proc][s.Read] {
+			ends[s.Proc][s.Read] = e
+		}
+	}
+	for p, perRead := range ends {
+		reads := make([]int32, 0, len(perRead))
+		for r := range perRead {
+			reads = append(reads, r)
+		}
+		sort.Slice(reads, func(i, j int) bool { return reads[i] < reads[j] })
+		var cursor int64
+		for _, r := range reads {
+			base[p][r] = cursor
+			cursor += perRead[r]
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+2*len(procNames))
+	for _, p := range procNames {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: procs[p],
+			Args: &chromeArgs{Name: p},
+		})
+		for _, t := range sortedKeys(tracks[p]) {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: procs[p], Tid: tracks[p][t],
+				Args: &chromeArgs{Name: t},
+			})
+		}
+	}
+	for _, s := range spans {
+		s := s
+		ts := s.Start
+		args := &chromeArgs{Cycles: &s.Dur}
+		if s.Read != SystemRead {
+			ts += base[s.Proc][s.Read]
+			r := int(s.Read)
+			args.Read = &r
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Track, Ph: "X", Ts: ts, Dur: &s.Dur,
+			Pid: procs[s.Proc], Tid: tracks[s.Proc][s.Track], Args: args,
+		})
+	}
+	return events
+}
+
+// ParseChrome decodes Chrome trace_event JSON written by WriteChrome back
+// into a span stream. Timestamps come back absolute (the per-read base
+// offsets stay baked in), which is what the casa-trace analyses operate
+// on; Read and Dur round-trip exactly.
+func ParseChrome(data []byte) ([]Span, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: chrome parse: %w", err)
+	}
+	if doc.OtherData.Schema != SchemaVersion {
+		return nil, fmt.Errorf("trace: chrome schema %q, want %q", doc.OtherData.Schema, SchemaVersion)
+	}
+	procOf := map[int]string{}
+	trackOf := map[[2]int]string{}
+	var spans []Span
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Args == nil {
+				continue
+			}
+			switch ev.Name {
+			case "process_name":
+				procOf[ev.Pid] = ev.Args.Name
+			case "thread_name":
+				trackOf[[2]int{ev.Pid, ev.Tid}] = ev.Args.Name
+			}
+		case "X":
+			s := Span{
+				Proc:  procOf[ev.Pid],
+				Track: trackOf[[2]int{ev.Pid, ev.Tid}],
+				Name:  ev.Name,
+				Read:  SystemRead,
+				Start: ev.Ts,
+			}
+			if ev.Dur != nil {
+				s.Dur = *ev.Dur
+			}
+			if ev.Args != nil && ev.Args.Read != nil {
+				s.Read = int32(*ev.Args.Read)
+			}
+			if s.Proc == "" || s.Track == "" {
+				return nil, fmt.Errorf("trace: event %q references pid %d / tid %d with no metadata", ev.Name, ev.Pid, ev.Tid)
+			}
+			spans = append(spans, s)
+		}
+	}
+	return spans, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// JSONL export: a compact line-per-span format for tooling that wants the
+// raw cycle-domain spans without the Chrome envelope. The first line is a
+// header object carrying the schema tag; every following line is one
+// span with read-local timestamps exactly as recorded (no base offsets).
+
+// jsonlHeader is the first line of a JSONL trace.
+type jsonlHeader struct {
+	Schema string `json:"schema"`
+}
+
+// jsonlSpan is one span line.
+type jsonlSpan struct {
+	Proc  string `json:"proc"`
+	Track string `json:"track"`
+	Name  string `json:"name"`
+	Read  int32  `json:"read"`
+	Start int64  `json:"start"`
+	Dur   int64  `json:"dur"`
+}
+
+// WriteJSONL writes the span stream in the casa-trace/v1 JSONL framing.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Schema: SchemaVersion}); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if err := enc.Encode(jsonlSpan{
+			Proc: s.Proc, Track: s.Track, Name: s.Name,
+			Read: s.Read, Start: s.Start, Dur: s.Dur,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL decodes a casa-trace/v1 JSONL document.
+func ParseJSONL(data []byte) ([]Span, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var hdr jsonlHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: jsonl header: %w", err)
+	}
+	if hdr.Schema != SchemaVersion {
+		return nil, fmt.Errorf("trace: jsonl schema %q, want %q", hdr.Schema, SchemaVersion)
+	}
+	var spans []Span
+	for {
+		var line jsonlSpan
+		if err := dec.Decode(&line); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl span %d: %w", len(spans), err)
+		}
+		spans = append(spans, Span{
+			Proc: line.Proc, Track: line.Track, Name: line.Name,
+			Read: line.Read, Start: line.Start, Dur: line.Dur,
+		})
+	}
+}
+
+// Parse decodes either casa-trace/v1 format, sniffing the framing: a
+// Chrome document is one JSON object containing traceEvents, a JSONL
+// document starts with the schema header line.
+func Parse(data []byte) ([]Span, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if bytes.HasPrefix(trimmed, []byte("{")) {
+		var probe struct {
+			TraceEvents *json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(firstValue(trimmed), &probe); err == nil && probe.TraceEvents != nil {
+			return ParseChrome(data)
+		}
+	}
+	return ParseJSONL(data)
+}
+
+// WriteFile writes the span stream to path, picking the framing by
+// extension: .jsonl gets the line-per-span format, anything else the
+// Chrome trace_event JSON (Perfetto-loadable). This is the shared policy
+// behind every CLI's -trace flag.
+func WriteFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = WriteJSONL(f, spans)
+	} else {
+		err = WriteChrome(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ParseFile reads and parses a trace file in either format.
+func ParseFile(path string) ([]Span, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// firstValue returns the first complete JSON value of data (the whole
+// document for Chrome traces, the header line for JSONL), so the format
+// probe does not fail on trailing lines.
+func firstValue(data []byte) []byte {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return data
+	}
+	return raw
+}

@@ -1,0 +1,245 @@
+// Package trace is the cycle-domain event-tracing layer of the CASA
+// reproduction: a std-lib-only, allocation-conscious span recorder that
+// engines and the pipeline model emit into, with deterministic merging
+// across batch workers and export to Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing) and a compact JSONL, both under the
+// casa-trace/v1 schema (see docs/OBSERVABILITY.md).
+//
+// Spans live in the *modelled* time domain, never the host wall clock:
+// for the accelerator engines the unit is the engine's native cycle (or
+// fetch/step) count, for the pipeline model it is nanoseconds of modelled
+// wall time. Per-read spans are keyed by the read's index in the input
+// batch and carry read-local timestamps (cycle 0 = the moment the
+// modelled hardware starts that read), so a span's value depends only on
+// the read itself — the same discipline that makes the batch runner's
+// Results bit-identical at any worker count extends to traces: the merged
+// span stream, and therefore the exported bytes, are identical at
+// -workers 1, 4 and 16.
+//
+// Recording is two-level, mirroring internal/batch:
+//
+//   - a Buffer is a single-worker sink: appends without locking, one per
+//     worker goroutine (or one for a sequential run). A nil *Buffer is a
+//     valid no-op sink, so engines emit unconditionally.
+//   - a Trace owns the run: it hands out Buffers (NewBuffer is locked,
+//     called once per worker, off the hot path) and merges them on demand
+//     (Spans), sorting by read index, applying the sampling policy, and
+//     bounding memory with a ring-buffer sink.
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// SchemaVersion identifies the exported trace layout (both the Chrome
+// JSON and the JSONL framing). Bump only on incompatible changes.
+const SchemaVersion = "casa-trace/v1"
+
+// SystemRead is the Read value of system-timeline spans (pipeline stages,
+// batch-level phases): they carry absolute timestamps on their process's
+// timeline rather than read-local ones, and sampling never drops them.
+const SystemRead = int32(-1)
+
+// Span is one recorded event: Dur units of modelled time on a named
+// track, belonging to a read (or to the system timeline).
+type Span struct {
+	Proc  string // process-level group: engine name or "pipeline:<system>"
+	Track string // thread-level track within the process: stage name
+	Name  string // span label: "exact", "smem", "p03", "fwd", ...
+	Read  int32  // read index in the input batch; SystemRead for timelines
+	Start int64  // modelled start time (read-local for read spans)
+	Dur   int64  // modelled duration, >= 0
+
+	// seq is the emission order within the owning Buffer; the merge key
+	// (Proc, Read, seq) reproduces each read's emission order exactly,
+	// independent of how reads were sharded across workers.
+	seq int64
+}
+
+// End returns Start+Dur.
+func (s Span) End() int64 { return s.Start + s.Dur }
+
+// Buffer collects the spans of one worker (or one sequential run). It is
+// not safe for concurrent use — each worker owns exactly one. The zero
+// value is unusable; obtain buffers from Trace.NewBuffer. A nil *Buffer
+// is a valid sink that drops everything, so instrumented hot paths need
+// no tracing-enabled check beyond the pointer test Emit does itself.
+type Buffer struct {
+	proc  string
+	spans []Span
+	seq   int64
+}
+
+// Emit records one read-scoped span. No-op on a nil buffer or a negative
+// duration (a cycle model rounding to nothing is not an event).
+func (b *Buffer) Emit(read int, track, name string, start, dur int64) {
+	if b == nil || dur < 0 {
+		return
+	}
+	b.spans = append(b.spans, Span{
+		Proc: b.proc, Track: track, Name: name,
+		Read: int32(read), Start: start, Dur: dur, seq: b.seq,
+	})
+	b.seq++
+}
+
+// EmitSystem records one system-timeline span with absolute timestamps.
+func (b *Buffer) EmitSystem(track, name string, start, dur int64) {
+	if b == nil {
+		return
+	}
+	b.spans = append(b.spans, Span{
+		Proc: b.proc, Track: track, Name: name,
+		Read: SystemRead, Start: start, Dur: dur, seq: b.seq,
+	})
+	b.seq++
+}
+
+// Len returns the number of spans recorded so far.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.spans)
+}
+
+// Trace owns one run's recording: the sampling policy, the ring capacity,
+// and the worker buffers.
+type Trace struct {
+	policy   Policy
+	capacity int
+
+	mu      sync.Mutex
+	buffers []*Buffer
+}
+
+// DefaultCapacity is the default ring-buffer sink size, in spans. At the
+// 24 bytes + two interned strings a span costs, a full default ring stays
+// around 100 MB — large enough that sampling, not the ring, is normally
+// what bounds output.
+const DefaultCapacity = 1 << 21
+
+// New returns a trace session with the given sampling policy and ring
+// capacity (spans retained after sampling; <= 0 means DefaultCapacity).
+func New(policy Policy, capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace{policy: policy, capacity: capacity}
+}
+
+// NewBuffer registers and returns a fresh span buffer whose spans carry
+// proc as their process label. Safe for concurrent use; called once per
+// worker, off the hot path. On a nil Trace it returns nil — the no-op
+// sink — so callers thread `tr.NewBuffer(engine)` through unconditionally.
+func (t *Trace) NewBuffer(proc string) *Buffer {
+	if t == nil {
+		return nil
+	}
+	b := &Buffer{proc: proc}
+	t.mu.Lock()
+	t.buffers = append(t.buffers, b)
+	t.mu.Unlock()
+	return b
+}
+
+// Policy returns the sampling policy the session was created with.
+func (t *Trace) Policy() Policy { return t.policy }
+
+// Spans merges every buffer registered so far into one deterministic
+// span stream: sorted by (Proc, Read, emission order), sampled per the
+// policy, then pushed through the ring-buffer sink (evicting the earliest
+// read spans first when over capacity). System spans always survive
+// sampling. The result is independent of worker count and of buffer
+// registration order; callers must not run Spans concurrently with
+// workers still emitting.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	total := 0
+	for _, b := range t.buffers {
+		total += len(b.spans)
+	}
+	merged := make([]Span, 0, total)
+	for _, b := range t.buffers {
+		merged = append(merged, b.spans...)
+	}
+	t.mu.Unlock()
+
+	// A read's spans live in exactly one buffer (reads are sharded, never
+	// split), so (Proc, Read, seq) totally orders the stream: within a
+	// read, seq reproduces the engine's emission order.
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Read != b.Read {
+			return a.Read < b.Read
+		}
+		return a.seq < b.seq
+	})
+
+	merged = t.policy.apply(merged)
+
+	if len(merged) > t.capacity {
+		// Ring-buffer semantics: keep the newest spans (the highest read
+		// indices), drop whole reads from the front so no read is ever
+		// half-represented. System spans (sorted to each proc's front by
+		// Read = -1) are re-attached untouched.
+		merged = evictOldest(merged, t.capacity)
+	}
+	return merged
+}
+
+// evictOldest drops whole-read span groups from the front of the sorted
+// stream until at most capacity spans remain, never dropping system
+// spans. If the system spans alone exceed capacity they are all kept —
+// the ring bounds read-span memory, not the (tiny) timeline.
+func evictOldest(spans []Span, capacity int) []Span {
+	var system, reads []Span
+	for _, s := range spans {
+		if s.Read == SystemRead {
+			system = append(system, s)
+		} else {
+			reads = append(reads, s)
+		}
+	}
+	budget := capacity - len(system)
+	if budget < 0 {
+		budget = 0
+	}
+	for len(reads) > budget {
+		// Drop the first read group (stream is sorted by proc then read;
+		// the front holds the earliest read of the first proc).
+		r, p := reads[0].Read, reads[0].Proc
+		i := 0
+		for i < len(reads) && reads[i].Read == r && reads[i].Proc == p {
+			i++
+		}
+		reads = reads[i:]
+	}
+	out := make([]Span, 0, len(system)+len(reads))
+	// Re-merge preserving the (Proc, Read) order.
+	i, j := 0, 0
+	for i < len(system) || j < len(reads) {
+		switch {
+		case i >= len(system):
+			out = append(out, reads[j])
+			j++
+		case j >= len(reads):
+			out = append(out, system[i])
+			i++
+		case system[i].Proc <= reads[j].Proc:
+			out = append(out, system[i])
+			i++
+		default:
+			out = append(out, reads[j])
+			j++
+		}
+	}
+	return out
+}

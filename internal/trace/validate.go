@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks the structural invariants every casa-trace/v1 span
+// stream must satisfy, in either recorded (read-local) or exported
+// (absolute) timestamps. All checks are scoped to one read's timeline on
+// one track — (proc, track, read) — because in recorded streams every
+// read's clock restarts at zero, and in exported streams the base offsets
+// keep reads disjoint anyway:
+//
+//  1. durations are non-negative and starts are non-negative;
+//  2. timestamps are monotonic: within a read's track timeline, spans
+//     appear in non-decreasing start order;
+//  3. spans nest: two spans on the same read's track timeline are either
+//     disjoint or one contains the other — no partial overlap.
+//
+// It returns the first violation found, or nil.
+func Validate(spans []Span) error {
+	type key struct {
+		proc, track string
+		read        int32
+	}
+	lastStart := map[key]int64{}
+	seen := map[key]bool{}
+	byTrack := map[key][]Span{}
+	for i, s := range spans {
+		if s.Dur < 0 {
+			return fmt.Errorf("span %d (%s/%s %q): negative duration %d", i, s.Proc, s.Track, s.Name, s.Dur)
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("span %d (%s/%s %q): negative start %d", i, s.Proc, s.Track, s.Name, s.Start)
+		}
+		k := key{s.Proc, s.Track, s.Read}
+		if seen[k] && s.Start < lastStart[k] {
+			return fmt.Errorf("span %d (%s/%s read %d %q): start %d regresses below %d on its track",
+				i, s.Proc, s.Track, s.Read, s.Name, s.Start, lastStart[k])
+		}
+		seen[k] = true
+		lastStart[k] = s.Start
+		byTrack[k] = append(byTrack[k], s)
+	}
+
+	// Nest-or-disjoint per read-track timeline: sweep in (start, -dur)
+	// order with a stack of enclosing span ends.
+	for k, ts := range byTrack {
+		sort.SliceStable(ts, func(i, j int) bool {
+			if ts[i].Start != ts[j].Start {
+				return ts[i].Start < ts[j].Start
+			}
+			return ts[i].Dur > ts[j].Dur
+		})
+		var stack []int64
+		for _, s := range ts {
+			for len(stack) > 0 && stack[len(stack)-1] <= s.Start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.End() > stack[len(stack)-1] {
+				return fmt.Errorf("%s/%s read %d: span %q [%d,%d) partially overlaps an enclosing span ending at %d",
+					k.proc, k.track, k.read, s.Name, s.Start, s.End(), stack[len(stack)-1])
+			}
+			stack = append(stack, s.End())
+		}
+	}
+	return nil
+}
