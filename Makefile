@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-quick bench-baseline bench-all fuzz experiments ablations examples clean
+.PHONY: all build test race cover bench bench-quick bench-baseline bench-all fuzz live-smoke experiments ablations examples clean
 
 all: build test
 
@@ -49,6 +49,11 @@ bench-all:
 fuzz:
 	$(GO) test ./internal/seqio/ -fuzz FuzzReadFasta -fuzztime 15s
 	$(GO) test ./internal/seqio/ -fuzz FuzzReadFastq -fuzztime 15s
+
+# Live-telemetry smoke: a race-built casa-smem run observed mid-flight
+# through /progress and /events, then interrupted (see the script).
+live-smoke:
+	bash scripts/live_smoke.sh
 
 # Regenerate every paper table/figure (minutes; see EXPERIMENTS.md).
 experiments:

@@ -21,6 +21,8 @@
 package casa
 
 import (
+	"context"
+
 	"casa/internal/align"
 	"casa/internal/batch"
 	"casa/internal/chain"
@@ -33,6 +35,7 @@ import (
 	"casa/internal/metrics"
 	"casa/internal/pairing"
 	"casa/internal/pipeline"
+	"casa/internal/progress"
 	"casa/internal/readsim"
 	"casa/internal/seedex"
 	"casa/internal/smem"
@@ -109,6 +112,16 @@ func RunBatch(acc *Accelerator, reads []Sequence, o BatchOptions) *Result {
 	return batch.SeedCASA(acc, reads, o)
 }
 
+// RunBatchCtx is RunBatch with cooperative cancellation: when ctx is
+// cancelled mid-run the pool stops handing out new shards, drains the
+// in-flight ones, and returns the Result of the completed contiguous
+// read prefix (its length is the second return value) together with
+// ctx.Err(). Metrics, trace spans and progress cells stay consistent
+// with that prefix.
+func RunBatchCtx(ctx context.Context, acc *Accelerator, reads []Sequence, o BatchOptions) (*Result, int, error) {
+	return batch.SeedCASACtx(ctx, acc, reads, o)
+}
+
 // RunBatchERT is RunBatch for the ASIC-ERT baseline.
 func RunBatchERT(acc *ERTAccelerator, reads []Sequence, o BatchOptions) *ert.Result {
 	return batch.SeedERT(acc, reads, o)
@@ -144,6 +157,26 @@ type (
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// Live progress: a run with BatchOptions.Progress set updates lock-free
+// per-worker cells as shards drain; Snapshot aggregates them on demand
+// into a casa-progress/v1 document (reads done, throughput, ETA); see
+// docs/OBSERVABILITY.md, "Live telemetry".
+type (
+	// ProgressTracker holds a run's live per-worker progress cells.
+	ProgressTracker = progress.Tracker
+	// ProgressSnapshot is one aggregated casa-progress/v1 snapshot.
+	ProgressSnapshot = progress.Snapshot
+)
+
+// NewProgressTracker returns a tracker for a run of workers workers over
+// totalReads reads (0 = unknown; grow it later with AddTotal).
+func NewProgressTracker(runID, engine string, workers int, totalReads int64) *ProgressTracker {
+	return progress.New(runID, engine, workers, totalReads)
+}
+
+// NewRunID returns a fresh 16-hex-character run identifier.
+func NewRunID() string { return progress.NewRunID() }
 
 // Tracing: engines emit per-read, per-stage spans in the modelled cycle
 // domain into a Trace session; see docs/OBSERVABILITY.md. Set

@@ -3,6 +3,7 @@
 package casa_test
 
 import (
+	"context"
 	"testing"
 
 	"casa"
@@ -55,6 +56,36 @@ func TestFacadeSeeding(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Skip("no inexact reads in this draw")
+	}
+}
+
+// TestFacadeLiveProgress drives a batch run with a progress tracker and
+// a cancellable context through the root package alone.
+func TestFacadeLiveProgress(t *testing.T) {
+	ref, sim := facadeWorkload(t)
+	cfg := casa.DefaultConfig()
+	cfg.PartitionBases = 32 << 10
+	acc, err := casa.New(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := casa.Sequences(sim)
+	runID := casa.NewRunID()
+	if len(runID) != 16 {
+		t.Fatalf("run id %q", runID)
+	}
+	tr := casa.NewProgressTracker(runID, "casa", 4, int64(len(reads)))
+	opts := casa.DefaultBatchOptions()
+	opts.Workers = 4
+	opts.Progress = tr
+	res, done, err := casa.RunBatchCtx(context.Background(), acc, reads, opts)
+	tr.Finish()
+	if err != nil || done != len(reads) || len(res.Reads) != len(reads) {
+		t.Fatalf("done=%d err=%v", done, err)
+	}
+	var s casa.ProgressSnapshot = tr.Snapshot()
+	if s.ReadsDone != int64(len(reads)) || !s.Done || s.ModelCycles <= 0 {
+		t.Fatalf("terminal snapshot wrong: %+v", s)
 	}
 }
 

@@ -4,6 +4,14 @@
 // extend the seeds with banded Smith-Waterman and verify with Myers edit
 // machines, and alignments stream out as SAM.
 //
+// The run is interruptible: SIGINT stops seeding new shards, the current
+// batch's completed prefix is extended and written, and the command
+// flushes the SAM output plus partial metrics/trace before exiting with
+// status 130. Live state is observable the same way as casa-smem: -http
+// adds /progress and /events, -progress logs terminal snapshots,
+// -stall-timeout arms a watchdog; diagnostics are run-scoped structured
+// logs on stderr (-log-level, -log-format).
+//
 // Usage:
 //
 //	casa-align -ref ref.fa -reads reads.fq [-out out.sam]            # single-end
@@ -11,12 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"time"
 
 	"casa/internal/batch"
 	"casa/internal/core"
@@ -24,6 +35,7 @@ import (
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/pairing"
+	"casa/internal/progress"
 	"casa/internal/refidx"
 	"casa/internal/sam"
 	"casa/internal/seedex"
@@ -39,19 +51,50 @@ const (
 )
 
 type aligner struct {
+	ctx     context.Context
 	acc     *core.Accelerator
 	sx      *seedex.Machine
 	ix      *refidx.Index
 	maxHits int
 	pool    batch.Options
+	tracker *progress.Tracker
 	writer  *sam.Writer
 	aligned int
 	total   int
 }
 
+// newLogger builds the command's stderr slog.Logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// logSnapshot emits one progress snapshot as an info record — the
+// terminal-ticker counterpart of the /progress endpoint.
+func logSnapshot(log *slog.Logger, s progress.Snapshot) {
+	log.Info("progress",
+		"reads_done", s.ReadsDone,
+		"total_reads", s.TotalReads,
+		"shards_done", s.ShardsDone,
+		"percent_done", fmt.Sprintf("%.1f", s.PercentDone),
+		"host_reads_per_s", fmt.Sprintf("%.0f", s.HostReadsPerS),
+		"model_cycles", s.ModelCycles,
+		"eta_s", fmt.Sprintf("%.1f", s.ETASeconds))
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("casa-align: ")
 	var (
 		refPath    = flag.String("ref", "", "reference FASTA (required)")
 		indexPath  = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference")
@@ -65,28 +108,50 @@ func main() {
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
 		tracePath  = flag.String("trace", "", "write a casa-trace/v1 seeding trace (.jsonl = JSONL, else Chrome JSON)")
 		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
-		httpAddr   = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address until interrupted")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /progress, /events and /debug/pprof on this address until interrupted")
+		progEvery  = flag.Duration("progress", 0, "log a progress snapshot at this interval (0 = off)")
+		stallAfter = flag.Duration("stall-timeout", 0, "warn with per-worker state and a goroutine dump when no seeding shard completes for this long (0 = off)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casa-align:", err)
+		os.Exit(2)
+	}
+	runID := progress.NewRunID()
+	logger = logger.With("run_id", runID, "engine", "casa")
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
+	// SIGINT cancels the run context: seeding drains its in-flight
+	// shards, the completed prefix is aligned and flushed, partial
+	// telemetry is published, and the command exits 130. A second SIGINT
+	// kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ix, err := loadRef(*refPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var acc *core.Accelerator
 	if *indexPath != "" {
 		f, err := os.Open(*indexPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		acc, err = core.ReadIndex(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else {
 		cfg := core.DefaultConfig()
@@ -94,19 +159,19 @@ func main() {
 		var err error
 		acc, err = core.New(ix.Flat(), cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	sx, err := seedex.New(ix.Flat(), seedex.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "-" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
@@ -120,22 +185,52 @@ func main() {
 	if *tracePath != "" || *httpAddr != "" {
 		policy, err := trace.ParsePolicy(*traceSamp)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		tr = trace.New(policy, 0)
 	}
+	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	// The input streams in batches, so the read total is unknown upfront
+	// (single-end) or learned at load (paired): the tracker starts at 0
+	// and grows via AddTotal, and percent/ETA stay 0 until it is known.
+	tracker := progress.New(runID, "casa", pool.WorkerCount(), 0)
+	pool.Progress = tracker
 	a := &aligner{
-		acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
-		pool:   batch.Options{Workers: *workers, Metrics: reg, Trace: tr},
+		ctx: ctx, acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
+		pool: pool, tracker: tracker,
 		writer: sam.NewWriter(out, refSeqs, "casa-align"),
 	}
+	logger.Info("run starting", "workers", pool.WorkerCount(), "batch", *batchSize, "paired", *reads2 != "")
+
 	var srv *obshttp.Server
 	if *httpAddr != "" {
-		// Start before aligning so /debug/pprof can profile the run.
+		// Start before aligning so /debug/pprof can profile the run and
+		// /progress and /events observe it live.
 		srv, err = obshttp.Start(*httpAddr, reg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
+		srv.SetProgress(tracker)
+		logger.Info("observability server listening", "addr", srv.Addr())
+	}
+	if *stallAfter > 0 {
+		wd := progress.NewWatchdog(tracker, *stallAfter, logger)
+		wd.Start()
+		defer wd.Stop()
+	}
+	if *progEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*progEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tracker.Done():
+					return
+				case <-tick.C:
+					logSnapshot(logger, tracker.Snapshot())
+				}
+			}
+		}()
 	}
 
 	if *reads2 == "" {
@@ -143,48 +238,56 @@ func main() {
 	} else {
 		err = a.runPaired(*readsPath, *reads2, *batchSize)
 	}
-	if err != nil {
-		log.Fatal(err)
+	tracker.Finish()
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	if interrupted {
+		logger.Warn("run interrupted; flushing the aligned prefix", "reads_done", a.total)
 	}
 	if err := a.writer.Flush(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	a.sx.PublishMetrics(reg)
 	reg.Counter("align/reads/total").Add(int64(a.total))
 	reg.Counter("align/reads/aligned").Add(int64(a.aligned))
-	fmt.Fprintf(os.Stderr, "casa-align: %d/%d reads aligned\n", a.aligned, a.total)
+	logger.Info("alignment finished", "aligned", a.aligned, "reads", a.total, "interrupted", interrupted)
 	if tr != nil {
+		// On an interrupted run this is the valid partial trace of the
+		// completed shards.
 		spans := tr.Spans()
 		if srv != nil {
 			srv.PublishTrace(spans)
 		}
 		if *tracePath != "" {
 			if err := trace.WriteFile(*tracePath, spans); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
 	if *metricsOut {
 		if err := reg.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if srv != nil {
-		fmt.Fprintf(os.Stderr, "casa-align: serving /metrics, /trace and /debug/pprof on %s, interrupt to exit\n", srv.Addr())
-		waitForInterrupt()
-		if err := srv.Close(); err != nil {
-			log.Print(err)
+		if !interrupted {
+			logger.Info("serving observability endpoints until interrupted", "addr", srv.Addr())
+			<-ctx.Done()
 		}
+		if err := srv.Close(); err != nil {
+			logger.Error(err.Error())
+		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 
-func waitForInterrupt() {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
-}
-
-// runSingle streams single-end reads in batches.
+// runSingle streams single-end reads in batches. On cancellation the
+// current batch's completed read prefix is still extended and written,
+// and the error is context.Canceled.
 func (a *aligner) runSingle(path string, batchSize int) error {
 	in, err := os.Open(path)
 	if err != nil {
@@ -201,10 +304,12 @@ func (a *aligner) runSingle(path string, batchSize int) error {
 		for i := range recs {
 			reads[i] = recs[i].Seq
 		}
+		a.tracker.AddTotal(int64(len(reads)))
 		// Later batches keep globally unique read indices in the trace.
 		a.pool.ReadBase = a.total
-		res := batch.SeedCASA(a.acc, reads, a.pool)
-		for i, rec := range recs {
+		res, done, seedErr := batch.SeedCASACtx(a.ctx, a.acc, reads, a.pool)
+		for i := 0; i < done; i++ {
+			rec := recs[i]
 			p := a.place(rec.Seq, res.Reads[i])
 			out := a.recordSingle(rec, p)
 			if out.Flag&sam.FlagUnmapped == 0 {
@@ -214,9 +319,12 @@ func (a *aligner) runSingle(path string, batchSize int) error {
 				return err
 			}
 		}
-		a.total += len(recs)
+		a.total += done
+		// The extension phase runs outside the seeding pool: refresh the
+		// stall watchdog so a long extension is not reported as a hang.
+		a.tracker.Touch()
 		recs = recs[:0]
-		return nil
+		return seedErr
 	}
 	err = seqio.ForEachFastq(in, func(rec seqio.Record) error {
 		recs = append(recs, rec)
@@ -231,7 +339,8 @@ func (a *aligner) runSingle(path string, batchSize int) error {
 	return flush()
 }
 
-// runPaired streams mate pairs in lockstep batches.
+// runPaired streams mate pairs in lockstep batches. On cancellation only
+// fully-seeded pairs of the current batch are extended and written.
 func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 	r1, err := readAllFastq(path1)
 	if err != nil {
@@ -244,6 +353,7 @@ func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 	if len(r1) != len(r2) {
 		return fmt.Errorf("casa-align: mate files differ in length: %d vs %d", len(r1), len(r2))
 	}
+	a.tracker.AddTotal(int64(2 * len(r1)))
 	for lo := 0; lo < len(r1); lo += batchSize {
 		hi := min(lo+batchSize, len(r1))
 		var reads []dna.Sequence
@@ -251,8 +361,8 @@ func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 			reads = append(reads, r1[i].Seq, r2[i].Seq)
 		}
 		a.pool.ReadBase = 2 * lo // mates interleave: global read index = 2*pair + mate
-		res := batch.SeedCASA(a.acc, reads, a.pool)
-		for i := lo; i < hi; i++ {
+		res, done, seedErr := batch.SeedCASACtx(a.ctx, a.acc, reads, a.pool)
+		for i := lo; i < lo+done/2; i++ {
 			p1 := a.place(r1[i].Seq, res.Reads[2*(i-lo)])
 			p2 := a.place(r2[i].Seq, res.Reads[2*(i-lo)+1])
 			p1, p2 = a.rescuePair(r1[i], r2[i], p1, p2)
@@ -266,6 +376,10 @@ func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 				}
 			}
 			a.total += 2
+		}
+		a.tracker.Touch()
+		if seedErr != nil {
+			return seedErr
 		}
 	}
 	return nil

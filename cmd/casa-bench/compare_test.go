@@ -86,6 +86,23 @@ func TestCompareDocs(t *testing.T) {
 		}
 	})
 
+	t.Run("host environment differences ignored", func(t *testing.T) {
+		// A baseline captured on another machine (or before host capture
+		// existed, Host == nil) must gate purely on model numbers.
+		withHost := base
+		withHost.Host = &hostEnv{GoVersion: "go1.22", GOOS: "linux", GOARCH: "arm64", NumCPU: 4, GOMAXPROCS: 4}
+		cur := base
+		cur.Host = currentHostEnv()
+		regs, err := compareDocs(withHost, cur, 0.10)
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("host env drift must not gate: regs=%v err=%v", regs, err)
+		}
+		regs, err = compareDocs(base, cur, 0.10) // nil-host baseline
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("nil-host baseline must not gate: regs=%v err=%v", regs, err)
+		}
+	})
+
 	t.Run("workload mismatch errors", func(t *testing.T) {
 		cur := base
 		cur.Workload.Reads = 999

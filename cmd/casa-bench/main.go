@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -62,9 +63,32 @@ type row struct {
 	ModelReadsPerS float64 `json:"model_reads_per_s,omitempty"`
 }
 
+// hostEnv records the machine a benchmark ran on. Host throughput is
+// meaningless without it; the model numbers stay machine-independent, so
+// -compare ignores every host field.
+type hostEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// currentHostEnv captures the running process's environment.
+func currentHostEnv() *hostEnv {
+	return &hostEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 type doc struct {
 	Schema   string   `json:"schema"`
 	Scale    string   `json:"scale"`
+	Host     *hostEnv `json:"host,omitempty"` // absent in pre-host documents; never compared
 	Workload workload `json:"workload"`
 	Engines  []row    `json:"engines"`
 }
@@ -113,6 +137,7 @@ func main() {
 	d := doc{
 		Schema: benchSchema,
 		Scale:  *scale,
+		Host:   currentHostEnv(),
 		Workload: workload{
 			RefBases: len(ref), Reads: len(reads), ReadLen: len(reads[0]), MinSMEM: minSMEM,
 		},

@@ -91,7 +91,7 @@ func main() {
 	fmt.Printf("exact-match reads:%d   discarded (no hit): %d\n", st.ReadsExact, st.ReadsDiscarded)
 	fmt.Printf("pivots:           %d total; filtered: table %d, CRkM %d, align %d; computed %d (%.3f%%)\n",
 		st.PivotsTotal, st.PivotsFilteredTable, st.PivotsFilteredCRkM, st.PivotsFilteredAlign,
-		st.PivotsComputed, 100*float64(st.PivotsComputed)/float64(max64(st.PivotsTotal, 1)))
+		st.PivotsComputed, 100*float64(st.PivotsComputed)/float64(max(st.PivotsTotal, 1)))
 	fmt.Printf("CAM activity:     %d searches, %d rows enabled, %d stride steps, %d binary-search steps\n",
 		st.CAMSearches, st.CAMRowsEnabled, st.StrideSteps, st.BinSearchSteps)
 	smems := 0
@@ -137,11 +137,4 @@ func loadReads(path string, maxReads int) ([]dna.Sequence, error) {
 		return nil
 	})
 	return reads, err
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,28 +5,38 @@
 // SMEMs of BWA-MEM2 are contained").
 //
 // Reads are seeded as one batch over a worker pool (-workers); results
-// are reported in input order regardless of completion order.
+// are reported in input order regardless of completion order. The run is
+// interruptible: SIGINT stops handing out new shards, drains the
+// in-flight ones, and the command still emits its report, metrics and
+// trace for the completed read prefix before exiting with status 130.
 //
 // Observability (see docs/OBSERVABILITY.md): every engine publishes its
-// activity counters and model gauges into a metrics registry. -json emits
-// a stable machine-readable report (schema casa-smem/v1) on stdout;
-// -metrics writes the Prometheus-style text exposition to stderr; -trace
-// records the run's cycle-domain spans (casa-trace/v1; Chrome JSON, or
-// JSONL for .jsonl paths) with optional -trace-sample sampling; -http
-// serves /metrics, /trace and /debug/pprof until interrupted.
+// activity counters and model gauges into a metrics registry, and every
+// run drives a live casa-progress/v1 tracker. -json emits a stable
+// machine-readable report (schema casa-smem/v1) on stdout; -metrics
+// writes the Prometheus-style text exposition to stderr; -trace records
+// the run's cycle-domain spans (casa-trace/v1; Chrome JSON, or JSONL for
+// .jsonl paths) with optional -trace-sample sampling; -http serves
+// /metrics, /trace, /progress, /events and /debug/pprof until
+// interrupted; -progress logs periodic snapshots for non-HTTP runs;
+// -stall-timeout arms a watchdog that dumps per-worker state and
+// goroutines when no shard completes in time. Diagnostics go to stderr
+// as run-scoped structured logs (-log-level, -log-format).
 //
 // Usage:
 //
-//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-http localhost:6060]
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-http localhost:6060] [-progress 5s] [-stall-timeout 1m] [-log-format json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"time"
 
 	"casa/internal/batch"
 	"casa/internal/core"
@@ -36,6 +46,7 @@ import (
 	"casa/internal/gencache"
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
+	"casa/internal/progress"
 	"casa/internal/seqio"
 	"casa/internal/smem"
 	"casa/internal/trace"
@@ -44,8 +55,11 @@ import (
 // engine computes forward-strand SMEMs for a read batch on a worker pool,
 // returning per-read SMEM sets in input order. When pool.Metrics is set,
 // the engine publishes its activity counters and model gauges into it.
+// Cancelling ctx stops the run after the in-flight shards drain: the
+// returned slice covers exactly the completed read prefix (length n) and
+// err is ctx.Err().
 type engine interface {
-	findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match
+	findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error)
 }
 
 // reportSchema identifies the -json document layout.
@@ -53,22 +67,54 @@ const reportSchema = "casa-smem/v1"
 
 // report is the -json output document. Field order is fixed and the
 // embedded registry serializes with sorted names, so the same run always
-// produces the same bytes.
+// produces the same bytes. Reads counts the completed prefix; on an
+// interrupted run it is smaller than the input and Interrupted is set.
 type report struct {
-	Schema     string            `json:"schema"`
-	Engine     string            `json:"engine"`
-	Verify     string            `json:"verify,omitempty"`
-	MinSMEM    int               `json:"min_smem"`
-	Workers    int               `json:"workers"`
-	Reads      int               `json:"reads"`
-	SMEMs      int               `json:"smems"`
-	Mismatches int               `json:"mismatches"`
-	Metrics    *metrics.Registry `json:"metrics"`
+	Schema      string            `json:"schema"`
+	RunID       string            `json:"run_id"`
+	Engine      string            `json:"engine"`
+	Verify      string            `json:"verify,omitempty"`
+	MinSMEM     int               `json:"min_smem"`
+	Workers     int               `json:"workers"`
+	Reads       int               `json:"reads"`
+	SMEMs       int               `json:"smems"`
+	Mismatches  int               `json:"mismatches"`
+	Interrupted bool              `json:"interrupted,omitempty"`
+	Metrics     *metrics.Registry `json:"metrics"`
+}
+
+// newLogger builds the command's stderr slog.Logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// logSnapshot emits one progress snapshot as an info record — the
+// terminal-ticker counterpart of the /progress endpoint.
+func logSnapshot(log *slog.Logger, s progress.Snapshot) {
+	log.Info("progress",
+		"reads_done", s.ReadsDone,
+		"total_reads", s.TotalReads,
+		"shards_done", s.ShardsDone,
+		"percent_done", fmt.Sprintf("%.1f", s.PercentDone),
+		"host_reads_per_s", fmt.Sprintf("%.0f", s.HostReadsPerS),
+		"model_cycles", s.ModelCycles,
+		"eta_s", fmt.Sprintf("%.1f", s.ETASeconds))
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("casa-smem: ")
 	var (
 		refPath    = flag.String("ref", "", "reference FASTA (required)")
 		readsPath  = flag.String("reads", "", "reads FASTQ (required)")
@@ -82,16 +128,39 @@ func main() {
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
 		tracePath  = flag.String("trace", "", "write a casa-trace/v1 trace of the run (.jsonl = JSONL, else Chrome JSON)")
 		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
-		httpAddr   = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address until interrupted")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /progress, /events and /debug/pprof on this address until interrupted")
+		progEvery  = flag.Duration("progress", 0, "log a progress snapshot at this interval (0 = off)")
+		stallAfter = flag.Duration("stall-timeout", 0, "warn with per-worker state and a goroutine dump when no shard completes for this long (0 = off)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casa-smem:", err)
+		os.Exit(2)
+	}
+	runID := progress.NewRunID()
+	logger = logger.With("run_id", runID, "engine", *engName)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
+	// SIGINT cancels the run context: the pool drains in-flight shards,
+	// the completed prefix is reported with its telemetry, and the
+	// command exits 130. A second SIGINT kills the process immediately
+	// (stop() restores default signal handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ref, reads, names, err := load(*refPath, *readsPath, *maxReads)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	reg := metrics.New()
 	// Record spans whenever anything could consume them: a -trace file or
@@ -100,50 +169,94 @@ func main() {
 	if *tracePath != "" || *httpAddr != "" {
 		policy, err := trace.ParsePolicy(*traceSamp)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		tr = trace.New(policy, 0)
 	}
 	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	tracker := progress.New(runID, *engName, pool.WorkerCount(), int64(len(reads)))
+	pool.Progress = tracker
+	logger.Info("run starting", "reads", len(reads), "workers", pool.WorkerCount(), "min_smem", *minSMEM)
+
 	var srv *obshttp.Server
 	if *httpAddr != "" {
-		// Start before seeding so /debug/pprof can profile the run.
+		// Start before seeding so /debug/pprof can profile the run and
+		// /progress and /events observe it live.
 		srv, err = obshttp.Start(*httpAddr, reg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
+		srv.SetProgress(tracker)
+		logger.Info("observability server listening", "addr", srv.Addr())
+	}
+	if *stallAfter > 0 {
+		wd := progress.NewWatchdog(tracker, *stallAfter, logger)
+		wd.Start()
+		defer wd.Stop()
+	}
+	if *progEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*progEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tracker.Done():
+					return
+				case <-tick.C:
+					logSnapshot(logger, tracker.Snapshot())
+				}
+			}
+		}()
 	}
 
 	eng, err := build(*engName, ref, *minSMEM)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	got := eng.findAll(reads, *minSMEM, pool)
+	got, done, runErr := eng.findAll(ctx, reads, *minSMEM, pool)
+	tracker.Finish()
+	interrupted := runErr != nil
+	if interrupted {
+		logger.Warn("run interrupted; reporting the completed prefix",
+			"reads_done", done, "total_reads", len(reads))
+	}
+
 	var want [][]smem.Match
-	if *verify != "" {
+	vdone := 0
+	if *verify != "" && !interrupted {
 		ver, err := build(*verify, ref, *minSMEM)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		want = ver.findAll(reads, *minSMEM, pool)
+		// The verify pass reuses the metrics/trace sinks (both engines'
+		// spans land in one trace as separate processes) but not the
+		// progress tracker — the live run it describes is finished.
+		vpool := pool
+		vpool.Progress = nil
+		want, vdone, err = ver.findAll(ctx, reads, *minSMEM, vpool)
+		if err != nil {
+			interrupted = true
+			logger.Warn("verify pass interrupted; cross-checking the completed prefix",
+				"reads_verified", vdone)
+		}
 	}
 	if tr != nil {
 		// The pool has drained: merge once and fan the snapshot out to the
-		// -trace file and the /trace endpoint. With -verify both engines'
-		// spans land in one trace as separate processes.
+		// -trace file and the /trace endpoint. On an interrupted run this
+		// is the valid partial trace of the completed shards.
 		spans := tr.Spans()
 		if srv != nil {
 			srv.PublishTrace(spans)
 		}
 		if *tracePath != "" {
 			if err := trace.WriteFile(*tracePath, spans); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
 
 	totalSMEMs, mismatches := 0, 0
-	for i := range reads {
+	for i := 0; i < done; i++ {
 		ms := got[i]
 		totalSMEMs += len(ms)
 		if !*quiet && !*jsonOut {
@@ -153,7 +266,7 @@ func main() {
 			}
 			fmt.Println()
 		}
-		if want != nil && !smem.SameIntervals(ms, want[i]) {
+		if want != nil && i < vdone && !smem.SameIntervals(ms, want[i]) {
 			mismatches++
 			fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  %s: %v\n  %s: %v\n", names[i], *engName, ms, *verify, want[i])
 		}
@@ -162,46 +275,51 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report{
-			Schema:     reportSchema,
-			Engine:     *engName,
-			Verify:     *verify,
-			MinSMEM:    *minSMEM,
-			Workers:    pool.WorkerCount(),
-			Reads:      len(reads),
-			SMEMs:      totalSMEMs,
-			Mismatches: mismatches,
-			Metrics:    reg,
+			Schema:      reportSchema,
+			RunID:       runID,
+			Engine:      *engName,
+			Verify:      *verify,
+			MinSMEM:     *minSMEM,
+			Workers:     pool.WorkerCount(),
+			Reads:       done,
+			SMEMs:       totalSMEMs,
+			Mismatches:  mismatches,
+			Interrupted: interrupted,
+			Metrics:     reg,
 		}); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else {
-		fmt.Printf("\n%d reads, %d SMEMs via %s", len(reads), totalSMEMs, *engName)
+		fmt.Printf("\n%d reads, %d SMEMs via %s", done, totalSMEMs, *engName)
 		if want != nil {
 			fmt.Printf("; %d mismatches vs %s", mismatches, *verify)
+		}
+		if interrupted {
+			fmt.Printf(" (interrupted: %d of %d reads)", done, len(reads))
 		}
 		fmt.Println()
 	}
 	if *metricsOut {
 		if err := reg.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if srv != nil {
-		fmt.Fprintf(os.Stderr, "casa-smem: serving /metrics, /trace and /debug/pprof on %s, interrupt to exit\n", srv.Addr())
-		waitForInterrupt()
-		if err := srv.Close(); err != nil {
-			log.Print(err)
+		if !interrupted {
+			logger.Info("serving observability endpoints until interrupted", "addr", srv.Addr())
+			<-ctx.Done()
 		}
+		if err := srv.Close(); err != nil {
+			logger.Error(err.Error())
+		}
+	}
+	logSnapshot(logger, tracker.Snapshot())
+	if interrupted {
+		os.Exit(130)
 	}
 	if mismatches > 0 {
 		os.Exit(1)
 	}
-}
-
-func waitForInterrupt() {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
 }
 
 func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
@@ -284,12 +402,12 @@ type finderEngine struct {
 	publish   func(f smem.Finder, reg *metrics.Registry)
 }
 
-func (e finderEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
+func (e finderEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
 	finders := make([]smem.Finder, pool.WorkerCount())
 	for w := range finders {
 		finders[w] = e.newFinder(w)
 	}
-	out := batch.FindSMEMs(reads, minLen, pool, func(worker int) smem.Finder {
+	out, done, err := batch.FindSMEMsCtx(ctx, reads, minLen, pool, func(worker int) smem.Finder {
 		return finders[worker]
 	})
 	if pool.Metrics != nil && e.publish != nil {
@@ -297,7 +415,7 @@ func (e finderEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Optio
 			e.publish(f, pool.Metrics)
 		}
 	}
-	return out
+	return out, done, err
 }
 
 type ertFinder struct{ ix *ert.Index }
@@ -308,13 +426,13 @@ func (f ertFinder) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
 
 type casaEngine struct{ a *core.Accelerator }
 
-func (e casaEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
-	res := batch.SeedCASA(e.a, reads, pool)
+func (e casaEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
+	res, done, err := batch.SeedCASACtx(ctx, e.a, reads, pool)
 	out := make([][]smem.Match, len(res.Reads))
 	for i, rr := range res.Reads {
 		out[i] = rr.Forward
 	}
-	return out
+	return out, done, err
 }
 
 // gencacheEngine shards like the other accelerators: the order-sensitive
@@ -322,16 +440,16 @@ func (e casaEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options
 // during reduction, so -workers applies without perturbing the model.
 type gencacheEngine struct{ a *gencache.Accelerator }
 
-func (e gencacheEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
-	res := batch.SeedGenCache(e.a, reads, pool)
-	return res.Reads
+func (e gencacheEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
+	res, done, err := batch.SeedGenCacheCtx(ctx, e.a, reads, pool)
+	return res.Reads, done, err
 }
 
 type genaxEngine struct{ a *genax.Accelerator }
 
-func (e genaxEngine) findAll(reads []dna.Sequence, minLen int, pool batch.Options) [][]smem.Match {
-	res := batch.SeedGenAx(e.a, reads, pool)
-	return res.Reads
+func (e genaxEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
+	res, done, err := batch.SeedGenAxCtx(ctx, e.a, reads, pool)
+	return res.Reads, done, err
 }
 
 func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence, []string, error) {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"casa/internal/metrics"
+	"casa/internal/progress"
 	"casa/internal/trace"
 )
 
@@ -71,6 +72,15 @@ type Options struct {
 	// whole run keeps a unique, stable identity. Zero for single-batch
 	// callers.
 	ReadBase int
+
+	// Progress, when non-nil, receives live per-worker liveness as shards
+	// drain: each completed shard bumps the worker's cell (reads done,
+	// shards done, last global read index) with a handful of uncontended
+	// atomic adds — the live counterpart of the post-run Metrics/Trace
+	// snapshots, served by internal/obshttp's /progress and /events. The
+	// tracker must have at least WorkerCount() cells (updates to missing
+	// cells are dropped).
+	Progress *progress.Tracker
 }
 
 // DefaultOptions returns the default pool configuration: one worker per
@@ -111,8 +121,21 @@ func (o Options) grain(n int) int {
 // per-worker state (an engine Clone) without locking. Shards are handed
 // out dynamically: a worker that finishes early steals the next shard.
 func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
+	results, _, _ := RunCtx(context.Background(), n, o, fn)
+	return results
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled, no
+// new shard is handed out, but every shard already claimed drains to
+// completion — workers are never interrupted mid-shard, so the engine
+// state, metrics and trace spans of completed shards stay consistent.
+// Because shards are claimed in increasing index order, the completed
+// set is always a contiguous prefix: RunCtx returns the per-shard
+// results of that prefix, the number of items it covers, and ctx.Err()
+// when the run was cut short (nil when it ran to the end).
+func RunCtx[R any](ctx context.Context, n int, o Options, fn func(worker, lo, hi int) R) ([]R, int, error) {
 	if n <= 0 {
-		return nil
+		return nil, 0, ctx.Err()
 	}
 	grain := o.grain(n)
 	numShards := (n + grain - 1) / grain
@@ -122,13 +145,19 @@ func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
 	}
 	results := make([]R, numShards)
 	if workers <= 1 {
+		completed := 0
 		o.labeled(0, func() {
 			for s := 0; s < numShards; s++ {
-				lo := s * grain
-				results[s] = fn(0, lo, min(lo+grain, n))
+				if ctx.Err() != nil {
+					return
+				}
+				lo, hi := s*grain, min(s*grain+grain, n)
+				results[s] = fn(0, lo, hi)
+				o.shardDone(0, lo, hi)
+				completed = s + 1
 			}
 		})
-		return results
+		return results[:completed], min(completed*grain, n), ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -138,18 +167,31 @@ func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
 			defer wg.Done()
 			o.labeled(w, func() {
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					s := int(next.Add(1)) - 1
 					if s >= numShards {
 						return
 					}
-					lo := s * grain
-					results[s] = fn(w, lo, min(lo+grain, n))
+					lo, hi := s*grain, min(s*grain+grain, n)
+					results[s] = fn(w, lo, hi)
+					o.shardDone(w, lo, hi)
 				}
 			})
 		}(w)
 	}
 	wg.Wait()
-	return results
+	claimed := min(int(next.Load()), numShards)
+	return results[:claimed], min(claimed*grain, n), ctx.Err()
+}
+
+// shardDone reports one completed shard [lo, hi) to the progress
+// tracker, if any.
+func (o Options) shardDone(worker, lo, hi int) {
+	if o.Progress != nil {
+		o.Progress.ShardDone(worker, hi-lo, o.ReadBase+hi-1)
+	}
 }
 
 // labeled runs body with pprof goroutine labels identifying the engine
@@ -159,11 +201,4 @@ func Run[R any](n int, o Options, fn func(worker, lo, hi int) R) []R {
 func (o Options) labeled(worker int, body func()) {
 	labels := pprof.Labels("engine", o.Engine, "worker", strconv.Itoa(worker))
 	pprof.Do(context.Background(), labels, func(context.Context) { body() })
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,8 @@
 package batch
 
 import (
+	"context"
+
 	"casa/internal/core"
 	"casa/internal/cpu"
 	"casa/internal/dna"
@@ -67,18 +69,39 @@ func traceBuffers(o Options) []*trace.Buffer {
 	return bufs
 }
 
+// The SeedXxxCtx entry points share a contract: they are the Seed*
+// functions with cooperative cancellation. When ctx is cancelled
+// mid-run the pool stops handing out new shards, drains the in-flight
+// ones, and reduces exactly the completed prefix — the returned Result
+// covers the first n reads (n is the second return value), with the
+// merged metrics registry, trace spans and progress cells all consistent
+// with that prefix. The error is ctx.Err() when the run was cut short,
+// nil when it ran to the end (in which case n == len(reads) and the
+// Result is bit-identical to the non-ctx entry point's).
+
 // SeedCASA seeds reads on a pool of CASA accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads on
 // the same batch.
 func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result {
+	res, _, _ := SeedCASACtx(context.Background(), a, reads, o)
+	return res
+}
+
+// SeedCASACtx is SeedCASA with cooperative cancellation; see the
+// contract above. Each completed shard additionally attributes its
+// modelled controller cycles to the worker's progress cell.
+func SeedCASACtx(ctx context.Context, a *core.Accelerator, reads []dna.Sequence, o Options) (*core.Result, int, error) {
 	o = withEngine(o, "casa")
 	engines := clonePool(a, o.WorkerCount(), (*core.Accelerator).Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts := Run(len(reads), o, func(w, lo, hi int) *core.Activity {
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *core.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
+		}
+		if o.Progress != nil {
+			o.Progress.AddCycles(w, a.ActivityCycles(act))
 		}
 		return act
 	})
@@ -87,40 +110,55 @@ func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result
 		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
-	return res
+	return res, done, err
 }
 
 // SeedERT seeds reads on a pool of ASIC-ERT clones; the order-sensitive
 // reuse-cache model is replayed over the full batch during reduction, so
 // the Result matches a.SeedReads exactly.
 func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
+	res, _, _ := SeedERTCtx(context.Background(), a, reads, o)
+	return res
+}
+
+// SeedERTCtx is SeedERT with cooperative cancellation; see the contract
+// above. The reuse-cache replay runs over the completed read prefix, so
+// partial results model exactly the reads that were seeded.
+func SeedERTCtx(ctx context.Context, a *ert.Accelerator, reads []dna.Sequence, o Options) (*ert.Result, int, error) {
 	o = withEngine(o, "ert")
 	engines := clonePool(a, o.WorkerCount(), (*ert.Accelerator).Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts := Run(len(reads), o, func(w, lo, hi int) *ert.Activity {
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *ert.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
 		return act
 	})
-	res := a.Reduce(reads, acts...)
+	res := a.Reduce(reads[:done], acts...)
 	if o.Metrics != nil {
 		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
-	return res
+	return res, done, err
 }
 
 // SeedGenAx seeds reads on a pool of GenAx accelerator clones and reduces
 // the shard activities into one Result, bit-identical to a.SeedReads.
 func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Result {
+	res, _, _ := SeedGenAxCtx(context.Background(), a, reads, o)
+	return res
+}
+
+// SeedGenAxCtx is SeedGenAx with cooperative cancellation; see the
+// contract above.
+func SeedGenAxCtx(ctx context.Context, a *genax.Accelerator, reads []dna.Sequence, o Options) (*genax.Result, int, error) {
 	o = withEngine(o, "genax")
 	engines := clonePool(a, o.WorkerCount(), (*genax.Accelerator).Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts := Run(len(reads), o, func(w, lo, hi int) *genax.Activity {
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *genax.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
@@ -132,7 +170,7 @@ func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Res
 		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
-	return res
+	return res, done, err
 }
 
 // SeedGenCache seeds reads on a pool of GenCache accelerator clones; the
@@ -140,11 +178,19 @@ func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Res
 // fetch streams during reduction, so the Result matches a.SeedReads
 // exactly.
 func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gencache.Result {
+	res, _, _ := SeedGenCacheCtx(context.Background(), a, reads, o)
+	return res
+}
+
+// SeedGenCacheCtx is SeedGenCache with cooperative cancellation; see the
+// contract above. The cache replay covers the completed shards' recorded
+// fetch streams only.
+func SeedGenCacheCtx(ctx context.Context, a *gencache.Accelerator, reads []dna.Sequence, o Options) (*gencache.Result, int, error) {
 	o = withEngine(o, "gencache")
 	engines := clonePool(a, o.WorkerCount(), (*gencache.Accelerator).Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts := Run(len(reads), o, func(w, lo, hi int) *gencache.Activity {
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *gencache.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
@@ -156,7 +202,7 @@ func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gen
 		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
-	return res
+	return res, done, err
 }
 
 // SeedCPU seeds reads on a pool of software-baseline seeder clones and
@@ -164,11 +210,18 @@ func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gen
 // s.SeedReads. (The pool parallelizes the host simulation; the modelled
 // thread count stays cpu.Config.Threads.)
 func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
+	res, _, _ := SeedCPUCtx(context.Background(), s, reads, o)
+	return res
+}
+
+// SeedCPUCtx is SeedCPU with cooperative cancellation; see the contract
+// above.
+func SeedCPUCtx(ctx context.Context, s *cpu.Seeder, reads []dna.Sequence, o Options) (*cpu.Result, int, error) {
 	o = withEngine(o, "cpu")
 	engines := clonePool(s, o.WorkerCount(), (*cpu.Seeder).Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts := Run(len(reads), o, func(w, lo, hi int) *cpu.Activity {
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *cpu.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
@@ -180,7 +233,7 @@ func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
 		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
-	return res
+	return res, done, err
 }
 
 // seedCoster is the optional finder extension the traced FindSMEMs path
@@ -200,6 +253,15 @@ type seedCoster interface {
 // "find" span on the "seed" track (engine label per o.Engine, default
 // "fmindex").
 func FindSMEMs(reads []dna.Sequence, minLen int, o Options, newFinder func(worker int) smem.Finder) [][]smem.Match {
+	out, _, _ := FindSMEMsCtx(context.Background(), reads, minLen, o, newFinder)
+	return out
+}
+
+// FindSMEMsCtx is FindSMEMs with cooperative cancellation: on
+// cancellation the returned slice covers exactly the completed read
+// prefix (its length is the second return value) and the error is
+// ctx.Err().
+func FindSMEMsCtx(ctx context.Context, reads []dna.Sequence, minLen int, o Options, newFinder func(worker int) smem.Finder) ([][]smem.Match, int, error) {
 	o = withEngine(o, "fmindex")
 	workers := o.WorkerCount()
 	finders := make([]smem.Finder, workers)
@@ -207,7 +269,7 @@ func FindSMEMs(reads []dna.Sequence, minLen int, o Options, newFinder func(worke
 		finders[w] = newFinder(w)
 	}
 	bufs := traceBuffers(o)
-	shards := Run(len(reads), o, func(w, lo, hi int) [][]smem.Match {
+	shards, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) [][]smem.Match {
 		out := make([][]smem.Match, hi-lo)
 		tb := bufs[w]
 		costed, _ := finders[w].(seedCoster)
@@ -219,9 +281,9 @@ func FindSMEMs(reads []dna.Sequence, minLen int, o Options, newFinder func(worke
 		}
 		return out
 	})
-	merged := make([][]smem.Match, 0, len(reads))
+	merged := make([][]smem.Match, 0, done)
 	for _, s := range shards {
 		merged = append(merged, s...)
 	}
-	return merged
+	return merged, done, err
 }

@@ -150,13 +150,13 @@ func link(a, b Anchor, opt Options) (int32, bool) {
 	if gap > opt.MaxGap {
 		return 0, false
 	}
-	span := min32(dq, dr)
+	span := min(dq, dr)
 	if span > opt.MaxGap {
 		return 0, false
 	}
 	gain := b.Len
 	// Overlap on the read or reference shrinks the new contribution.
-	if overlap := a.Len - min32(dq, dr); overlap > 0 {
+	if overlap := a.Len - min(dq, dr); overlap > 0 {
 		gain -= overlap
 		if gain <= 0 {
 			return 0, false
@@ -164,11 +164,4 @@ func link(a, b Anchor, opt Options) (int32, bool) {
 	}
 	cost := gap * opt.GapCostNum / opt.GapCostDen
 	return gain - cost, true
-}
-
-func min32(a, b int32) int32 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -319,12 +319,30 @@ func (a *Accelerator) Reduce(acts ...*Activity) *Result {
 	return res
 }
 
+// ActivityCycles converts one Activity's partition deltas into modelled
+// controller cycles, the same per-partition conversion Reduce applies to
+// the summed deltas. Because stageCycles takes ceilings over banked
+// lanes, per-shard cycles summed over a batch can differ from the
+// reduced Result.Cycles by rounding: ActivityCycles exists for live
+// progress attribution (internal/progress), where per-shard monotone
+// accumulation matters; the Result stays the quotable number. For a
+// fixed shard grain the per-shard sum is deterministic at any worker
+// count.
+func (a *Accelerator) ActivityCycles(act *Activity) int64 {
+	var total int64
+	for pi := range a.parts {
+		total += stageCycles(act.Stage1[pi], a.cfg)
+		total += stageCycles(act.Stage2[pi], a.cfg)
+	}
+	return total
+}
+
 // stageCycles converts one partition pass's activity delta into cycles:
 // the longer of the banked filter phase and the CAM-lane compute phase.
 func stageCycles(delta PartStats, cfg Config) int64 {
 	computeCycles := (delta.ComputeCycles + int64(cfg.ComputeCAMs) - 1) / int64(cfg.ComputeCAMs)
 	filterCycles := (delta.Filter.Lookups + int64(cfg.FilterBanks) - 1) / int64(cfg.FilterBanks)
-	return max64(filterCycles, computeCycles)
+	return max(filterCycles, computeCycles)
 }
 
 // HitPositions resolves the global reference positions of an SMEM on a
@@ -463,18 +481,4 @@ func diffStats(after, before PartStats) PartStats {
 	d.Filter.TagRowsEnabled -= before.Filter.TagRowsEnabled
 	d.Filter.DataAccesses -= before.Filter.DataAccesses
 	return d
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

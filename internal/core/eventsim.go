@@ -57,7 +57,7 @@ func SimulatePartitionPass(costs []ReadCost, cfg Config) PassResult {
 					li = j
 				}
 			}
-			start := max64(it.ready, lanes[li])
+			start := max(it.ready, lanes[li])
 			if start >= t {
 				break
 			}
@@ -84,7 +84,7 @@ func SimulatePartitionPass(costs []ReadCost, cfg Config) PassResult {
 					next = l
 				}
 			}
-			stallTo := max64(next, queue[head].ready)
+			stallTo := max(next, queue[head].ready)
 			if stallTo <= filterClock {
 				stallTo = filterClock + 1
 			}
@@ -122,5 +122,5 @@ func ClosedFormCycles(costs []ReadCost, cfg Config) int64 {
 		}
 	}
 	lanes := int64(cfg.ComputeCAMs)
-	return max64(filter, (compute+lanes-1)/lanes)
+	return max(filter, (compute+lanes-1)/lanes)
 }

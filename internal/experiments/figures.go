@@ -432,10 +432,3 @@ func RenderTable(header []string, rows [][]string) string {
 	}
 	return sb.String()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

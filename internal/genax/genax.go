@@ -525,17 +525,3 @@ func macros(bitsTotal int64, model energy.ArrayModel) int {
 func sramAreaMM2(cfg Config, model energy.ArrayModel) float64 {
 	return float64(macros(cfg.SRAMBytes()*8, model)) * model.AreaUM2 / 1e6
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

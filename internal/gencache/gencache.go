@@ -485,10 +485,3 @@ func (c *lineCache) access(key uint64) bool {
 	c.valid[idx] = true
 	return false
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

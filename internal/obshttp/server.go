@@ -1,16 +1,21 @@
 // Package obshttp is the shared observability HTTP server behind the
 // CLIs' -http flag: one dedicated-mux server exposing /metrics (the
 // Prometheus text exposition), /debug/pprof/* (explicitly registered, no
-// default-mux blank import) and /trace (the run's casa-trace/v1 Chrome
-// JSON), with conservative timeouts and graceful shutdown. It replaces
-// the per-command copies of the default-mux ListenAndServe/log.Fatal
-// pattern, which leaked pprof handlers onto every mux in the process and
-// could not be shut down or bound to :0 for tests.
+// default-mux blank import), /trace (the run's casa-trace/v1 Chrome
+// JSON), and — when a progress tracker is attached — the live endpoints
+// /progress (one casa-progress/v1 JSON snapshot) and /events (a
+// Server-Sent Events stream of periodic snapshots), with conservative
+// timeouts and graceful shutdown. It replaces the per-command copies of
+// the default-mux ListenAndServe/log.Fatal pattern, which leaked pprof
+// handlers onto every mux in the process and could not be shut down or
+// bound to :0 for tests.
 package obshttp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,18 +23,28 @@ import (
 	"time"
 
 	"casa/internal/metrics"
+	"casa/internal/progress"
 	"casa/internal/trace"
 )
+
+// defaultEventInterval is the /events snapshot cadence when the caller
+// does not override it with SetEventInterval.
+const defaultEventInterval = time.Second
 
 // Server is a running observability endpoint. Create with Start.
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
 
-	mu    sync.Mutex
-	spans []trace.Span
-	err   error
+	mu            sync.Mutex
+	spans         []trace.Span
+	tracker       *progress.Tracker
+	eventInterval time.Duration
+	err           error
 
+	watchdog *progress.Watchdog
+
+	quit chan struct{} // closed at Shutdown: unblocks long-lived SSE handlers
 	done chan struct{}
 }
 
@@ -48,7 +63,12 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, done: make(chan struct{})}
+	s := &Server{
+		ln:            ln,
+		eventInterval: defaultEventInterval,
+		quit:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -56,8 +76,10 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "casa observability endpoints:\n  /metrics\n  /trace\n  /debug/pprof/\n")
+		fmt.Fprint(w, "casa observability endpoints:\n  /metrics\n  /trace\n  /progress\n  /events\n  /debug/pprof/\n")
 	})
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		if reg == nil {
 			http.Error(w, "no metrics registry", http.StatusNotFound)
@@ -112,6 +134,122 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// SetProgress attaches the run's progress tracker, enabling /progress
+// and /events. Call it before the run starts; without a tracker both
+// endpoints return 503.
+func (s *Server) SetProgress(t *progress.Tracker) {
+	s.mu.Lock()
+	s.tracker = t
+	s.mu.Unlock()
+}
+
+// SetEventInterval overrides the /events snapshot cadence (default 1s).
+// Zero or negative is rejected (the stream would spin).
+func (s *Server) SetEventInterval(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.eventInterval = d
+	s.mu.Unlock()
+}
+
+// StartWatchdog arms a stall watchdog on the attached tracker: when no
+// shard completes within deadline, it logs the per-worker last-known
+// state and a goroutine dump through log (nil means slog.Default), once
+// per stall episode. The watchdog stops at Shutdown. It is a no-op
+// without a tracker or with a non-positive deadline, and at most one
+// watchdog is armed per server.
+func (s *Server) StartWatchdog(deadline time.Duration, log *slog.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tracker == nil || deadline <= 0 || s.watchdog != nil {
+		return
+	}
+	s.watchdog = progress.NewWatchdog(s.tracker, deadline, log)
+	s.watchdog.Start()
+}
+
+// progressState reads the tracker and event interval under the lock.
+func (s *Server) progressState() (*progress.Tracker, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracker, s.eventInterval
+}
+
+// handleProgress serves one casa-progress/v1 snapshot as JSON.
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	t, _ := s.progressState()
+	if t == nil {
+		http.Error(w, "no progress tracker attached to this run", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleEvents serves the live run as a Server-Sent Events stream: an
+// immediate "progress" event, one more per event interval, and a final
+// "done" event when the run finishes (then the stream closes). The
+// stream also ends on client disconnect and at server shutdown.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	t, interval := s.progressState()
+	if t == nil {
+		http.Error(w, "no progress tracker attached to this run", http.StatusServiceUnavailable)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// The server's WriteTimeout protects against slow clients, but an SSE
+	// stream legitimately outlives any fixed budget: lift the per-request
+	// write deadline for this response only.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	emit := func(event string) bool {
+		raw, err := json.Marshal(t.Snapshot())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	if !emit("progress") {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		case <-t.Done():
+			emit("done")
+			return
+		case <-ticker.C:
+			if !emit("progress") {
+				return
+			}
+		}
+	}
+}
+
 // PublishTrace makes spans available at /trace. Call it with the merged
 // stream (Trace.Spans) after the run drains; publishing an immutable
 // snapshot is what keeps the handler free of data races with workers.
@@ -122,8 +260,22 @@ func (s *Server) PublishTrace(spans []trace.Span) {
 }
 
 // Shutdown gracefully drains in-flight requests and stops the server.
-// It returns the first background serve error, if any.
+// Long-lived /events streams are told to end first (graceful drain would
+// otherwise wait on them forever), and any armed watchdog is stopped. It
+// returns the first background serve error, if any.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	wd := s.watchdog
+	s.watchdog = nil
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	s.mu.Unlock()
+	if wd != nil {
+		wd.Stop()
+	}
 	err := s.srv.Shutdown(ctx)
 	<-s.done
 	s.mu.Lock()

@@ -145,17 +145,3 @@ func windowBand(window, query, minBand int) int {
 }
 
 func editDistance(a, b dna.Sequence) int { return align.EditDistance(a, b) }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,11 @@
+package progress
+
+import (
+	"io"
+	"log/slog"
+)
+
+// newTestLogger returns a text slog.Logger writing to w.
+func newTestLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}

@@ -1,0 +1,222 @@
+package progress
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAggregation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	clock := base
+	tr := New("rid1", "casa", 3, 100)
+	tr.SetNow(func() time.Time { return clock })
+
+	tr.ShardDone(0, 10, 9)
+	tr.ShardDone(1, 20, 29)
+	tr.ShardDone(0, 10, 39)
+	tr.AddCycles(0, 500)
+	tr.AddCycles(1, 1500)
+
+	clock = base.Add(2 * time.Second)
+	s := tr.Snapshot()
+	if s.Schema != SchemaVersion {
+		t.Fatalf("schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	if s.RunID != "rid1" || s.Engine != "casa" || s.Workers != 3 {
+		t.Fatalf("identity fields wrong: %+v", s)
+	}
+	if s.ReadsDone != 40 || s.ShardsDone != 3 || s.ModelCycles != 2000 {
+		t.Fatalf("totals wrong: reads=%d shards=%d cycles=%d", s.ReadsDone, s.ShardsDone, s.ModelCycles)
+	}
+	if s.PercentDone != 40 {
+		t.Fatalf("percent %v, want 40", s.PercentDone)
+	}
+	if s.ElapsedSeconds != 2 || s.HostReadsPerS != 20 || s.ModelCyclesPerS != 1000 {
+		t.Fatalf("rates wrong: %+v", s)
+	}
+	// 60 reads left at 20 reads/s.
+	if s.ETASeconds != 3 {
+		t.Fatalf("eta %v, want 3", s.ETASeconds)
+	}
+	if s.Done {
+		t.Fatal("done before Finish")
+	}
+	if len(s.PerWorker) != 3 {
+		t.Fatalf("per_worker len %d, want 3", len(s.PerWorker))
+	}
+	if w0 := s.PerWorker[0]; w0.Reads != 20 || w0.Shards != 2 || w0.LastRead != 39 || w0.Cycles != 500 {
+		t.Fatalf("worker 0 state wrong: %+v", w0)
+	}
+	if w2 := s.PerWorker[2]; w2.Reads != 0 || w2.LastRead != -1 {
+		t.Fatalf("idle worker state wrong: %+v", w2)
+	}
+
+	tr.Finish()
+	tr.Finish() // idempotent
+	if !tr.Snapshot().Done {
+		t.Fatal("snapshot not done after Finish")
+	}
+	select {
+	case <-tr.Done():
+	default:
+		t.Fatal("Done channel not closed after Finish")
+	}
+}
+
+func TestSnapshotUnknownTotal(t *testing.T) {
+	tr := New("rid", "casa", 1, 0)
+	tr.ShardDone(0, 10, 9)
+	s := tr.Snapshot()
+	if s.PercentDone != 0 || s.ETASeconds != 0 {
+		t.Fatalf("percent/eta should be 0 with unknown total: %+v", s)
+	}
+	tr.AddTotal(40)
+	if tr.Total() != 40 {
+		t.Fatalf("total %d, want 40", tr.Total())
+	}
+	if s := tr.Snapshot(); s.PercentDone != 25 {
+		t.Fatalf("percent %v, want 25", s.PercentDone)
+	}
+}
+
+// TestSnapshotJSONShape pins the casa-progress/v1 field set: every field
+// is always present (deterministic shape), so consumers never need
+// missing-key handling.
+func TestSnapshotJSONShape(t *testing.T) {
+	tr := New("rid", "ert", 2, 10)
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"schema", "run_id", "engine", "workers", "total_reads", "reads_done",
+		"shards_done", "model_cycles", "percent_done", "elapsed_seconds",
+		"host_reads_per_s", "model_cycles_per_s", "eta_seconds", "done", "per_worker",
+	} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("field %q missing from snapshot JSON", field)
+		}
+	}
+	if m["schema"] != SchemaVersion {
+		t.Fatalf("schema %v", m["schema"])
+	}
+	if pw, ok := m["per_worker"].([]any); !ok || len(pw) != 2 {
+		t.Fatalf("per_worker %v", m["per_worker"])
+	}
+}
+
+func TestShardDoneOutOfRangeIgnored(t *testing.T) {
+	tr := New("rid", "casa", 2, 10)
+	tr.ShardDone(-1, 5, 4)
+	tr.ShardDone(2, 5, 4)
+	tr.AddCycles(7, 100)
+	if s := tr.Snapshot(); s.ReadsDone != 0 || s.ModelCycles != 0 {
+		t.Fatalf("out-of-range updates leaked into snapshot: %+v", s)
+	}
+}
+
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("run id lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatalf("two run ids collided: %s", a)
+	}
+}
+
+// TestWatchdogFiresOnStall stalls a run artificially (no shard ever
+// completes) and requires the watchdog to fire exactly once for the
+// episode, then again after progress resumes and stalls anew.
+func TestWatchdogFiresOnStall(t *testing.T) {
+	tr := New("rid", "casa", 2, 100)
+	fired := make(chan Snapshot, 4)
+	wd := NewWatchdog(tr, 30*time.Millisecond, nil)
+	wd.OnStall = func(s Snapshot, goroutines []byte) {
+		if !bytes.Contains(goroutines, []byte("goroutine")) {
+			t.Errorf("stall report has no goroutine dump")
+		}
+		fired <- s
+	}
+	wd.Start()
+	defer wd.Stop()
+
+	select {
+	case s := <-fired:
+		if s.ReadsDone != 0 {
+			t.Fatalf("stalled snapshot shows progress: %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not fire on a stalled run")
+	}
+	if wd.Fired() < 1 {
+		t.Fatalf("Fired() = %d after report", wd.Fired())
+	}
+
+	// One episode fires once: no second report without fresh progress.
+	select {
+	case <-fired:
+		t.Fatal("watchdog fired twice for one stall episode")
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// Progress resumes, then stalls again: a new episode, a new report.
+	tr.ShardDone(0, 10, 9)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not re-arm after progress resumed")
+	}
+}
+
+// TestWatchdogQuietWhileProgressing keeps completing shards faster than
+// the deadline and requires silence; finishing the tracker stops the
+// watch goroutine.
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	tr := New("rid", "casa", 1, 100)
+	wd := NewWatchdog(tr, 200*time.Millisecond, nil)
+	wd.OnStall = func(s Snapshot, _ []byte) {
+		t.Errorf("watchdog fired on a progressing run: %+v", s)
+	}
+	wd.Start()
+	for i := 0; i < 5; i++ {
+		tr.ShardDone(0, 1, i)
+		time.Sleep(20 * time.Millisecond)
+	}
+	tr.Finish()
+	wd.Stop()
+	if wd.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", wd.Fired())
+	}
+}
+
+// TestWatchdogDefaultLogger routes a stall through the slog path and
+// checks the run state and dump land in the log output.
+func TestWatchdogDefaultLogger(t *testing.T) {
+	var buf bytes.Buffer
+	logger := newTestLogger(&buf)
+	tr := New("rid", "casa", 1, 10)
+	wd := NewWatchdog(tr, 25*time.Millisecond, logger)
+	wd.Start()
+	deadline := time.After(5 * time.Second)
+	for wd.Fired() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog never fired")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	tr.Finish()
+	wd.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "stall") || !strings.Contains(out, "goroutine") {
+		t.Fatalf("stall log missing expected content:\n%s", out)
+	}
+}

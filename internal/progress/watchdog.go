@@ -1,0 +1,116 @@
+package progress
+
+import (
+	"bytes"
+	"log/slog"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog watches a Tracker for stalls: when no shard completes (and
+// nothing calls Touch) within the deadline, it logs every worker's
+// last-known state and a full goroutine dump — the evidence needed to
+// tell a straggler shard from a hung pool — then re-arms once progress
+// resumes, so a run that stalls twice is reported twice.
+//
+// The watchdog polls at a quarter of the deadline (at least every 10ms)
+// and fires at most once per stall episode.
+type Watchdog struct {
+	tracker  *Tracker
+	deadline time.Duration
+	log      *slog.Logger
+
+	// OnStall, when non-nil, replaces the default slog report (tests).
+	// It receives the stalled snapshot and the goroutine dump.
+	OnStall func(s Snapshot, goroutines []byte)
+
+	fired    atomic.Int64
+	stopOnce sync.Once
+	stop     chan struct{}
+	finished chan struct{}
+}
+
+// NewWatchdog returns an unstarted watchdog over t. log may be nil, in
+// which case stalls are reported through slog.Default.
+func NewWatchdog(t *Tracker, deadline time.Duration, log *slog.Logger) *Watchdog {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Watchdog{
+		tracker:  t,
+		deadline: deadline,
+		log:      log,
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+}
+
+// Fired returns how many stall episodes have been reported so far.
+func (w *Watchdog) Fired() int64 { return w.fired.Load() }
+
+// Start launches the watch goroutine. It exits when the tracker
+// finishes or Stop is called.
+func (w *Watchdog) Start() {
+	go func() {
+		defer close(w.finished)
+		poll := w.deadline / 4
+		if poll < 10*time.Millisecond {
+			poll = 10 * time.Millisecond
+		}
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		var reportedMark time.Time // the lastMark we already fired on
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-w.tracker.Done():
+				return
+			case <-tick.C:
+				mark := w.tracker.LastProgress()
+				if time.Since(mark) < w.deadline {
+					continue
+				}
+				if mark.Equal(reportedMark) {
+					continue // same episode, already reported
+				}
+				reportedMark = mark
+				w.fired.Add(1)
+				w.report(mark)
+			}
+		}
+	}()
+}
+
+// Stop terminates the watch goroutine and waits for it to exit.
+// Idempotent; safe after the tracker finished on its own.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.finished
+}
+
+// report emits one stall record: the aggregated snapshot, each worker's
+// last-known state, and a goroutine dump (pprof "goroutine" profile,
+// debug=1) to show where the pool is actually blocked.
+func (w *Watchdog) report(mark time.Time) {
+	s := w.tracker.Snapshot()
+	var buf bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&buf, 1)
+	}
+	if w.OnStall != nil {
+		w.OnStall(s, buf.Bytes())
+		return
+	}
+	w.log.Warn("stall: no shard completed within deadline",
+		"deadline", w.deadline.String(),
+		"last_progress", mark.Format(time.RFC3339Nano),
+		"reads_done", s.ReadsDone,
+		"total_reads", s.TotalReads,
+		"shards_done", s.ShardsDone,
+		"per_worker", s.PerWorker,
+	)
+	w.log.Warn("stall: goroutine dump", "goroutines", buf.String())
+}

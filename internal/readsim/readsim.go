@@ -399,13 +399,6 @@ func Sequences(reads []Read) []dna.Sequence {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func randomSeq(rng *rand.Rand, n int) dna.Sequence {
 	s := make(dna.Sequence, n)
 	for i := range s {

@@ -147,10 +147,3 @@ func MapQFromScores(best, second, readLen int) int {
 	}
 	return q
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -205,10 +205,3 @@ func appendBases(seq *dna.Sequence, line []byte) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -196,11 +196,11 @@ func TestReadFastqBasic(t *testing.T) {
 
 func TestReadFastqErrors(t *testing.T) {
 	cases := []string{
-		"ACGT\n+\nIIII\n",   // missing @
-		"@r\nACGT\nIIII\n",  // missing +
-		"@r\nACGT\n+\nII\n", // qual length mismatch
-		"@r\nACGT\n+\n",     // truncated
-		"@r\nACGT\n",        // truncated earlier
+		"ACGT\n+\nIIII\n",              // missing @
+		"@r\nACGT\nIIII\n",             // missing +
+		"@r\nACGT\n+\nII\n",            // qual length mismatch
+		"@r\nACGT\n+\n",                // truncated
+		"@r\nACGT\n",                   // truncated earlier
 		"@r\nACGT\n+OTHERNAME\nIIII\n", // separator contradicts header
 	}
 	for _, in := range cases {

@@ -259,10 +259,3 @@ func TestValidateCatchesViolations(t *testing.T) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -231,10 +231,3 @@ func bestStrand(acc *core.Accelerator, sx *seedex.Machine, read dna.Sequence, rr
 	}
 	return best, rev, found
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
