@@ -3,13 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-quick bench-baseline bench-all fuzz live-smoke experiments ablations examples clean
+.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke experiments ablations examples clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Structural lints the compiler cannot see (engine dispatch must stay in
+# the internal/engine registry).
+lint:
+	bash scripts/lint_engine_registry.sh
 
 test:
 	$(GO) test ./...

@@ -352,12 +352,13 @@ func batchFixture(b *testing.B) {
 // increasing worker counts.
 func BenchmarkBatchCASA(b *testing.B) {
 	batchFixture(b)
+	eng := casa.CASAEngine(batchAcc)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run("workers="+itoa(w), func(b *testing.B) {
 			opts := casa.BatchOptions{Workers: w}
 			var res *casa.Result
 			for i := 0; i < b.N; i++ {
-				res = casa.RunBatch(batchAcc, batchReads, opts)
+				res = casa.RunEngine(eng, batchReads, opts).(*casa.Result)
 			}
 			b.ReportMetric(float64(len(res.Reads))*float64(b.N)/b.Elapsed().Seconds(), "host_reads/s")
 		})

@@ -29,6 +29,7 @@ import (
 	"casa/internal/core"
 	"casa/internal/cpu"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/gencache"
@@ -100,49 +101,99 @@ type (
 	// BatchOptions configures the batch worker pool (worker count, shard
 	// grain). The zero value uses one worker per host CPU.
 	BatchOptions = batch.Options
+	// SeedingEngine is the uniform engine interface every seeding model
+	// implements (Clone-per-worker, deterministic Reduce); see
+	// internal/engine and DESIGN.md, "Engine registry".
+	SeedingEngine = engine.Engine
+	// EngineOptions is the engine-agnostic construction knob set
+	// understood by every registered factory.
+	EngineOptions = engine.Options
+	// EngineResult is the opaque outcome of a RunEngine call; pass it
+	// back to the engine's SMEMs (or assert its concrete type).
+	EngineResult = engine.Result
+	// EngineFactory describes one registered engine (name, aliases,
+	// description, constructor).
+	EngineFactory = engine.Factory
 )
 
 // DefaultBatchOptions returns the default pool configuration: one worker
 // per CPU, automatic shard grain.
 func DefaultBatchOptions() BatchOptions { return batch.DefaultOptions() }
 
-// RunBatch seeds reads on a worker pool of CASA accelerator clones and
-// returns a Result bit-identical to acc.SeedReads(reads).
-func RunBatch(acc *Accelerator, reads []Sequence, o BatchOptions) *Result {
-	return batch.SeedCASA(acc, reads, o)
+// NewEngine constructs a registered engine ("casa", "ert", "genax",
+// "gencache", "cpu", "fmindex", "brute" or any alias) over ref.
+func NewEngine(name string, ref Sequence, opt EngineOptions) (SeedingEngine, error) {
+	return engine.New(name, ref, opt)
 }
 
-// RunBatchCtx is RunBatch with cooperative cancellation: when ctx is
+// ListEngines returns every registered engine factory in registration
+// order.
+func ListEngines() []EngineFactory { return engine.List() }
+
+// CASAEngine wraps an already-built CASA accelerator as a SeedingEngine
+// (e.g. one loaded from a prebuilt index).
+func CASAEngine(acc *Accelerator) SeedingEngine { return engine.CASA(acc) }
+
+// RunEngine seeds reads on a worker pool of clones of e and returns a
+// result bit-identical to a sequential run at any worker count.
+func RunEngine(e SeedingEngine, reads []Sequence, o BatchOptions) EngineResult {
+	return batch.SeedEngine(e, reads, o)
+}
+
+// RunEngineCtx is RunEngine with cooperative cancellation: when ctx is
 // cancelled mid-run the pool stops handing out new shards, drains the
-// in-flight ones, and returns the Result of the completed contiguous
+// in-flight ones, and returns the result of the completed contiguous
 // read prefix (its length is the second return value) together with
 // ctx.Err(). Metrics, trace spans and progress cells stay consistent
 // with that prefix.
+func RunEngineCtx(ctx context.Context, e SeedingEngine, reads []Sequence, o BatchOptions) (EngineResult, int, error) {
+	return batch.SeedEngineCtx(ctx, e, reads, o)
+}
+
+// RunBatch seeds reads on a worker pool of CASA accelerator clones and
+// returns a Result bit-identical to acc.SeedReads(reads).
+//
+// Deprecated: use RunEngine with CASAEngine(acc) or NewEngine("casa", ...).
+func RunBatch(acc *Accelerator, reads []Sequence, o BatchOptions) *Result {
+	return batch.Seed[*core.Result](engine.CASA(acc), reads, o)
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation.
+//
+// Deprecated: use RunEngineCtx with CASAEngine(acc).
 func RunBatchCtx(ctx context.Context, acc *Accelerator, reads []Sequence, o BatchOptions) (*Result, int, error) {
-	return batch.SeedCASACtx(ctx, acc, reads, o)
+	return batch.SeedCtx[*core.Result](ctx, engine.CASA(acc), reads, o)
 }
 
 // RunBatchERT is RunBatch for the ASIC-ERT baseline.
+//
+// Deprecated: use RunEngine with NewEngine("ert", ...).
 func RunBatchERT(acc *ERTAccelerator, reads []Sequence, o BatchOptions) *ert.Result {
-	return batch.SeedERT(acc, reads, o)
+	return batch.Seed[*ert.Result](engine.ERT(acc), reads, o)
 }
 
 // RunBatchGenAx is RunBatch for the GenAx baseline.
+//
+// Deprecated: use RunEngine with NewEngine("genax", ...).
 func RunBatchGenAx(acc *GenAxAccelerator, reads []Sequence, o BatchOptions) *genax.Result {
-	return batch.SeedGenAx(acc, reads, o)
+	return batch.Seed[*genax.Result](engine.GenAx(acc), reads, o)
 }
 
 // RunBatchCPU is RunBatch for the software BWA-MEM2 baseline.
+//
+// Deprecated: use RunEngine with NewEngine("cpu", ...).
 func RunBatchCPU(s *CPUSeeder, reads []Sequence, o BatchOptions) *cpu.Result {
-	return batch.SeedCPU(s, reads, o)
+	return batch.Seed[*cpu.Result](engine.CPU(s), reads, o)
 }
 
 // RunBatchGenCache is RunBatch for the GenCache baseline. The
 // order-sensitive cache model is replayed from recorded per-shard fetch
 // streams during reduction, so results stay bit-identical to a
 // sequential SeedReads at any worker count.
+//
+// Deprecated: use RunEngine with NewEngine("gencache", ...).
 func RunBatchGenCache(acc *GenCacheAccelerator, reads []Sequence, o BatchOptions) *gencache.Result {
-	return batch.SeedGenCache(acc, reads, o)
+	return batch.Seed[*gencache.Result](engine.GenCache(acc), reads, o)
 }
 
 // Observability: engines publish activity counters and model gauges into

@@ -78,9 +78,10 @@ func TestFacadeLiveProgress(t *testing.T) {
 	opts := casa.DefaultBatchOptions()
 	opts.Workers = 4
 	opts.Progress = tr
-	res, done, err := casa.RunBatchCtx(context.Background(), acc, reads, opts)
+	eng := casa.CASAEngine(acc)
+	res, done, err := casa.RunEngineCtx(context.Background(), eng, reads, opts)
 	tr.Finish()
-	if err != nil || done != len(reads) || len(res.Reads) != len(reads) {
+	if err != nil || done != len(reads) || len(res.(*casa.Result).Reads) != len(reads) {
 		t.Fatalf("done=%d err=%v", done, err)
 	}
 	var s casa.ProgressSnapshot = tr.Snapshot()

@@ -1,8 +1,14 @@
 // Command casa-align is a complete single- and paired-end short-read
 // aligner built from this repository's components, mirroring the paper's
-// §5 system: CASA seeds reads (SMEMs + hit positions), 5 SeedEx machines
-// extend the seeds with banded Smith-Waterman and verify with Myers edit
-// machines, and alignments stream out as SAM.
+// §5 system: a registry engine seeds reads (SMEMs + hit positions), 5
+// SeedEx machines extend the seeds with banded Smith-Waterman and verify
+// with Myers edit machines, and alignments stream out as SAM.
+//
+// Any engine registered in internal/engine can seed (-engine; "list"
+// prints them). casa resolves both strands and hit positions natively;
+// other engines seed the reverse complements in a second pass and fall
+// back to a direct-scan positioner. -verify cross-checks the seeding
+// engine's forward SMEMs against a second engine batch by batch.
 //
 // The run is interruptible: SIGINT stops seeding new shards, the current
 // batch's completed prefix is extended and written, and the command
@@ -32,6 +38,7 @@ import (
 	"casa/internal/batch"
 	"casa/internal/core"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/pairing"
@@ -51,16 +58,20 @@ const (
 )
 
 type aligner struct {
-	ctx     context.Context
-	acc     *core.Accelerator
-	sx      *seedex.Machine
-	ix      *refidx.Index
-	maxHits int
-	pool    batch.Options
-	tracker *progress.Tracker
-	writer  *sam.Writer
-	aligned int
-	total   int
+	ctx        context.Context
+	eng        engine.Engine
+	pos        engine.Positioner // nil = direct-scan fallback over flat
+	veng       engine.Engine     // nil = no -verify cross-check
+	flat       dna.Sequence
+	sx         *seedex.Machine
+	ix         *refidx.Index
+	maxHits    int
+	pool       batch.Options
+	tracker    *progress.Tracker
+	writer     *sam.Writer
+	aligned    int
+	total      int
+	mismatches int
 }
 
 // newLogger builds the command's stderr slog.Logger from the -log-level
@@ -97,11 +108,13 @@ func logSnapshot(log *slog.Logger, s progress.Snapshot) {
 func main() {
 	var (
 		refPath    = flag.String("ref", "", "reference FASTA (required)")
-		indexPath  = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference")
+		indexPath  = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference; casa engine only")
 		readsPath  = flag.String("reads", "", "reads FASTQ (required; mate 1 in paired mode)")
 		reads2     = flag.String("reads2", "", "mate-2 FASTQ (enables paired-end mode)")
 		outPath    = flag.String("out", "-", "SAM output path (- = stdout)")
-		partition  = flag.Int("partition", 4<<20, "CASA partition size in bases")
+		engName    = flag.String("engine", "casa", "seeding engine (any registered name; \"list\" prints them)")
+		verify     = flag.String("verify", "", "cross-check the seeding engine's forward SMEMs against this engine (\"list\" prints the choices)")
+		partition  = flag.Int("partition", 4<<20, "partition size in bases (engines that partition the reference)")
 		maxHits    = flag.Int("max-hits", 4, "extension candidates per SMEM")
 		batchSize  = flag.Int("batch", 4096, "reads seeded per batch")
 		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
@@ -115,6 +128,16 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	if *engName == "list" || *verify == "list" {
+		engine.WriteList(os.Stdout)
+		return
+	}
+	if f, ok := engine.Lookup(*engName); ok {
+		*engName = f.Name
+	}
+	if f, ok := engine.Lookup(*verify); ok {
+		*verify = f.Name
+	}
 	if *refPath == "" || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -125,7 +148,7 @@ func main() {
 		os.Exit(2)
 	}
 	runID := progress.NewRunID()
-	logger = logger.With("run_id", runID, "engine", "casa")
+	logger = logger.With("run_id", runID, "engine", *engName)
 	fatal := func(err error) {
 		logger.Error(err.Error())
 		os.Exit(1)
@@ -142,22 +165,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var acc *core.Accelerator
+	var eng engine.Engine
 	if *indexPath != "" {
+		if *engName != "casa" {
+			fatal(fmt.Errorf("-index carries a casa accelerator; it cannot seed with -engine %s", *engName))
+		}
 		f, err := os.Open(*indexPath)
 		if err != nil {
 			fatal(err)
 		}
-		acc, err = core.ReadIndex(f)
+		acc, err := core.ReadIndex(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
+		eng = engine.CASA(acc)
 	} else {
-		cfg := core.DefaultConfig()
-		cfg.PartitionBases = *partition
-		var err error
-		acc, err = core.New(ix.Flat(), cfg)
+		eng, err = engine.New(*engName, ix.Flat(), engine.Options{Partition: *partition})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var veng engine.Engine
+	if *verify != "" {
+		veng, err = engine.New(*verify, ix.Flat(), engine.Options{})
 		if err != nil {
 			fatal(err)
 		}
@@ -193,10 +224,12 @@ func main() {
 	// The input streams in batches, so the read total is unknown upfront
 	// (single-end) or learned at load (paired): the tracker starts at 0
 	// and grows via AddTotal, and percent/ETA stay 0 until it is known.
-	tracker := progress.New(runID, "casa", pool.WorkerCount(), 0)
+	tracker := progress.New(runID, *engName, pool.WorkerCount(), 0)
 	pool.Progress = tracker
+	pos, _ := eng.(engine.Positioner)
 	a := &aligner{
-		ctx: ctx, acc: acc, sx: sx, ix: ix, maxHits: *maxHits,
+		ctx: ctx, eng: eng, pos: pos, veng: veng, flat: ix.Flat(),
+		sx: sx, ix: ix, maxHits: *maxHits,
 		pool: pool, tracker: tracker,
 		writer: sam.NewWriter(out, refSeqs, "casa-align"),
 	}
@@ -253,6 +286,9 @@ func main() {
 	reg.Counter("align/reads/total").Add(int64(a.total))
 	reg.Counter("align/reads/aligned").Add(int64(a.aligned))
 	logger.Info("alignment finished", "aligned", a.aligned, "reads", a.total, "interrupted", interrupted)
+	if veng != nil {
+		logger.Info("seed verification finished", "verify", *verify, "mismatches", a.mismatches)
+	}
 	if tr != nil {
 		// On an interrupted run this is the valid partial trace of the
 		// completed shards.
@@ -283,6 +319,61 @@ func main() {
 	if interrupted {
 		os.Exit(130)
 	}
+	if a.mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// seedBatch seeds one batch and returns per-read forward/reverse seed
+// sets covering the completed prefix. Engines with native positioning
+// (casa) resolve both strands in one pass; other engines seed the
+// reverse complements in a second pass (outside the progress/trace
+// accounting, which counts each read once). With -verify set, the
+// forward SMEMs are cross-checked against the verify engine.
+func (a *aligner) seedBatch(reads []dna.Sequence) ([]engine.Seeds, int, error) {
+	res, done, err := batch.SeedEngineCtx(a.ctx, a.eng, reads, a.pool)
+	var seeds []engine.Seeds
+	if a.pos != nil {
+		seeds = a.pos.ReadSeeds(res)
+	} else {
+		fwd := a.eng.SMEMs(res)
+		seeds = make([]engine.Seeds, done)
+		for i := range seeds {
+			seeds[i].Forward = fwd[i]
+		}
+		if err == nil && done > 0 {
+			rcs := make([]dna.Sequence, done)
+			for i, r := range reads[:done] {
+				rcs[i] = r.ReverseComplement()
+			}
+			rpool := a.pool
+			rpool.Progress = nil
+			rpool.Trace = nil
+			var rres engine.Result
+			var rdone int
+			rres, rdone, err = batch.SeedEngineCtx(a.ctx, a.eng, rcs, rpool)
+			for i, ms := range a.eng.SMEMs(rres)[:rdone] {
+				seeds[i].Reverse = ms
+			}
+			if rdone < done {
+				done = rdone
+			}
+		}
+	}
+	if a.veng != nil && err == nil {
+		vpool := a.pool
+		vpool.Progress = nil
+		vpool.Trace = nil
+		vres, vdone, verr := batch.SeedEngineCtx(a.ctx, a.veng, reads[:done], vpool)
+		if verr == nil {
+			for i, want := range a.veng.SMEMs(vres)[:vdone] {
+				if !smem.SameIntervals(seeds[i].Forward, want) {
+					a.mismatches++
+				}
+			}
+		}
+	}
+	return seeds, done, err
 }
 
 // runSingle streams single-end reads in batches. On cancellation the
@@ -307,10 +398,10 @@ func (a *aligner) runSingle(path string, batchSize int) error {
 		a.tracker.AddTotal(int64(len(reads)))
 		// Later batches keep globally unique read indices in the trace.
 		a.pool.ReadBase = a.total
-		res, done, seedErr := batch.SeedCASACtx(a.ctx, a.acc, reads, a.pool)
+		seeds, done, seedErr := a.seedBatch(reads)
 		for i := 0; i < done; i++ {
 			rec := recs[i]
-			p := a.place(rec.Seq, res.Reads[i])
+			p := a.place(rec.Seq, seeds[i])
 			out := a.recordSingle(rec, p)
 			if out.Flag&sam.FlagUnmapped == 0 {
 				a.aligned++
@@ -361,10 +452,10 @@ func (a *aligner) runPaired(path1, path2 string, batchSize int) error {
 			reads = append(reads, r1[i].Seq, r2[i].Seq)
 		}
 		a.pool.ReadBase = 2 * lo // mates interleave: global read index = 2*pair + mate
-		res, done, seedErr := batch.SeedCASACtx(a.ctx, a.acc, reads, a.pool)
+		seeds, done, seedErr := a.seedBatch(reads)
 		for i := lo; i < lo+done/2; i++ {
-			p1 := a.place(r1[i].Seq, res.Reads[2*(i-lo)])
-			p2 := a.place(r2[i].Seq, res.Reads[2*(i-lo)+1])
+			p1 := a.place(r1[i].Seq, seeds[2*(i-lo)])
+			p2 := a.place(r2[i].Seq, seeds[2*(i-lo)+1])
 			p1, p2 = a.rescuePair(r1[i], r2[i], p1, p2)
 			rec1, rec2 := a.recordPair(r1[i], r2[i], p1, p2)
 			for _, rec := range []sam.Record{rec1, rec2} {
@@ -395,13 +486,22 @@ type placement struct {
 	second int
 }
 
+// hitPositions resolves an SMEM's reference occurrences: natively for
+// positioning engines, by direct scan otherwise.
+func (a *aligner) hitPositions(strand dna.Sequence, m smem.Match) []int32 {
+	if a.pos != nil {
+		return a.pos.HitPositions(strand, m, a.maxHits)
+	}
+	return engine.Positions(a.flat, strand, m, a.maxHits)
+}
+
 // place extends both strands of one read and resolves the winner to a
 // chromosome.
-func (a *aligner) place(read dna.Sequence, rr core.ReadResult) placement {
+func (a *aligner) place(read dna.Sequence, rs engine.Seeds) placement {
 	toSeeds := func(strand dna.Sequence, smems []smem.Match) []seedex.Seed {
 		var seeds []seedex.Seed
 		for _, m := range smems {
-			for _, pos := range a.acc.HitPositions(strand, m, a.maxHits) {
+			for _, pos := range a.hitPositions(strand, m) {
 				seeds = append(seeds, seedex.Seed{QStart: m.Start, QEnd: m.End, RefPos: pos})
 			}
 		}
@@ -412,11 +512,11 @@ func (a *aligner) place(read dna.Sequence, rr core.ReadResult) placement {
 		rev bool
 	}
 	var cands []cand
-	if al, ok := a.sx.ExtendRead(read, toSeeds(read, rr.Forward)); ok {
+	if al, ok := a.sx.ExtendRead(read, toSeeds(read, rs.Forward)); ok {
 		cands = append(cands, cand{al, false})
 	}
 	rc := read.ReverseComplement()
-	if al, ok := a.sx.ExtendRead(rc, toSeeds(rc, rr.Reverse)); ok {
+	if al, ok := a.sx.ExtendRead(rc, toSeeds(rc, rs.Reverse)); ok {
 		cands = append(cands, cand{al, true})
 	}
 	if len(cands) == 0 {

@@ -30,14 +30,9 @@ import (
 	"time"
 
 	"casa/internal/batch"
-	"casa/internal/core"
-	"casa/internal/cpu"
 	"casa/internal/dna"
-	"casa/internal/ert"
-	"casa/internal/genax"
-	"casa/internal/gencache"
+	"casa/internal/engine"
 	"casa/internal/readsim"
-	"casa/internal/smem"
 )
 
 // benchSchema identifies the document layout.
@@ -210,79 +205,43 @@ type model struct {
 	throughput float64
 }
 
-type engine struct {
+// benchEngine is one registry engine prepared for measurement.
+type benchEngine struct {
 	name string
 	run  func(reads []dna.Sequence, o batch.Options) model
 }
 
-// buildEngines constructs every engine over ref, scaled to bench size
-// (small segments so multi-partition paths are exercised, table k-mers
-// kept small enough for CI memory).
-func buildEngines(ref dna.Sequence, minSMEM int) []engine {
-	part := len(ref) / 4
-	ccfg := core.DefaultConfig()
-	ccfg.MinSMEM = minSMEM
-	ccfg.PartitionBases = part
-	casaAcc, err := core.New(ref, ccfg)
-	if err != nil {
-		log.Fatal(err)
+// buildEngines constructs every registered engine over ref, scaled to
+// bench size (small segments so multi-partition paths are exercised,
+// table k-mers kept small enough for CI memory). The golden oracle is
+// skipped — quadratic, validation only — so a newly registered engine is
+// benchmarked automatically.
+func buildEngines(ref dna.Sequence, minSMEM int) []benchEngine {
+	opt := engine.Options{
+		MinSMEM:    minSMEM,
+		Partition:  len(ref) / 4,
+		TableK:     8,
+		CacheBytes: 1 << 14,
 	}
-	ertAcc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	gcfg := genax.DefaultConfig()
-	gcfg.K = 8
-	gcfg.MinSMEM = minSMEM
-	gcfg.PartitionBases = part
-	genaxAcc, err := genax.New(ref, gcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gccfg := gencache.DefaultConfig()
-	gccfg.GenAx = gcfg
-	gccfg.CacheBytes = 1 << 14
-	gencacheAcc, err := gencache.New(ref, gccfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cpuSeeder, err := cpu.New(ref, cpu.B12T())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fm := smem.NewBidirectional(ref)
-
-	return []engine{
-		{"casa", func(reads []dna.Sequence, o batch.Options) model {
-			res := batch.SeedCASA(casaAcc, reads, o)
-			return model{res.Seconds, res.Cycles, res.Throughput()}
-		}},
-		{"ert", func(reads []dna.Sequence, o batch.Options) model {
-			res := batch.SeedERT(ertAcc, reads, o)
-			return model{res.Seconds, 0, res.Throughput}
-		}},
-		{"genax", func(reads []dna.Sequence, o batch.Options) model {
-			res := batch.SeedGenAx(genaxAcc, reads, o)
-			return model{res.Seconds, 0, res.Throughput}
-		}},
-		{"gencache", func(reads []dna.Sequence, o batch.Options) model {
-			res := batch.SeedGenCache(gencacheAcc, reads, o)
-			return model{res.Seconds, 0, res.Throughput}
-		}},
-		{"cpu", func(reads []dna.Sequence, o batch.Options) model {
-			res := batch.SeedCPU(cpuSeeder, reads, o)
-			return model{res.Seconds, 0, res.Throughput}
-		}},
-		{"fmindex", func(reads []dna.Sequence, o batch.Options) model {
-			batch.FindSMEMs(reads, minSMEM, o, func(worker int) smem.Finder {
-				if worker == 0 {
-					return fm
-				}
-				return fm.Clone()
-			})
+	var out []benchEngine
+	for _, f := range engine.List() {
+		if f.Golden {
+			continue
+		}
+		e, err := engine.New(f.Name, ref, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, benchEngine{f.Name, func(reads []dna.Sequence, o batch.Options) model {
+			res := batch.SeedEngine(e, reads, o)
+			if mod, ok := e.(engine.Modeler); ok {
+				m := mod.Model(res)
+				return model{m.Seconds, m.Cycles, m.ReadsPerS}
+			}
 			return model{}
-		}},
+		}})
 	}
+	return out
 }
 
 func parseWorkers(s string) ([]int, error) {
@@ -330,9 +289,12 @@ func validateFile(path string) error {
 		}
 		seen[r.Engine] = true
 	}
-	for _, want := range []string{"casa", "ert", "genax", "gencache", "cpu", "fmindex"} {
-		if !seen[want] {
-			return fmt.Errorf("casa-bench: %s: engine %q missing", path, want)
+	for _, f := range engine.List() {
+		if f.Golden {
+			continue
+		}
+		if !seen[f.Name] {
+			return fmt.Errorf("casa-bench: %s: engine %q missing", path, f.Name)
 		}
 	}
 	return nil

@@ -16,6 +16,7 @@ import (
 
 	"casa/internal/core"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/seqio"
 )
 
@@ -73,7 +74,7 @@ func main() {
 		if *noPrepass {
 			cfg.ExactMatchPrepass = false
 		}
-		acc, err = core.New(ref, cfg)
+		acc, err = engine.Build[*core.Accelerator]("casa", ref, engine.Options{Config: cfg})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,8 +1,9 @@
-// Command casa-smem computes SMEMs for reads against a reference with a
-// selectable engine (casa, fmindex, genax, gencache, ert, brute) and
-// optionally cross-checks two engines against each other, mirroring the
-// paper's §6 validation ("CASA produces identical SMEMs to GenAx and 100%
-// SMEMs of BWA-MEM2 are contained").
+// Command casa-smem computes SMEMs for reads against a reference with any
+// engine registered in internal/engine (casa, ert, genax, gencache, cpu,
+// fmindex, brute — `-engine list` prints them) and optionally cross-checks
+// two engines against each other, mirroring the paper's §6 validation
+// ("CASA produces identical SMEMs to GenAx and 100% SMEMs of BWA-MEM2 are
+// contained").
 //
 // Reads are seeded as one batch over a worker pool (-workers); results
 // are reported in input order regardless of completion order. The run is
@@ -39,11 +40,8 @@ import (
 	"time"
 
 	"casa/internal/batch"
-	"casa/internal/core"
 	"casa/internal/dna"
-	"casa/internal/ert"
-	"casa/internal/genax"
-	"casa/internal/gencache"
+	"casa/internal/engine"
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/progress"
@@ -51,16 +49,6 @@ import (
 	"casa/internal/smem"
 	"casa/internal/trace"
 )
-
-// engine computes forward-strand SMEMs for a read batch on a worker pool,
-// returning per-read SMEM sets in input order. When pool.Metrics is set,
-// the engine publishes its activity counters and model gauges into it.
-// Cancelling ctx stops the run after the in-flight shards drain: the
-// returned slice covers exactly the completed read prefix (length n) and
-// err is ctx.Err().
-type engine interface {
-	findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error)
-}
 
 // reportSchema identifies the -json document layout.
 const reportSchema = "casa-smem/v1"
@@ -114,12 +102,20 @@ func logSnapshot(log *slog.Logger, s progress.Snapshot) {
 		"eta_s", fmt.Sprintf("%.1f", s.ETASeconds))
 }
 
+// findAll seeds reads on the pool and returns the engine's forward-strand
+// SMEM sets in input order; on cancellation the slice covers exactly the
+// completed read prefix (length n) and err is ctx.Err().
+func findAll(ctx context.Context, e engine.Engine, reads []dna.Sequence, pool batch.Options) ([][]smem.Match, int, error) {
+	res, done, err := batch.SeedEngineCtx(ctx, e, reads, pool)
+	return e.SMEMs(res), done, err
+}
+
 func main() {
 	var (
 		refPath    = flag.String("ref", "", "reference FASTA (required)")
 		readsPath  = flag.String("reads", "", "reads FASTQ (required)")
-		engName    = flag.String("engine", "casa", "engine: casa, fmindex, genax, gencache, ert, brute")
-		verify     = flag.String("verify", "", "second engine to cross-check against")
+		engName    = flag.String("engine", "casa", "seeding engine (any registered name; \"list\" prints them)")
+		verify     = flag.String("verify", "", "second engine to cross-check against (\"list\" prints the choices)")
 		minSMEM    = flag.Int("min-smem", 19, "minimum SMEM length")
 		maxReads   = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
 		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
@@ -135,6 +131,18 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	if *engName == "list" || *verify == "list" {
+		engine.WriteList(os.Stdout)
+		return
+	}
+	// Canonicalize aliases up front so every label — logs, trace procs,
+	// the JSON report — carries the registry name.
+	if f, ok := engine.Lookup(*engName); ok {
+		*engName = f.Name
+	}
+	if f, ok := engine.Lookup(*verify); ok {
+		*verify = f.Name
+	}
 	if *refPath == "" || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -209,11 +217,11 @@ func main() {
 		}()
 	}
 
-	eng, err := build(*engName, ref, *minSMEM)
+	eng, err := engine.New(*engName, ref, engine.Options{MinSMEM: *minSMEM})
 	if err != nil {
 		fatal(err)
 	}
-	got, done, runErr := eng.findAll(ctx, reads, *minSMEM, pool)
+	got, done, runErr := findAll(ctx, eng, reads, pool)
 	tracker.Finish()
 	interrupted := runErr != nil
 	if interrupted {
@@ -224,7 +232,7 @@ func main() {
 	var want [][]smem.Match
 	vdone := 0
 	if *verify != "" && !interrupted {
-		ver, err := build(*verify, ref, *minSMEM)
+		ver, err := engine.New(*verify, ref, engine.Options{MinSMEM: *minSMEM})
 		if err != nil {
 			fatal(err)
 		}
@@ -233,7 +241,7 @@ func main() {
 		// progress tracker — the live run it describes is finished.
 		vpool := pool
 		vpool.Progress = nil
-		want, vdone, err = ver.findAll(ctx, reads, *minSMEM, vpool)
+		want, vdone, err = findAll(ctx, ver, reads, vpool)
 		if err != nil {
 			interrupted = true
 			logger.Warn("verify pass interrupted; cross-checking the completed prefix",
@@ -320,136 +328,6 @@ func main() {
 	if mismatches > 0 {
 		os.Exit(1)
 	}
-}
-
-func build(name string, ref dna.Sequence, minSMEM int) (engine, error) {
-	switch name {
-	case "casa":
-		cfg := core.DefaultConfig()
-		cfg.MinSMEM = minSMEM
-		if cfg.PartitionBases > len(ref) {
-			// Shrink to one partition for small references.
-			for cfg.PartitionBases/2 >= len(ref) && cfg.PartitionBases > 1024 {
-				cfg.PartitionBases /= 2
-			}
-		}
-		a, err := core.New(ref, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return casaEngine{a}, nil
-	case "fmindex":
-		f := smem.NewBidirectional(ref)
-		return finderEngine{
-			newFinder: func(worker int) smem.Finder {
-				if worker == 0 {
-					return f
-				}
-				return f.Clone()
-			},
-			publish: func(f smem.Finder, reg *metrics.Registry) {
-				f.(*smem.Bidirectional).PublishMetrics(reg)
-			},
-		}, nil
-	case "brute":
-		// BruteForce holds no mutable state: every worker shares it.
-		bf := smem.BruteForce{Ref: ref}
-		return finderEngine{newFinder: func(int) smem.Finder { return bf }}, nil
-	case "genax":
-		cfg := genax.DefaultConfig()
-		cfg.MinSMEM = minSMEM
-		a, err := genax.New(ref, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return genaxEngine{a}, nil
-	case "gencache":
-		cfg := gencache.DefaultConfig()
-		cfg.GenAx.MinSMEM = minSMEM
-		a, err := gencache.New(ref, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return gencacheEngine{a}, nil
-	case "ert":
-		cfg := ert.DefaultConfig()
-		cfg.MinSMEM = minSMEM
-		ix, err := ert.Build(ref, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return finderEngine{
-			newFinder: func(worker int) smem.Finder {
-				if worker == 0 {
-					return ertFinder{ix}
-				}
-				return ertFinder{ix.Clone()}
-			},
-			publish: func(f smem.Finder, reg *metrics.Registry) {
-				f.(ertFinder).ix.PublishMetrics(reg)
-			},
-		}, nil
-	default:
-		return nil, fmt.Errorf("casa-smem: unknown engine %q", name)
-	}
-}
-
-// finderEngine batches any smem.Finder via a per-worker constructor; when
-// the pool carries a registry and the finder counts work, publish folds
-// each worker's counters in after the batch drains.
-type finderEngine struct {
-	newFinder func(worker int) smem.Finder
-	publish   func(f smem.Finder, reg *metrics.Registry)
-}
-
-func (e finderEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
-	finders := make([]smem.Finder, pool.WorkerCount())
-	for w := range finders {
-		finders[w] = e.newFinder(w)
-	}
-	out, done, err := batch.FindSMEMsCtx(ctx, reads, minLen, pool, func(worker int) smem.Finder {
-		return finders[worker]
-	})
-	if pool.Metrics != nil && e.publish != nil {
-		for _, f := range finders {
-			e.publish(f, pool.Metrics)
-		}
-	}
-	return out, done, err
-}
-
-type ertFinder struct{ ix *ert.Index }
-
-func (f ertFinder) FindSMEMs(read dna.Sequence, minLen int) []smem.Match {
-	return f.ix.FindSMEMs(read, minLen)
-}
-
-type casaEngine struct{ a *core.Accelerator }
-
-func (e casaEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
-	res, done, err := batch.SeedCASACtx(ctx, e.a, reads, pool)
-	out := make([][]smem.Match, len(res.Reads))
-	for i, rr := range res.Reads {
-		out[i] = rr.Forward
-	}
-	return out, done, err
-}
-
-// gencacheEngine shards like the other accelerators: the order-sensitive
-// multi-bank cache is replayed from the recorded per-shard fetch streams
-// during reduction, so -workers applies without perturbing the model.
-type gencacheEngine struct{ a *gencache.Accelerator }
-
-func (e gencacheEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
-	res, done, err := batch.SeedGenCacheCtx(ctx, e.a, reads, pool)
-	return res.Reads, done, err
-}
-
-type genaxEngine struct{ a *genax.Accelerator }
-
-func (e genaxEngine) findAll(ctx context.Context, reads []dna.Sequence, minLen int, pool batch.Options) ([][]smem.Match, int, error) {
-	res, done, err := batch.SeedGenAxCtx(ctx, e.a, reads, pool)
-	return res.Reads, done, err
 }
 
 func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence, []string, error) {

@@ -8,6 +8,7 @@ import (
 	"casa/internal/core"
 	"casa/internal/cpu"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/readsim"
@@ -16,8 +17,41 @@ import (
 
 // workerCounts is the determinism-regression matrix: every engine's batch
 // result must be byte-identical across these pool sizes (and to a plain
-// sequential SeedReads).
+// sequential run).
 var workerCounts = []int{1, 4, 16}
+
+// testEngineOptions are the registry construction knobs the batch
+// regression matrix runs under: multi-partition geometry over the
+// 1<<15-base test reference (4 partitions at 1<<13), test-sized seed
+// tables, and a gencache cache small enough that hits AND misses occur.
+var testEngineOptions = engine.Options{Partition: 1 << 13, TableK: 8, CacheBytes: 1 << 12}
+
+// testEngines builds one instance of every registered engine over ref
+// with the shared test options. The golden oracle is skipped: it is a
+// validation tool (quadratic, no cost model), not a batch subject.
+func testEngines(t *testing.T, ref dna.Sequence) []engine.Engine {
+	t.Helper()
+	var out []engine.Engine
+	for _, f := range engine.List() {
+		if f.Golden {
+			continue
+		}
+		e, err := engine.New(f.Name, ref, testEngineOptions)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// sequentialResult reduces one whole-batch pass on a fresh clone — the
+// reference a pooled run of any worker count must match bit-for-bit.
+func sequentialResult(e engine.Engine, reads []dna.Sequence) engine.Result {
+	c := e.Clone()
+	act := c.SeedTrace(reads, nil, 0)
+	return c.Reduce(reads, []engine.Activity{act})
+}
 
 func testWorkload(t *testing.T, refLen, nReads int) (dna.Sequence, []dna.Sequence) {
 	t.Helper()
@@ -83,10 +117,28 @@ func TestRunWorkerExclusive(t *testing.T) {
 	}
 }
 
-// TestSeedCASADeterminism is the determinism regression of the issue: the
-// full Result — SMEMs, aggregate stats, cycles, DRAM bytes, energy — must
-// be identical for workers = 1, 4, 16 and for the sequential path.
-func TestSeedCASADeterminism(t *testing.T) {
+// TestSeedEngineDeterminism is the registry-wide determinism regression:
+// for every registered engine, the full batch Result — SMEMs, aggregate
+// stats, cycles, DRAM bytes, energy, cache state — must be identical for
+// workers = 1, 4, 16 and for the sequential path. A newly registered
+// engine joins the matrix automatically.
+func TestSeedEngineDeterminism(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<15, 150)
+	for _, e := range testEngines(t, ref) {
+		want := sequentialResult(e, reads)
+		for _, w := range workerCounts {
+			got := batch.SeedEngine(e, reads, batch.Options{Workers: w})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: batch Result differs from sequential", e.Name(), w)
+			}
+		}
+	}
+}
+
+// TestSeedCASAMatchesSeedReads anchors the typed generic path to CASA's
+// native sequential entry point on a larger multi-partition workload
+// (with the exact-match prepass active, as in the default config).
+func TestSeedCASAMatchesSeedReads(t *testing.T) {
 	ref, reads := testWorkload(t, 1<<16, 200)
 	cfg := core.DefaultConfig()
 	cfg.PartitionBases = 1 << 14 // 4 partitions
@@ -96,75 +148,46 @@ func TestSeedCASADeterminism(t *testing.T) {
 	}
 	want := acc.SeedReads(reads)
 	for _, w := range workerCounts {
-		got := batch.SeedCASA(acc, reads, batch.Options{Workers: w})
+		got := batch.Seed[*core.Result](engine.CASA(acc), reads, batch.Options{Workers: w})
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
 		}
 	}
 }
 
-func TestSeedCASADeterminismWithPrepass(t *testing.T) {
-	ref, reads := testWorkload(t, 1<<16, 200)
-	cfg := core.DefaultConfig()
-	cfg.PartitionBases = 1 << 14
-	cfg.ExactMatchPrepass = true
-	acc, err := core.New(ref, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := acc.SeedReads(reads)
-	for _, w := range workerCounts {
-		got := batch.SeedCASA(acc, reads, batch.Options{Workers: w})
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
-		}
-	}
-}
-
-func TestSeedERTDeterminism(t *testing.T) {
+// TestSeedBaselinesMatchSeedReads anchors the baseline adapters to their
+// engines' native SeedReads — the generic path must not change what the
+// wrapped accelerators compute.
+func TestSeedBaselinesMatchSeedReads(t *testing.T) {
 	ref, reads := testWorkload(t, 1<<15, 150)
-	acc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
+	ea, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := acc.SeedReads(reads)
-	for _, w := range workerCounts {
-		got := batch.SeedERT(acc, reads, batch.Options{Workers: w})
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
-		}
-	}
-}
-
-func TestSeedGenAxDeterminism(t *testing.T) {
-	ref, reads := testWorkload(t, 1<<15, 150)
-	cfg := genax.DefaultConfig()
-	cfg.K = 8                    // keep the 4^K seed table test-sized
-	cfg.PartitionBases = 1 << 13 // 4 segments
-	acc, err := genax.New(ref, cfg)
+	gcfg := genax.DefaultConfig()
+	gcfg.K = 8                    // keep the 4^K seed table test-sized
+	gcfg.PartitionBases = 1 << 13 // 4 segments
+	ga, err := genax.New(ref, gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := acc.SeedReads(reads)
-	for _, w := range workerCounts {
-		got := batch.SeedGenAx(acc, reads, batch.Options{Workers: w})
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
-		}
-	}
-}
-
-func TestSeedCPUDeterminism(t *testing.T) {
-	ref, reads := testWorkload(t, 1<<15, 150)
-	s, err := cpu.New(ref, cpu.B12T())
+	cs, err := cpu.New(ref, cpu.B12T())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := s.SeedReads(reads)
-	for _, w := range workerCounts {
-		got := batch.SeedCPU(s, reads, batch.Options{Workers: w})
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: batch Result differs from sequential SeedReads", w)
+	for _, tc := range []struct {
+		eng  engine.Engine
+		want any
+	}{
+		{engine.ERT(ea), ea.SeedReads(reads)},
+		{engine.GenAx(ga), ga.SeedReads(reads)},
+		{engine.CPU(cs), cs.SeedReads(reads)},
+	} {
+		for _, w := range workerCounts {
+			got := batch.SeedEngine(tc.eng, reads, batch.Options{Workers: w})
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("%s workers=%d: batch Result differs from sequential SeedReads", tc.eng.Name(), w)
+			}
 		}
 	}
 }
@@ -187,4 +210,21 @@ func TestFindSMEMsMatchesDirectCalls(t *testing.T) {
 			t.Errorf("workers=%d: pooled FindSMEMs differ from direct calls", w)
 		}
 	}
+}
+
+// TestSeedResultTypeMismatchPanics pins the typed front door's failure
+// mode: asking for the wrong concrete result type is a programming
+// error, reported eagerly.
+func TestSeedResultTypeMismatchPanics(t *testing.T) {
+	ref, reads := testWorkload(t, 1<<13, 10)
+	e, err := engine.New("cpu", ref, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on result-type mismatch")
+		}
+	}()
+	batch.Seed[*core.Result](e, reads, batch.Options{Workers: 2})
 }

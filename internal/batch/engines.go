@@ -2,13 +2,10 @@ package batch
 
 import (
 	"context"
+	"fmt"
 
-	"casa/internal/core"
-	"casa/internal/cpu"
 	"casa/internal/dna"
-	"casa/internal/ert"
-	"casa/internal/genax"
-	"casa/internal/gencache"
+	"casa/internal/engine"
 	"casa/internal/metrics"
 	"casa/internal/smem"
 	"casa/internal/trace"
@@ -49,8 +46,8 @@ func mergeRegistries(o Options, regs []*metrics.Registry) {
 	}
 }
 
-// withEngine resolves the observability label for a Seed* entry point:
-// the caller's Options.Engine if set, else the engine's default name.
+// withEngine resolves the observability label for a seeding entry point:
+// the caller's Options.Engine if set, else the engine's own name.
 func withEngine(o Options, def string) Options {
 	if o.Engine == "" {
 		o.Engine = def
@@ -69,168 +66,73 @@ func traceBuffers(o Options) []*trace.Buffer {
 	return bufs
 }
 
-// The SeedXxxCtx entry points share a contract: they are the Seed*
-// functions with cooperative cancellation. When ctx is cancelled
-// mid-run the pool stops handing out new shards, drains the in-flight
-// ones, and reduces exactly the completed prefix — the returned Result
-// covers the first n reads (n is the second return value), with the
-// merged metrics registry, trace spans and progress cells all consistent
-// with that prefix. The error is ctx.Err() when the run was cut short,
-// nil when it ran to the end (in which case n == len(reads) and the
-// Result is bit-identical to the non-ctx entry point's).
-
-// SeedCASA seeds reads on a pool of CASA accelerator clones and reduces
-// the shard activities into one Result, bit-identical to a.SeedReads on
-// the same batch.
-func SeedCASA(a *core.Accelerator, reads []dna.Sequence, o Options) *core.Result {
-	res, _, _ := SeedCASACtx(context.Background(), a, reads, o)
+// Seed runs any registered engine over reads on the worker pool and
+// returns its Result asserted to the engine's concrete result type, e.g.
+// batch.Seed[*core.Result](engine.CASA(acc), reads, o). The Result is
+// bit-identical to a sequential run of the same engine at any worker
+// count. See SeedEngineCtx for the full contract.
+func Seed[R any](e engine.Engine, reads []dna.Sequence, o Options) R {
+	res, _, _ := SeedCtx[R](context.Background(), e, reads, o)
 	return res
 }
 
-// SeedCASACtx is SeedCASA with cooperative cancellation; see the
-// contract above. Each completed shard additionally attributes its
-// modelled controller cycles to the worker's progress cell.
-func SeedCASACtx(ctx context.Context, a *core.Accelerator, reads []dna.Sequence, o Options) (*core.Result, int, error) {
-	o = withEngine(o, "casa")
-	engines := clonePool(a, o.WorkerCount(), (*core.Accelerator).Clone)
-	regs := workerRegistries(o)
-	bufs := traceBuffers(o)
-	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *core.Activity {
-		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
-		if regs != nil {
-			act.PublishMetrics(regs[w])
-		}
-		if o.Progress != nil {
-			o.Progress.AddCycles(w, a.ActivityCycles(act))
-		}
-		return act
-	})
-	res := a.Reduce(acts...)
-	if o.Metrics != nil {
-		mergeRegistries(o, regs)
-		res.PublishModelMetrics(o.Metrics)
+// SeedCtx is Seed with cooperative cancellation; see SeedEngineCtx.
+func SeedCtx[R any](ctx context.Context, e engine.Engine, reads []dna.Sequence, o Options) (R, int, error) {
+	res, done, err := SeedEngineCtx(ctx, e, reads, o)
+	typed, ok := res.(R)
+	if !ok {
+		var zero R
+		panic(fmt.Sprintf("batch: engine %q reduces to %T, not %T", e.Name(), res, zero))
 	}
-	return res, done, err
+	return typed, done, err
 }
 
-// SeedERT seeds reads on a pool of ASIC-ERT clones; the order-sensitive
-// reuse-cache model is replayed over the full batch during reduction, so
-// the Result matches a.SeedReads exactly.
-func SeedERT(a *ert.Accelerator, reads []dna.Sequence, o Options) *ert.Result {
-	res, _, _ := SeedERTCtx(context.Background(), a, reads, o)
+// SeedEngine is SeedEngineCtx without cancellation, for callers that
+// don't need the concrete result type.
+func SeedEngine(e engine.Engine, reads []dna.Sequence, o Options) engine.Result {
+	res, _, _ := SeedEngineCtx(context.Background(), e, reads, o)
 	return res
 }
 
-// SeedERTCtx is SeedERT with cooperative cancellation; see the contract
-// above. The reuse-cache replay runs over the completed read prefix, so
-// partial results model exactly the reads that were seeded.
-func SeedERTCtx(ctx context.Context, a *ert.Accelerator, reads []dna.Sequence, o Options) (*ert.Result, int, error) {
-	o = withEngine(o, "ert")
-	engines := clonePool(a, o.WorkerCount(), (*ert.Accelerator).Clone)
+// SeedEngineCtx seeds reads on a pool of engine clones — slot 0 is e
+// itself — and reduces the shard activities on e into one Result,
+// bit-identical to a sequential run: parallelism changes host wall-clock
+// only, never the modelled hardware. Per shard, the worker's activity
+// publishes into a private registry (merged into o.Metrics in worker
+// order after the drain), spans land in the worker's trace buffer, and
+// engines with a cycle model attribute shard cycles to the worker's
+// progress cell. Engines carrying per-instance counters (the finder
+// engines) publish each worker instance once after the drain.
+//
+// Cancelling ctx stops handing out new shards, drains the in-flight
+// ones, and reduces exactly the completed prefix: the Result covers the
+// first n reads (n is the second return value) with metrics, trace and
+// progress consistent with that prefix, and the error is ctx.Err(). A
+// run that completes returns n == len(reads) and a nil error.
+func SeedEngineCtx(ctx context.Context, e engine.Engine, reads []dna.Sequence, o Options) (engine.Result, int, error) {
+	o = withEngine(o, e.Name())
+	engines := clonePool(e, o.WorkerCount(), engine.Engine.Clone)
 	regs := workerRegistries(o)
 	bufs := traceBuffers(o)
-	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *ert.Activity {
+	cycles, _ := e.(engine.CycleCoster)
+	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) engine.Activity {
 		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
 		if regs != nil {
 			act.PublishMetrics(regs[w])
 		}
-		return act
-	})
-	res := a.Reduce(reads[:done], acts...)
-	if o.Metrics != nil {
-		mergeRegistries(o, regs)
-		res.PublishModelMetrics(o.Metrics)
-	}
-	return res, done, err
-}
-
-// SeedGenAx seeds reads on a pool of GenAx accelerator clones and reduces
-// the shard activities into one Result, bit-identical to a.SeedReads.
-func SeedGenAx(a *genax.Accelerator, reads []dna.Sequence, o Options) *genax.Result {
-	res, _, _ := SeedGenAxCtx(context.Background(), a, reads, o)
-	return res
-}
-
-// SeedGenAxCtx is SeedGenAx with cooperative cancellation; see the
-// contract above.
-func SeedGenAxCtx(ctx context.Context, a *genax.Accelerator, reads []dna.Sequence, o Options) (*genax.Result, int, error) {
-	o = withEngine(o, "genax")
-	engines := clonePool(a, o.WorkerCount(), (*genax.Accelerator).Clone)
-	regs := workerRegistries(o)
-	bufs := traceBuffers(o)
-	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *genax.Activity {
-		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
-		if regs != nil {
-			act.PublishMetrics(regs[w])
+		if o.Progress != nil && cycles != nil {
+			o.Progress.AddCycles(w, cycles.ActivityCycles(act))
 		}
 		return act
 	})
-	res := a.Reduce(acts...)
+	res := e.Reduce(reads[:done], acts)
 	if o.Metrics != nil {
 		mergeRegistries(o, regs)
-		res.PublishModelMetrics(o.Metrics)
-	}
-	return res, done, err
-}
-
-// SeedGenCache seeds reads on a pool of GenCache accelerator clones; the
-// order-sensitive multi-bank cache model is replayed over the recorded
-// fetch streams during reduction, so the Result matches a.SeedReads
-// exactly.
-func SeedGenCache(a *gencache.Accelerator, reads []dna.Sequence, o Options) *gencache.Result {
-	res, _, _ := SeedGenCacheCtx(context.Background(), a, reads, o)
-	return res
-}
-
-// SeedGenCacheCtx is SeedGenCache with cooperative cancellation; see the
-// contract above. The cache replay covers the completed shards' recorded
-// fetch streams only.
-func SeedGenCacheCtx(ctx context.Context, a *gencache.Accelerator, reads []dna.Sequence, o Options) (*gencache.Result, int, error) {
-	o = withEngine(o, "gencache")
-	engines := clonePool(a, o.WorkerCount(), (*gencache.Accelerator).Clone)
-	regs := workerRegistries(o)
-	bufs := traceBuffers(o)
-	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *gencache.Activity {
-		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
-		if regs != nil {
-			act.PublishMetrics(regs[w])
+		for _, eng := range engines {
+			if wp, ok := eng.(engine.WorkerPublisher); ok {
+				wp.PublishWorkerMetrics(o.Metrics)
+			}
 		}
-		return act
-	})
-	res := a.Reduce(acts...)
-	if o.Metrics != nil {
-		mergeRegistries(o, regs)
-		res.PublishModelMetrics(o.Metrics)
-	}
-	return res, done, err
-}
-
-// SeedCPU seeds reads on a pool of software-baseline seeder clones and
-// reduces the shard activities into one Result, bit-identical to
-// s.SeedReads. (The pool parallelizes the host simulation; the modelled
-// thread count stays cpu.Config.Threads.)
-func SeedCPU(s *cpu.Seeder, reads []dna.Sequence, o Options) *cpu.Result {
-	res, _, _ := SeedCPUCtx(context.Background(), s, reads, o)
-	return res
-}
-
-// SeedCPUCtx is SeedCPU with cooperative cancellation; see the contract
-// above.
-func SeedCPUCtx(ctx context.Context, s *cpu.Seeder, reads []dna.Sequence, o Options) (*cpu.Result, int, error) {
-	o = withEngine(o, "cpu")
-	engines := clonePool(s, o.WorkerCount(), (*cpu.Seeder).Clone)
-	regs := workerRegistries(o)
-	bufs := traceBuffers(o)
-	acts, done, err := RunCtx(ctx, len(reads), o, func(w, lo, hi int) *cpu.Activity {
-		act := engines[w].SeedTrace(reads[lo:hi], bufs[w], o.ReadBase+lo)
-		if regs != nil {
-			act.PublishMetrics(regs[w])
-		}
-		return act
-	})
-	res := s.Reduce(acts...)
-	if o.Metrics != nil {
-		mergeRegistries(o, regs)
 		res.PublishModelMetrics(o.Metrics)
 	}
 	return res, done, err

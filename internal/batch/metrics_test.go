@@ -6,10 +6,8 @@ import (
 	"testing"
 
 	"casa/internal/batch"
-	"casa/internal/core"
-	"casa/internal/cpu"
-	"casa/internal/ert"
-	"casa/internal/genax"
+	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/gencache"
 	"casa/internal/metrics"
 )
@@ -44,20 +42,12 @@ func TestSeedGenCacheDeterminism(t *testing.T) {
 				fast, want.Stats.CacheHits, want.Stats.CacheMisses)
 		}
 		for _, w := range workerCounts {
-			got := batch.SeedGenCache(acc, reads, batch.Options{Workers: w})
+			got := batch.Seed[*gencache.Result](engine.GenCache(acc), reads, batch.Options{Workers: w})
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("fast=%v workers=%d: batch Result differs from sequential SeedReads", fast, w)
 			}
 		}
 	}
-}
-
-// sequentialRegistry publishes one activity plus the reduced model
-// metrics — the reference a batch run of any worker count must match.
-func sequentialRegistry(publish func(reg *metrics.Registry)) *metrics.Registry {
-	reg := metrics.New()
-	publish(reg)
-	return reg
 }
 
 func jsonBytes(t *testing.T, reg *metrics.Registry) []byte {
@@ -69,124 +59,58 @@ func jsonBytes(t *testing.T, reg *metrics.Registry) []byte {
 	return buf.Bytes()
 }
 
-// TestBatchMetricsDeterminism is the cross-engine registry regression:
-// for every engine, the per-worker registries merged at Reduce must be
-// byte-identical (as serialized JSON) to the registry a sequential run
-// publishes, at workers = 1, 4, 16.
+// sequentialRegistry runs one whole-batch pass on a fresh engine and
+// publishes what the batch path would: the activity's counters, the
+// instance counters of worker-published engines, then the reduced model
+// metrics. It is the reference a batch run of any worker count must
+// match.
+func sequentialRegistry(t *testing.T, name string, ref dna.Sequence, reads []dna.Sequence) *metrics.Registry {
+	t.Helper()
+	e, err := engine.New(name, ref, testEngineOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	act := e.SeedTrace(reads, nil, 0)
+	act.PublishMetrics(reg)
+	if wp, ok := e.(engine.WorkerPublisher); ok {
+		wp.PublishWorkerMetrics(reg)
+	}
+	e.Reduce(reads, []engine.Activity{act}).PublishModelMetrics(reg)
+	return reg
+}
+
+// TestBatchMetricsDeterminism is the registry-wide metrics regression:
+// for every registered engine, the per-worker registries merged at Reduce
+// must be byte-identical (as serialized JSON) to the registry a
+// sequential run publishes, at workers = 1, 4, 16. Engines are rebuilt
+// per run: instance counters (the finder engines') are cumulative, and a
+// shared instance would fold one run's totals into the next.
 func TestBatchMetricsDeterminism(t *testing.T) {
 	ref, reads := testWorkload(t, 1<<15, 150)
-
-	type engine struct {
-		name  string
-		seq   func(reg *metrics.Registry)
-		batch func(w int, reg *metrics.Registry)
-	}
-	var engines []engine
-
-	{
-		cfg := core.DefaultConfig()
-		cfg.PartitionBases = 1 << 13
-		acc, err := core.New(ref, cfg)
-		if err != nil {
-			t.Fatal(err)
+	for _, f := range engine.List() {
+		if f.Golden {
+			continue // the oracle models nothing and publishes nothing
 		}
-		engines = append(engines, engine{
-			name: "casa",
-			seq: func(reg *metrics.Registry) {
-				act := acc.Clone().Seed(reads)
-				act.PublishMetrics(reg)
-				acc.Reduce(act).PublishModelMetrics(reg)
-			},
-			batch: func(w int, reg *metrics.Registry) {
-				batch.SeedCASA(acc, reads, batch.Options{Workers: w, Metrics: reg})
-			},
-		})
-	}
-	{
-		acc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{
-			name: "ert",
-			seq: func(reg *metrics.Registry) {
-				act := acc.Clone().Seed(reads)
-				act.PublishMetrics(reg)
-				acc.Reduce(reads, act).PublishModelMetrics(reg)
-			},
-			batch: func(w int, reg *metrics.Registry) {
-				batch.SeedERT(acc, reads, batch.Options{Workers: w, Metrics: reg})
-			},
-		})
-	}
-	{
-		cfg := genax.DefaultConfig()
-		cfg.K = 8
-		cfg.PartitionBases = 1 << 13
-		acc, err := genax.New(ref, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{
-			name: "genax",
-			seq: func(reg *metrics.Registry) {
-				act := acc.Clone().Seed(reads)
-				act.PublishMetrics(reg)
-				acc.Reduce(act).PublishModelMetrics(reg)
-			},
-			batch: func(w int, reg *metrics.Registry) {
-				batch.SeedGenAx(acc, reads, batch.Options{Workers: w, Metrics: reg})
-			},
-		})
-	}
-	{
-		acc := testGenCache(t, true)
-		engines = append(engines, engine{
-			name: "gencache",
-			seq: func(reg *metrics.Registry) {
-				act := acc.Clone().Seed(reads)
-				act.PublishMetrics(reg)
-				acc.Reduce(act).PublishModelMetrics(reg)
-			},
-			batch: func(w int, reg *metrics.Registry) {
-				batch.SeedGenCache(acc, reads, batch.Options{Workers: w, Metrics: reg})
-			},
-		})
-	}
-	{
-		s, err := cpu.New(ref, cpu.B12T())
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{
-			name: "cpu",
-			seq: func(reg *metrics.Registry) {
-				act := s.Clone().Seed(reads)
-				act.PublishMetrics(reg)
-				s.Reduce(act).PublishModelMetrics(reg)
-			},
-			batch: func(w int, reg *metrics.Registry) {
-				batch.SeedCPU(s, reads, batch.Options{Workers: w, Metrics: reg})
-			},
-		})
-	}
-
-	for _, e := range engines {
-		want := sequentialRegistry(e.seq)
+		want := sequentialRegistry(t, f.Name, ref, reads)
 		if len(want.Snapshots()) == 0 {
-			t.Fatalf("%s: sequential run published no metrics", e.name)
+			t.Fatalf("%s: sequential run published no metrics", f.Name)
 		}
 		wantJSON := jsonBytes(t, want)
 		for _, w := range workerCounts {
+			e, err := engine.New(f.Name, ref, testEngineOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
 			reg := metrics.New()
-			e.batch(w, reg)
+			batch.SeedEngine(e, reads, batch.Options{Workers: w, Metrics: reg})
 			if !metrics.Equal(reg, want) {
 				t.Errorf("%s workers=%d: merged registry differs from sequential:\n%s",
-					e.name, w, metrics.Diff(reg, want))
+					f.Name, w, metrics.Diff(reg, want))
 				continue
 			}
 			if !bytes.Equal(jsonBytes(t, reg), wantJSON) {
-				t.Errorf("%s workers=%d: registry JSON not byte-identical to sequential", e.name, w)
+				t.Errorf("%s workers=%d: registry JSON not byte-identical to sequential", f.Name, w)
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"casa/internal/batch"
 	"casa/internal/core"
+	"casa/internal/engine"
 	"casa/internal/metrics"
 	"casa/internal/progress"
 	"casa/internal/trace"
@@ -109,7 +110,7 @@ func TestProgressTerminalSnapshotDeterminism(t *testing.T) {
 	var want totals
 	for i, w := range workerCounts {
 		tr := progress.New("run", "casa", w, int64(len(reads)))
-		res, done, err := batch.SeedCASACtx(context.Background(), acc, reads,
+		res, done, err := batch.SeedCtx[*core.Result](context.Background(), engine.CASA(acc), reads,
 			batch.Options{Workers: w, Grain: grain, Progress: tr})
 		if err != nil || done != len(reads) {
 			t.Fatalf("workers=%d: done=%d err=%v", w, done, err)
@@ -137,7 +138,7 @@ func TestProgressTerminalSnapshotDeterminism(t *testing.T) {
 	}
 }
 
-// TestSeedCASACtxPartialRun cancels a seeding run mid-flight and checks
+// TestSeedCASACtxPartialRun cancels a casa seeding run mid-flight and checks
 // the partial-telemetry contract: the Result covers exactly the reported
 // contiguous read prefix, matches the sequential run over that prefix,
 // and the metrics registry and trace spans for the partial run still
@@ -162,7 +163,7 @@ func TestSeedCASACtxPartialRun(t *testing.T) {
 		}
 		cancel()
 	}()
-	res, done, runErr := batch.SeedCASACtx(ctx, acc.Clone(), reads,
+	res, done, runErr := batch.SeedCtx[*core.Result](ctx, engine.CASA(acc.Clone()), reads,
 		batch.Options{Workers: 4, Grain: 5, Metrics: reg, Trace: tw, Progress: tr})
 	tr.Finish()
 
@@ -203,20 +204,20 @@ func TestSeedCASACtxPartialRun(t *testing.T) {
 }
 
 // TestSeedCtxCompleteMatchesPlain checks the zero-cost claim of the ctx
-// variants: an uncancelled SeedCASACtx returns the same Result as
-// SeedCASA.
+// variants: an uncancelled SeedCtx returns the same Result as Seed.
 func TestSeedCtxCompleteMatchesPlain(t *testing.T) {
 	ref, reads := testWorkload(t, 1<<15, 100)
 	acc, err := core.New(ref, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := batch.SeedCASA(acc, reads, batch.Options{Workers: 4})
-	got, done, runErr := batch.SeedCASACtx(context.Background(), acc, reads, batch.Options{Workers: 4})
+	e := engine.CASA(acc)
+	want := batch.Seed[*core.Result](e, reads, batch.Options{Workers: 4})
+	got, done, runErr := batch.SeedCtx[*core.Result](context.Background(), e, reads, batch.Options{Workers: 4})
 	if runErr != nil || done != len(reads) {
 		t.Fatalf("done=%d err=%v", done, runErr)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatal("SeedCASACtx result differs from SeedCASA")
+		t.Fatal("SeedCtx result differs from Seed")
 	}
 }

@@ -6,10 +6,7 @@ import (
 
 	"casa/internal/batch"
 	"casa/internal/core"
-	"casa/internal/cpu"
-	"casa/internal/ert"
-	"casa/internal/genax"
-	"casa/internal/smem"
+	"casa/internal/engine"
 	"casa/internal/trace"
 )
 
@@ -22,104 +19,42 @@ func chromeBytes(t *testing.T, tr *trace.Trace) []byte {
 	return buf.Bytes()
 }
 
-// TestBatchTraceDeterminism is the cross-engine trace regression: for
-// every engine, the merged span stream exported as Chrome JSON must be
-// byte-identical at workers = 1, 4, 16 — the same discipline
+// TestBatchTraceDeterminism is the registry-wide trace regression: for
+// every registered engine, the merged span stream exported as Chrome JSON
+// must be byte-identical at workers = 1, 4, 16 — the same discipline
 // TestBatchMetricsDeterminism enforces for the metrics registry — and
 // structurally valid (casa-trace/v1 invariants).
 func TestBatchTraceDeterminism(t *testing.T) {
 	ref, reads := testWorkload(t, 1<<15, 150)
-
-	type engine struct {
-		name string
-		run  func(w int, tr *trace.Trace)
-	}
-	var engines []engine
-
-	{
-		cfg := core.DefaultConfig()
-		cfg.PartitionBases = 1 << 13
-		acc, err := core.New(ref, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{"casa", func(w int, tr *trace.Trace) {
-			batch.SeedCASA(acc, reads, batch.Options{Workers: w, Trace: tr})
-		}})
-	}
-	{
-		acc, err := ert.NewAccelerator(ref, ert.DefaultAccelConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{"ert", func(w int, tr *trace.Trace) {
-			batch.SeedERT(acc, reads, batch.Options{Workers: w, Trace: tr})
-		}})
-	}
-	{
-		cfg := genax.DefaultConfig()
-		cfg.K = 8
-		cfg.PartitionBases = 1 << 13
-		acc, err := genax.New(ref, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{"genax", func(w int, tr *trace.Trace) {
-			batch.SeedGenAx(acc, reads, batch.Options{Workers: w, Trace: tr})
-		}})
-	}
-	{
-		acc := testGenCache(t, true)
-		engines = append(engines, engine{"gencache", func(w int, tr *trace.Trace) {
-			batch.SeedGenCache(acc, reads, batch.Options{Workers: w, Trace: tr})
-		}})
-	}
-	{
-		s, err := cpu.New(ref, cpu.B12T())
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines = append(engines, engine{"cpu", func(w int, tr *trace.Trace) {
-			batch.SeedCPU(s, reads, batch.Options{Workers: w, Trace: tr})
-		}})
-	}
-	{
-		finder := smem.NewBidirectional(ref)
-		engines = append(engines, engine{"fmindex", func(w int, tr *trace.Trace) {
-			batch.FindSMEMs(reads, 19, batch.Options{Workers: w, Trace: tr},
-				func(int) smem.Finder { return finder.Clone() })
-		}})
-	}
-
-	for _, e := range engines {
+	for _, e := range testEngines(t, ref) {
 		seq := trace.New(trace.PolicyAll, 0)
-		e.run(1, seq)
+		batch.SeedEngine(e, reads, batch.Options{Workers: 1, Trace: seq})
 		spans := seq.Spans()
 		if len(spans) == 0 {
-			t.Fatalf("%s: sequential run emitted no spans", e.name)
+			t.Fatalf("%s: sequential run emitted no spans", e.Name())
 		}
 		covered := map[int32]bool{}
 		for _, s := range spans {
-			if s.Proc != e.name {
-				t.Fatalf("%s: span labelled proc %q", e.name, s.Proc)
+			if s.Proc != e.Name() {
+				t.Fatalf("%s: span labelled proc %q", e.Name(), s.Proc)
 			}
 			covered[s.Read] = true
 		}
 		if len(covered) != len(reads) {
-			t.Errorf("%s: spans cover %d reads, want %d", e.name, len(covered), len(reads))
+			t.Errorf("%s: spans cover %d reads, want %d", e.Name(), len(covered), len(reads))
 		}
 		if err := trace.Validate(spans); err != nil {
-			t.Errorf("%s: recorded stream invalid: %v", e.name, err)
+			t.Errorf("%s: recorded stream invalid: %v", e.Name(), err)
 		}
 		want := chromeBytes(t, seq)
 		if _, err := trace.Parse(want); err != nil {
-			t.Errorf("%s: exported Chrome JSON does not parse back: %v", e.name, err)
+			t.Errorf("%s: exported Chrome JSON does not parse back: %v", e.Name(), err)
 		}
 		for _, w := range workerCounts[1:] {
 			tr := trace.New(trace.PolicyAll, 0)
-			e.run(w, tr)
+			batch.SeedEngine(e, reads, batch.Options{Workers: w, Trace: tr})
 			if !bytes.Equal(chromeBytes(t, tr), want) {
-				t.Errorf("%s workers=%d: Chrome trace not byte-identical to sequential", e.name, w)
+				t.Errorf("%s workers=%d: Chrome trace not byte-identical to sequential", e.Name(), w)
 			}
 		}
 	}
@@ -137,7 +72,7 @@ func TestCASATraceStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := trace.New(trace.PolicyAll, 0)
-	batch.SeedCASA(acc, reads, batch.Options{Workers: 4, Trace: tr})
+	batch.SeedEngine(engine.CASA(acc), reads, batch.Options{Workers: 4, Trace: tr})
 
 	type window struct{ start, end int64 }
 	stage := map[int32]map[string]window{} // read -> stage track -> window
@@ -191,7 +126,7 @@ func TestTraceSamplingInBatch(t *testing.T) {
 		{Kind: "slowest", N: 10},
 	} {
 		tr := trace.New(policy, 0)
-		batch.SeedCASA(acc, reads, batch.Options{Workers: 4, Trace: tr})
+		batch.SeedEngine(engine.CASA(acc), reads, batch.Options{Workers: 4, Trace: tr})
 		spans := tr.Spans()
 		got := map[int32]bool{}
 		for _, s := range spans {

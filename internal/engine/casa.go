@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+
+	"casa/internal/core"
+	"casa/internal/dna"
+	"casa/internal/smem"
+	"casa/internal/trace"
+)
+
+// casaEngine adapts *core.Accelerator — the paper's CAM-based design —
+// to the Engine interface.
+type casaEngine struct{ a *core.Accelerator }
+
+// CASA wraps an already-built CASA accelerator (e.g. one loaded from a
+// serialized index) as an Engine.
+func CASA(a *core.Accelerator) Engine { return casaEngine{a} }
+
+func (e casaEngine) Name() string  { return "casa" }
+func (e casaEngine) Clone() Engine { return casaEngine{e.a.Clone()} }
+
+func (e casaEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
+	return e.a.SeedTrace(reads, tb, base)
+}
+
+func (e casaEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
+	return e.a.Reduce(typedActs[*core.Activity](acts)...)
+}
+
+func (e casaEngine) SMEMs(res Result) [][]smem.Match {
+	r := res.(*core.Result)
+	out := make([][]smem.Match, len(r.Reads))
+	for i, rr := range r.Reads {
+		out[i] = rr.Forward
+	}
+	return out
+}
+
+func (e casaEngine) ActivityCycles(act Activity) int64 {
+	return e.a.ActivityCycles(act.(*core.Activity))
+}
+
+func (e casaEngine) Model(res Result) Model {
+	r := res.(*core.Result)
+	return Model{Seconds: r.Seconds, Cycles: r.Cycles, ReadsPerS: r.Throughput()}
+}
+
+func (e casaEngine) ReadSeeds(res Result) []Seeds {
+	r := res.(*core.Result)
+	out := make([]Seeds, len(r.Reads))
+	for i, rr := range r.Reads {
+		out[i] = Seeds{Forward: rr.Forward, Reverse: rr.Reverse}
+	}
+	return out
+}
+
+func (e casaEngine) HitPositions(strand dna.Sequence, m smem.Match, maxHits int) []int32 {
+	return e.a.HitPositions(strand, m, maxHits)
+}
+
+func (e casaEngine) Unwrap() any { return e.a }
+
+func casaFactory() Factory {
+	return Factory{
+		Name:        "casa",
+		Description: "CAM-based SMEM seeding accelerator (the paper's design)",
+		New: func(ref dna.Sequence, opt Options) (Engine, error) {
+			cfg := core.DefaultConfig()
+			switch c := opt.Config.(type) {
+			case nil:
+				if opt.MinSMEM > 0 {
+					cfg.MinSMEM = opt.MinSMEM
+				}
+				if opt.Partition > 0 {
+					cfg.PartitionBases = opt.Partition
+				} else if cfg.PartitionBases > len(ref) {
+					// Shrink to one partition for small references.
+					for cfg.PartitionBases/2 >= len(ref) && cfg.PartitionBases > 1024 {
+						cfg.PartitionBases /= 2
+					}
+				}
+				if opt.Exact {
+					// The configuration under which CASA's output is
+					// defined to be the exact SMEM set: one partition
+					// (overlap double-counts hits), no exact-match
+					// prepass (it retires the non-matching strand), and
+					// a pivot geometry valid at any MinSMEM >= K.
+					cfg.K, cfg.M, cfg.Stride, cfg.Groups = 7, 4, 5, 4
+					cfg.PartitionBases = len(ref)
+					cfg.ExactMatchPrepass = false
+				}
+			case core.Config:
+				cfg = c
+			default:
+				return nil, fmt.Errorf("engine: casa: Config is %T, want core.Config", opt.Config)
+			}
+			a, err := core.New(ref, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return casaEngine{a}, nil
+		},
+	}
+}

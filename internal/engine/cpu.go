@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"fmt"
+
+	"casa/internal/cpu"
+	"casa/internal/dna"
+	"casa/internal/smem"
+	"casa/internal/trace"
+)
+
+// cpuEngine adapts the software BWA-MEM2-class CPU seeding baseline.
+type cpuEngine struct{ s *cpu.Seeder }
+
+// CPU wraps an already-built CPU seeder as an Engine.
+func CPU(s *cpu.Seeder) Engine { return cpuEngine{s} }
+
+func (e cpuEngine) Name() string  { return "cpu" }
+func (e cpuEngine) Clone() Engine { return cpuEngine{e.s.Clone()} }
+
+func (e cpuEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
+	return e.s.SeedTrace(reads, tb, base)
+}
+
+func (e cpuEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
+	return e.s.Reduce(typedActs[*cpu.Activity](acts)...)
+}
+
+func (e cpuEngine) SMEMs(res Result) [][]smem.Match {
+	return res.(*cpu.Result).Reads
+}
+
+func (e cpuEngine) Model(res Result) Model {
+	r := res.(*cpu.Result)
+	return Model{Seconds: r.Seconds, ReadsPerS: r.Throughput}
+}
+
+func (e cpuEngine) Unwrap() any { return e.s }
+
+func cpuFactory() Factory {
+	return Factory{
+		Name:        "cpu",
+		Aliases:     []string{"bwa"},
+		Description: "software BWA-MEM2-class FM-index seeding with the multicore memory model",
+		New: func(ref dna.Sequence, opt Options) (Engine, error) {
+			cfg := cpu.B12T()
+			switch c := opt.Config.(type) {
+			case nil:
+				if opt.MinSMEM > 0 {
+					cfg.MinSMEM = opt.MinSMEM
+				}
+			case cpu.Config:
+				cfg = c
+			default:
+				return nil, fmt.Errorf("engine: cpu: Config is %T, want cpu.Config", opt.Config)
+			}
+			s, err := cpu.New(ref, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return cpuEngine{s}, nil
+		},
+	}
+}

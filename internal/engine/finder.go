@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"casa/internal/dna"
+	"casa/internal/metrics"
+	"casa/internal/smem"
+	"casa/internal/trace"
+)
+
+// finderActivity is one shard's per-read SMEM sets from a plain
+// smem.Finder; finders publish their counters per worker instance (see
+// PublishWorkerMetrics), not per shard.
+type finderActivity struct{ smems [][]smem.Match }
+
+func (finderActivity) PublishMetrics(*metrics.Registry) {}
+
+// finderResult is a reduced finder run; finders have no hardware model.
+type finderResult struct{ smems [][]smem.Match }
+
+func (finderResult) PublishModelMetrics(*metrics.Registry) {}
+
+// seedCoster is the optional finder extension the trace path uses: the
+// modelled cost of the finder's most recent FindSMEMs call, in the
+// finder's native unit (FM-index steps, ...).
+type seedCoster interface {
+	SeedCost() int64
+}
+
+// finderEngine lifts any smem.Finder to an Engine: forward-strand SMEMs
+// only, no timing model.
+type finderEngine struct {
+	name   string
+	minLen int
+	finder smem.Finder
+	// clone derives a worker's independent finder; nil shares the
+	// original (stateless finders).
+	clone func(smem.Finder) smem.Finder
+	// publish folds one instance's cumulative counters into a registry;
+	// nil for finders that count nothing.
+	publish func(smem.Finder, *metrics.Registry)
+}
+
+func (e *finderEngine) Name() string { return e.name }
+
+func (e *finderEngine) Clone() Engine {
+	c := *e
+	if e.clone != nil {
+		c.finder = e.clone(e.finder)
+	}
+	return &c
+}
+
+func (e *finderEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
+	out := make([][]smem.Match, len(reads))
+	costed, _ := e.finder.(seedCoster)
+	for i, r := range reads {
+		out[i] = e.finder.FindSMEMs(r, e.minLen)
+		if tb != nil && costed != nil {
+			tb.Emit(base+i, "seed", "find", 0, costed.SeedCost())
+		}
+	}
+	return finderActivity{out}
+}
+
+func (e *finderEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
+	var merged [][]smem.Match
+	for _, a := range acts {
+		merged = append(merged, a.(finderActivity).smems...)
+	}
+	return finderResult{merged}
+}
+
+func (e *finderEngine) SMEMs(res Result) [][]smem.Match {
+	return res.(finderResult).smems
+}
+
+func (e *finderEngine) PublishWorkerMetrics(reg *metrics.Registry) {
+	if e.publish != nil {
+		e.publish(e.finder, reg)
+	}
+}
+
+func (e *finderEngine) Unwrap() any { return e.finder }
+
+// minSMEMOrDefault resolves the finder engines' reporting floor; the
+// accelerator engines get theirs from their configs' defaults.
+func minSMEMOrDefault(opt Options) int {
+	if opt.MinSMEM > 0 {
+		return opt.MinSMEM
+	}
+	return 19
+}
+
+func fmindexFactory() Factory {
+	return Factory{
+		Name:        "fmindex",
+		Aliases:     []string{"fm"},
+		Description: "bidirectional FM-index SMEM search (behavioural reference, no timing model)",
+		New: func(ref dna.Sequence, opt Options) (Engine, error) {
+			return &finderEngine{
+				name:   "fmindex",
+				minLen: minSMEMOrDefault(opt),
+				finder: smem.NewBidirectional(ref),
+				clone: func(f smem.Finder) smem.Finder {
+					return f.(*smem.Bidirectional).Clone()
+				},
+				publish: func(f smem.Finder, reg *metrics.Registry) {
+					f.(*smem.Bidirectional).PublishMetrics(reg)
+				},
+			}, nil
+		},
+	}
+}
+
+func bruteFactory() Factory {
+	return Factory{
+		Name:        "brute",
+		Aliases:     []string{"bruteforce", "golden"},
+		Description: "definition-based brute-force oracle (exact by construction; quadratic, validation only)",
+		Golden:      true,
+		New: func(ref dna.Sequence, opt Options) (Engine, error) {
+			// BruteForce holds no mutable state: every worker shares it.
+			return &finderEngine{
+				name:   "brute",
+				minLen: minSMEMOrDefault(opt),
+				finder: smem.BruteForce{Ref: ref},
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+
+	"casa/internal/dna"
+	"casa/internal/gencache"
+	"casa/internal/smem"
+	"casa/internal/trace"
+)
+
+// gencacheEngine adapts the GenCache baseline accelerator.
+type gencacheEngine struct{ a *gencache.Accelerator }
+
+// GenCache wraps an already-built GenCache accelerator as an Engine.
+func GenCache(a *gencache.Accelerator) Engine { return gencacheEngine{a} }
+
+func (e gencacheEngine) Name() string  { return "gencache" }
+func (e gencacheEngine) Clone() Engine { return gencacheEngine{e.a.Clone()} }
+
+func (e gencacheEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
+	return e.a.SeedTrace(reads, tb, base)
+}
+
+// Reduce replays the order-sensitive multi-bank cache over the recorded
+// per-shard fetch streams, so the Result matches a sequential run.
+func (e gencacheEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
+	return e.a.Reduce(typedActs[*gencache.Activity](acts)...)
+}
+
+func (e gencacheEngine) SMEMs(res Result) [][]smem.Match {
+	return res.(*gencache.Result).Reads
+}
+
+func (e gencacheEngine) Model(res Result) Model {
+	r := res.(*gencache.Result)
+	return Model{Seconds: r.Seconds, ReadsPerS: r.Throughput}
+}
+
+func (e gencacheEngine) Unwrap() any { return e.a }
+
+func gencacheFactory() Factory {
+	return Factory{
+		Name:        "gencache",
+		Description: "GenCache baseline: GenAx seeding behind a multi-bank seed-table cache with an exact-match bypass",
+		New: func(ref dna.Sequence, opt Options) (Engine, error) {
+			cfg := gencache.DefaultConfig()
+			switch c := opt.Config.(type) {
+			case nil:
+				cfg.GenAx = genaxConfig(ref, opt)
+				if opt.CacheBytes > 0 {
+					cfg.CacheBytes = opt.CacheBytes
+				}
+				if opt.Exact {
+					// The bypass reports the matching strand only and
+					// counts hits within one segment; exact output
+					// needs the full SMEM path.
+					cfg.FastSeeding = false
+				}
+			case gencache.Config:
+				cfg = c
+			default:
+				return nil, fmt.Errorf("engine: gencache: Config is %T, want gencache.Config", opt.Config)
+			}
+			a, err := gencache.New(ref, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return gencacheEngine{a}, nil
+		},
+	}
+}

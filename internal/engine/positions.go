@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"casa/internal/dna"
+	"casa/internal/smem"
+)
+
+// Positions resolves the reference occurrences of read[m.Start..m.End]
+// by direct scan — the engine-agnostic positioning fallback for engines
+// without native hit location (see Positioner, which casa implements
+// with its k-mer filter banks). max <= 0 returns all occurrences.
+//
+// O(len(ref) × SMEM length) per call: fine for demo-scale references,
+// not for production genomes.
+func Positions(ref, read dna.Sequence, m smem.Match, max int) []int32 {
+	if m.Start < 0 || m.End >= len(read) {
+		return nil
+	}
+	pat := read[m.Start : m.End+1]
+	var out []int32
+scan:
+	for p := 0; p+len(pat) <= len(ref); p++ {
+		for i, b := range pat {
+			if ref[p+i] != b {
+				continue scan
+			}
+		}
+		out = append(out, int32(p))
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}

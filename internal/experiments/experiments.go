@@ -20,6 +20,7 @@ import (
 	"casa/internal/core"
 	"casa/internal/cpu"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/pipeline"
@@ -173,23 +174,23 @@ func (s *Suite) Engines(w Workload) (*engineSet, error) {
 	if e, ok := s.engines[w.Name]; ok {
 		return e, nil
 	}
-	ca, err := core.New(w.Ref, s.CASAConfig())
+	ca, err := engine.Build[*core.Accelerator]("casa", w.Ref, engine.Options{Config: s.CASAConfig()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: casa: %w", err)
 	}
-	ea, err := ert.NewAccelerator(w.Ref, s.ERTConfig())
+	ea, err := engine.Build[*ert.Accelerator]("ert", w.Ref, engine.Options{Config: s.ERTConfig()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ert: %w", err)
 	}
-	ga, err := genax.New(w.Ref, s.GenAxConfig())
+	ga, err := engine.Build[*genax.Accelerator]("genax", w.Ref, engine.Options{Config: s.GenAxConfig()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: genax: %w", err)
 	}
-	b12, err := cpu.New(w.Ref, cpu.B12T())
+	b12, err := engine.Build[*cpu.Seeder]("cpu", w.Ref, engine.Options{Config: cpu.B12T()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cpu: %w", err)
 	}
-	b32, err := cpu.New(w.Ref, cpu.B32T())
+	b32, err := engine.Build[*cpu.Seeder]("cpu", w.Ref, engine.Options{Config: cpu.B32T()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cpu: %w", err)
 	}

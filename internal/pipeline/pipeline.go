@@ -20,6 +20,7 @@ import (
 	"casa/internal/core"
 	"casa/internal/cpu"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/ert"
 	"casa/internal/genax"
 	"casa/internal/seedex"
@@ -106,22 +107,24 @@ type Engines struct {
 	SeedEx *seedex.Machine
 }
 
-// BuildEngines constructs all engines over one reference.
+// BuildEngines constructs all engines over one reference through the
+// registry factories (the native configs pass verbatim via
+// engine.Options.Config).
 func BuildEngines(ref dna.Sequence, casaCfg core.Config, ertCfg ert.AccelConfig,
 	genaxCfg genax.Config, cpuCfg cpu.Config, sxCfg seedex.Config) (*Engines, error) {
-	ca, err := core.New(ref, casaCfg)
+	ca, err := engine.Build[*core.Accelerator]("casa", ref, engine.Options{Config: casaCfg})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: casa: %w", err)
 	}
-	ea, err := ert.NewAccelerator(ref, ertCfg)
+	ea, err := engine.Build[*ert.Accelerator]("ert", ref, engine.Options{Config: ertCfg})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: ert: %w", err)
 	}
-	ga, err := genax.New(ref, genaxCfg)
+	ga, err := engine.Build[*genax.Accelerator]("genax", ref, engine.Options{Config: genaxCfg})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: genax: %w", err)
 	}
-	ba, err := cpu.New(ref, cpuCfg)
+	ba, err := engine.Build[*cpu.Seeder]("cpu", ref, engine.Options{Config: cpuCfg})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: cpu: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"casa/internal/core"
 	"casa/internal/dna"
+	"casa/internal/engine"
 	"casa/internal/readsim"
 	"casa/internal/smem"
 )
@@ -30,9 +31,11 @@ func fuzzAccelerator(ref dna.Sequence) (*core.Accelerator, core.Config, error) {
 }
 
 // FuzzSMEMEnginesAgree feeds arbitrary read bytes (mapped onto 2-bit
-// bases) to the brute-force golden finder and the single-partition CASA
-// accelerator and requires identical SMEM sets — intervals and hit
-// counts — on both strands.
+// bases) to the brute-force golden finder and every registered engine in
+// its Exact configuration and requires identical SMEM sets — intervals
+// and hit counts. The single-partition CASA accelerator is additionally
+// checked on the reverse strand (the registry interface reports forward
+// SMEMs only).
 func FuzzSMEMEnginesAgree(f *testing.F) {
 	ref := fuzzRef()
 	acc, cfg, err := fuzzAccelerator(ref)
@@ -40,6 +43,17 @@ func FuzzSMEMEnginesAgree(f *testing.F) {
 		f.Fatal(err)
 	}
 	golden := smem.BruteForce{Ref: ref}
+	var engines []engine.Engine
+	for _, fac := range engine.List() {
+		if fac.Golden {
+			continue // the oracle defines `want`
+		}
+		e, err := engine.New(fac.Name, ref, engine.Options{MinSMEM: cfg.MinSMEM, TableK: 7, Exact: true})
+		if err != nil {
+			f.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
 
 	f.Add([]byte(ref[100:201].String()))
 	f.Add([]byte(ref[500:520].String()))
@@ -54,8 +68,13 @@ func FuzzSMEMEnginesAgree(f *testing.F) {
 		for i, c := range raw {
 			read[i] = dna.Base(c & 3)
 		}
-		res := acc.SeedReads([]dna.Sequence{read})
 		want := golden.FindSMEMs(read, cfg.MinSMEM)
+		for _, e := range engines {
+			if got := seedEngine(e, []dna.Sequence{read})[0]; !smem.Equal(want, got) {
+				t.Fatalf("forward SMEMs disagree on %q:\n %s %v\nbrute %v", read, e.Name(), got, want)
+			}
+		}
+		res := acc.SeedReads([]dna.Sequence{read})
 		if got := res.Reads[0].Forward; !smem.Equal(want, got) {
 			t.Fatalf("forward SMEMs disagree on %q:\n casa %v\nbrute %v", read, got, want)
 		}
