@@ -355,6 +355,7 @@ func BenchmarkBatchCASA(b *testing.B) {
 	eng := casa.CASAEngine(batchAcc)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run("workers="+itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := casa.BatchOptions{Workers: w}
 			var res *casa.Result
 			for i := 0; i < b.N; i++ {
@@ -372,6 +373,7 @@ func BenchmarkBatchFMIndex(b *testing.B) {
 	f := smem.NewBidirectional(batchRef)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run("workers="+itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := casa.BatchOptions{Workers: w}
 			for i := 0; i < b.N; i++ {
 				casa.FindSMEMsBatch(batchReads, 19, opts, func(worker int) casa.Finder {

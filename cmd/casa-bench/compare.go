@@ -9,11 +9,16 @@ import (
 
 // Bench regression gate: -compare checks a casa-bench/v1 document
 // against a committed baseline and fails (exit 1) when any engine's
-// *model* numbers regress beyond the threshold. Only modelled seconds,
-// cycles and throughput participate — they are deterministic functions
-// of the workload, identical on every machine and at every worker
-// count, so any drift is a real change to the simulated hardware. Host
-// numbers are excluded: they measure the CI runner, not the model.
+// *model* numbers regress beyond the threshold. Modelled seconds,
+// cycles and throughput are deterministic functions of the workload,
+// identical on every machine and at every worker count, so any drift is
+// a real change to the simulated hardware and gets a tight threshold.
+//
+// Host throughput measures the CI runner as much as the code, so it is
+// gated separately by compareHost with a deliberately loose floor: a
+// row fails only when its host reads/s fall below a fraction (default
+// half) of the baseline's, catching order-of-magnitude host-path
+// regressions without flaking on machine variance.
 
 // loadDoc reads and decodes one casa-bench/v1 file.
 func loadDoc(path string) (doc, error) {
@@ -87,4 +92,40 @@ func compareDocs(base, cur doc, threshold float64) ([]string, error) {
 		}
 	}
 	return regressions, nil
+}
+
+// compareHost returns one message per engine×workers row whose host
+// throughput fell below floor × the baseline's (floor is a fraction;
+// 0.5 = half). Rows absent from either document are skipped — host
+// coverage is advisory, the model gate already catches missing engines.
+// A non-positive floor disables the check. Callers must have verified
+// the workloads match (compareDocs does).
+func compareHost(base, cur doc, floor float64) []string {
+	if floor <= 0 {
+		return nil
+	}
+	type key struct {
+		engine  string
+		workers int
+	}
+	curHost := map[key]float64{}
+	for _, r := range cur.Engines {
+		curHost[key{r.Engine, r.Workers}] = r.HostReadsPerS
+	}
+	var regressions []string
+	for _, b := range base.Engines {
+		if b.HostReadsPerS <= 0 {
+			continue
+		}
+		c, ok := curHost[key{b.Engine, b.Workers}]
+		if !ok {
+			continue
+		}
+		if c < b.HostReadsPerS*floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s workers=%d: host throughput %.0f reads/s below %.0f%% of baseline %.0f",
+				b.Engine, b.Workers, c, floor*100, b.HostReadsPerS))
+		}
+	}
+	return regressions
 }

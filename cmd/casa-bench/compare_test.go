@@ -111,3 +111,55 @@ func TestCompareDocs(t *testing.T) {
 		}
 	})
 }
+
+func TestCompareHost(t *testing.T) {
+	base := benchDoc(
+		row{Engine: "casa", Workers: 1, HostSeconds: 0.001, HostReadsPerS: 200000},
+		row{Engine: "casa", Workers: 4, HostSeconds: 0.001, HostReadsPerS: 300000},
+		row{Engine: "fmindex", Workers: 1, HostSeconds: 0.002, HostReadsPerS: 80000},
+	)
+
+	t.Run("identical passes", func(t *testing.T) {
+		if regs := compareHost(base, base, 0.5); len(regs) != 0 {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("mild slowdown passes", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostReadsPerS: 120000},
+			row{Engine: "casa", Workers: 4, HostReadsPerS: 160000},
+			row{Engine: "fmindex", Workers: 1, HostReadsPerS: 41000},
+		)
+		if regs := compareHost(base, cur, 0.5); len(regs) != 0 {
+			t.Fatalf("40%% slowdown must pass the 0.5 floor: regs=%v", regs)
+		}
+	})
+
+	t.Run("collapse caught per row", func(t *testing.T) {
+		cur := benchDoc(
+			row{Engine: "casa", Workers: 1, HostReadsPerS: 20000}, // 10x collapse
+			row{Engine: "casa", Workers: 4, HostReadsPerS: 290000},
+			row{Engine: "fmindex", Workers: 1, HostReadsPerS: 79000},
+		)
+		regs := compareHost(base, cur, 0.5)
+		if len(regs) != 1 || !strings.Contains(regs[0], "casa workers=1") {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("missing rows and zero-host baselines skipped", func(t *testing.T) {
+		zb := benchDoc(row{Engine: "legacy", Workers: 1}) // pre-host baseline row
+		cur := benchDoc(row{Engine: "casa", Workers: 1, HostReadsPerS: 1})
+		if regs := compareHost(zb, cur, 0.5); len(regs) != 0 {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+
+	t.Run("non-positive floor disables", func(t *testing.T) {
+		cur := benchDoc(row{Engine: "casa", Workers: 1, HostReadsPerS: 1})
+		if regs := compareHost(base, cur, 0); len(regs) != 0 {
+			t.Fatalf("regs=%v", regs)
+		}
+	})
+}

@@ -8,6 +8,11 @@
 //
 //	casa-index -ref ref.fa -out ref.casaidx [-partition N] [-k 19] [-m 10]
 //	casa-index -info ref.casaidx
+//
+// The two modes are exclusive: combining -info with any build flag is a
+// usage error (exit 2), not a silent ignore — a typo like
+// `casa-index -info old.casaidx -out new.casaidx` must not masquerade as
+// a successful rebuild.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"casa/internal/core"
@@ -22,29 +29,69 @@ import (
 	"casa/internal/seqio"
 )
 
+// options holds the parsed command line.
+type options struct {
+	ref, out, info string
+	partition      int
+	k, m           int
+}
+
+// buildOnly names the flags that configure an index build and therefore
+// contradict -info, which only reads an existing index.
+var buildOnly = map[string]bool{
+	"ref": true, "out": true, "partition": true, "k": true, "m": true,
+}
+
+// parseArgs registers the flags on fs and parses args, rejecting
+// contradictory mode mixes. Only flags the user explicitly set count:
+// defaults never conflict.
+func parseArgs(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.ref, "ref", "", "reference FASTA")
+	fs.StringVar(&o.out, "out", "ref.casaidx", "index output path")
+	fs.IntVar(&o.partition, "partition", 4<<20, "partition size in bases")
+	fs.IntVar(&o.k, "k", 19, "seed k-mer size")
+	fs.IntVar(&o.m, "m", 10, "mini index m-mer size")
+	fs.StringVar(&o.info, "info", "", "inspect an existing index instead of building")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.info != "" {
+		var mixed []string
+		fs.Visit(func(f *flag.Flag) {
+			if buildOnly[f.Name] {
+				mixed = append(mixed, "-"+f.Name)
+			}
+		})
+		sort.Strings(mixed)
+		if len(mixed) > 0 {
+			return nil, fmt.Errorf("-info inspects an existing index and cannot be combined with build flag(s) %s", strings.Join(mixed, ", "))
+		}
+	}
+	return o, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casa-index: ")
-	var (
-		refPath   = flag.String("ref", "", "reference FASTA")
-		outPath   = flag.String("out", "ref.casaidx", "index output path")
-		partition = flag.Int("partition", 4<<20, "partition size in bases")
-		k         = flag.Int("k", 19, "seed k-mer size")
-		m         = flag.Int("m", 10, "mini index m-mer size")
-		info      = flag.String("info", "", "inspect an existing index instead of building")
-	)
-	flag.Parse()
-
-	if *info != "" {
-		inspect(*info)
-		return
-	}
-	if *refPath == "" {
-		flag.Usage()
+	fs := flag.NewFlagSet("casa-index", flag.ExitOnError)
+	o, err := parseArgs(fs, os.Args[1:])
+	if err != nil {
+		log.Print(err)
+		fs.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*refPath)
+	if o.info != "" {
+		inspect(o.info)
+		return
+	}
+	if o.ref == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(o.ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,8 +106,8 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.PartitionBases = *partition
-	cfg.K, cfg.M = *k, *m
+	cfg.PartitionBases = o.partition
+	cfg.K, cfg.M = o.k, o.m
 	if cfg.MinSMEM < cfg.K {
 		cfg.MinSMEM = cfg.K
 	}
@@ -72,7 +119,7 @@ func main() {
 	}
 	buildTime := time.Since(start)
 
-	out, err := os.Create(*outPath)
+	out, err := os.Create(o.out)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +131,7 @@ func main() {
 	st, _ := out.Stat()
 	fmt.Printf("indexed %d bases into %d partitions in %v; wrote %s (%.1f MB) in %v\n",
 		len(ref), acc.Partitions(), buildTime.Round(time.Millisecond),
-		*outPath, float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond))
+		o.out, float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond))
 }
 
 func inspect(path string) {

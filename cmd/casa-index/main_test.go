@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseArgsFlagMatrix drives parseArgs over the build/inspect flag
+// matrix. Every combination of -info with an explicit build flag must be
+// rejected — before this gate, `casa-index -info idx -out new.casaidx`
+// silently inspected and never wrote anything — while each mode's own
+// flags parse cleanly and defaults never trigger the conflict.
+func TestParseArgsFlagMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr []string // substrings the error must mention; empty = no error
+		check   func(t *testing.T, o *options)
+	}{
+		{
+			name: "build with defaults",
+			args: []string{"-ref", "ref.fa"},
+			check: func(t *testing.T, o *options) {
+				if o.ref != "ref.fa" || o.out != "ref.casaidx" || o.k != 19 || o.m != 10 {
+					t.Errorf("options = %+v", o)
+				}
+			},
+		},
+		{
+			name: "build with every knob",
+			args: []string{"-ref", "ref.fa", "-out", "x.casaidx", "-partition", "1024", "-k", "15", "-m", "8"},
+			check: func(t *testing.T, o *options) {
+				if o.out != "x.casaidx" || o.partition != 1024 || o.k != 15 || o.m != 8 {
+					t.Errorf("options = %+v", o)
+				}
+			},
+		},
+		{
+			name: "inspect alone",
+			args: []string{"-info", "ref.casaidx"},
+			check: func(t *testing.T, o *options) {
+				if o.info != "ref.casaidx" {
+					t.Errorf("options = %+v", o)
+				}
+			},
+		},
+		{name: "no flags at all", args: nil},
+		{
+			name:    "inspect with -ref",
+			args:    []string{"-info", "idx", "-ref", "ref.fa"},
+			wantErr: []string{"-ref"},
+		},
+		{
+			name:    "inspect with -out",
+			args:    []string{"-info", "idx", "-out", "new.casaidx"},
+			wantErr: []string{"-out"},
+		},
+		{
+			name:    "inspect with -partition",
+			args:    []string{"-partition", "4096", "-info", "idx"},
+			wantErr: []string{"-partition"},
+		},
+		{
+			name:    "inspect with -k",
+			args:    []string{"-info", "idx", "-k", "19"},
+			wantErr: []string{"-k"},
+		},
+		{
+			name:    "inspect with -m",
+			args:    []string{"-info", "idx", "-m", "10"},
+			wantErr: []string{"-m"},
+		},
+		{
+			name:    "inspect with several build flags names each",
+			args:    []string{"-info", "idx", "-out", "x", "-k", "12", "-m", "6"},
+			wantErr: []string{"-out", "-k", "-m"},
+		},
+		{
+			name:    "explicit default value still conflicts",
+			args:    []string{"-info", "idx", "-out", "ref.casaidx"},
+			wantErr: []string{"-out"},
+		},
+		{
+			name:    "unknown flag",
+			args:    []string{"-bogus"},
+			wantErr: []string{"bogus"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("casa-index", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			o, err := parseArgs(fs, tc.args)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("parseArgs(%v): unexpected error %v", tc.args, err)
+				}
+				if tc.check != nil {
+					tc.check(t, o)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseArgs(%v): want error mentioning %v, got options %+v", tc.args, tc.wantErr, o)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %s", err, want)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,20 @@ type Accelerator struct {
 	parts   []*Partition
 	starts  []int // global offset of each partition
 	refLen  int
+
+	scr accScratch
+}
+
+// accScratch holds the accelerator's reusable per-read buffers: the
+// reverse complement, the per-strand candidate accumulators, and the merge
+// destination. Together with the per-partition scratch this makes the
+// steady-state per-read sweep allocation-free; Clone hands each worker an
+// accelerator with empty scratch of its own, and nothing scratch-backed
+// survives past the next read (retained results are exact-size copies).
+type accScratch struct {
+	rc     dna.Sequence
+	strand [2][]smem.Match
+	merged []smem.Match
 }
 
 // DefaultPartitionOverlap is the number of bases adjacent partitions
@@ -196,86 +210,114 @@ func (a *Accelerator) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int
 	}
 
 	for i, r := range reads {
-		// Strand 0 = forward, strand 1 = reverse complement.
-		seqs := [2]dna.Sequence{r, r.ReverseComplement()}
-		readBytes := int64((len(r) + 3) / 4) // 2-bit packed
-		var retired [2]bool
-		var strandMatches [2][]smem.Match
-		var cursor, stage1Total int64
+		a.seedStrands(r, act, tb, tracks, base+i)
+		a.scr.merged = appendMergedSMEMs(a.scr.merged[:0], a.scr.strand[0])
+		fwd := smem.Retain(a.scr.merged)
+		a.scr.merged = appendMergedSMEMs(a.scr.merged[:0], a.scr.strand[1])
+		act.Reads[i] = ReadResult{Forward: fwd, Reverse: smem.Retain(a.scr.merged)}
+	}
+	return act
+}
 
-		// Stage 1: exact-match sweep with retirement. The hardware scans
-		// the partitions sequentially; a read streams from DRAM for a
-		// partition pass while at least one of its strands is live, and a
-		// resolved read retires BOTH strands (its exact placement is known,
-		// so the opposite strand reports no SMEMs — the aligner already has
-		// the position) and skips every later partition.
-		if a.cfg.ExactMatchPrepass {
-			for pi, p := range a.parts {
-				if retired[0] && retired[1] {
-					break
-				}
-				act.ReadBytes += readBytes
-				before := p.Stats
-				for s := 0; s < 2; s++ {
-					if retired[s] || len(seqs[s]) < a.cfg.MinSMEM {
-						continue
-					}
-					if hits, ok := p.ExactCheck(seqs[s]); ok {
-						retired[s] = true
-						retired[s^1] = true
-						strandMatches[s] = []smem.Match{{Start: 0, End: len(seqs[s]) - 1, Hits: hits}}
-					}
-				}
-				d := diffStats(p.Stats, before)
-				act.Stage1[pi].add(d)
-				if tb != nil {
-					cyc := stageCycles(d, a.cfg)
-					if cyc > 0 {
-						tb.Emit(base+i, tracks[pi], "exact", cursor, cyc)
-					}
-					cursor += cyc
-				}
-			}
-			stage1Total = cursor
-			tb.Emit(base+i, "exact", "exact", 0, stage1Total)
-		}
+// seedStrands runs the two-stage partition sweep for one read's strands
+// (strand 0 = forward, strand 1 = reverse complement), leaving the
+// unmerged per-strand candidate sets in a.scr.strand — valid until the
+// next call. act, when non-nil, accumulates the per-partition stage deltas
+// and DRAM bytes; tb, when non-nil, receives the per-read cycle spans
+// keyed readKey.
+func (a *Accelerator) seedStrands(read dna.Sequence, act *Activity, tb *trace.Buffer, tracks []string, readKey int) {
+	a.scr.rc = read.AppendReverseComplement(a.scr.rc[:0])
+	seqs := [2]dna.Sequence{read, a.scr.rc}
+	readBytes := int64((len(read) + 3) / 4) // 2-bit packed
+	var retired [2]bool
+	strand := [2][]smem.Match{a.scr.strand[0][:0], a.scr.strand[1][:0]}
+	var cursor, stage1Total int64
 
-		// Stage 2: full SMEM computing for the remaining strands, again
-		// sweeping the partitions in order. Read streaming: a read fetched
-		// for a partition pass serves both its exact check and its SMEM
-		// computation, so with the prepass on, stage 1 already charged this
-		// read's bytes; without it, the SMEM stage is the only fetch.
+	// Stage 1: exact-match sweep with retirement. The hardware scans
+	// the partitions sequentially; a read streams from DRAM for a
+	// partition pass while at least one of its strands is live, and a
+	// resolved read retires BOTH strands (its exact placement is known,
+	// so the opposite strand reports no SMEMs — the aligner already has
+	// the position) and skips every later partition.
+	if a.cfg.ExactMatchPrepass {
 		for pi, p := range a.parts {
 			if retired[0] && retired[1] {
 				break
 			}
-			if !a.cfg.ExactMatchPrepass {
+			if act != nil {
 				act.ReadBytes += readBytes
 			}
 			before := p.Stats
 			for s := 0; s < 2; s++ {
-				if !retired[s] {
-					strandMatches[s] = append(strandMatches[s], p.seedRead(seqs[s], false)...)
+				if retired[s] || len(seqs[s]) < a.cfg.MinSMEM {
+					continue
+				}
+				if hits, ok := p.ExactCheck(seqs[s]); ok {
+					retired[s] = true
+					retired[s^1] = true
+					strand[s] = append(strand[s], smem.Match{Start: 0, End: len(seqs[s]) - 1, Hits: hits})
 				}
 			}
 			d := diffStats(p.Stats, before)
-			act.Stage2[pi].add(d)
+			if act != nil {
+				act.Stage1[pi].add(d)
+			}
 			if tb != nil {
 				cyc := stageCycles(d, a.cfg)
 				if cyc > 0 {
-					tb.Emit(base+i, tracks[pi], "smem", cursor, cyc)
+					tb.Emit(readKey, tracks[pi], "exact", cursor, cyc)
 				}
 				cursor += cyc
 			}
 		}
-		tb.Emit(base+i, "smem", "smem", stage1Total, cursor-stage1Total)
+		stage1Total = cursor
+		tb.Emit(readKey, "exact", "exact", 0, stage1Total)
+	}
 
-		act.Reads[i] = ReadResult{
-			Forward: MergeSMEMs(strandMatches[0]),
-			Reverse: MergeSMEMs(strandMatches[1]),
+	// Stage 2: full SMEM computing for the remaining strands, again
+	// sweeping the partitions in order. Read streaming: a read fetched
+	// for a partition pass serves both its exact check and its SMEM
+	// computation, so with the prepass on, stage 1 already charged this
+	// read's bytes; without it, the SMEM stage is the only fetch.
+	for pi, p := range a.parts {
+		if retired[0] && retired[1] {
+			break
+		}
+		if !a.cfg.ExactMatchPrepass && act != nil {
+			act.ReadBytes += readBytes
+		}
+		before := p.Stats
+		for s := 0; s < 2; s++ {
+			if !retired[s] {
+				strand[s] = p.appendSeed(strand[s], seqs[s], false)
+			}
+		}
+		d := diffStats(p.Stats, before)
+		if act != nil {
+			act.Stage2[pi].add(d)
+		}
+		if tb != nil {
+			cyc := stageCycles(d, a.cfg)
+			if cyc > 0 {
+				tb.Emit(readKey, tracks[pi], "smem", cursor, cyc)
+			}
+			cursor += cyc
 		}
 	}
-	return act
+	tb.Emit(readKey, "smem", "smem", stage1Total, cursor-stage1Total)
+	a.scr.strand = strand
+}
+
+// SeedReadInto seeds one read on both strands into the caller-owned
+// buffers, reusing their backing arrays (fwd and rev are expected to be
+// resliced to length zero). Together with the per-partition scratch this
+// is the allocation-free steady-state path the allocation regression suite
+// pins; partition activity counters still accumulate exactly as in Seed.
+func (a *Accelerator) SeedReadInto(fwd, rev []smem.Match, read dna.Sequence) ([]smem.Match, []smem.Match) {
+	a.seedStrands(read, nil, nil, nil, 0)
+	fwd = appendMergedSMEMs(fwd, a.scr.strand[0])
+	rev = appendMergedSMEMs(rev, a.scr.strand[1])
+	return fwd, rev
 }
 
 // Reduce folds the Activities of disjoint sub-batches (in input order)
@@ -386,29 +428,36 @@ func MergeSMEMs(ms []smem.Match) []smem.Match {
 	if len(ms) == 0 {
 		return nil
 	}
-	smem.Sort(ms)
-	merged := ms[:0:0]
+	return appendMergedSMEMs(nil, ms)
+}
+
+// appendMergedSMEMs is MergeSMEMs appending into dst, reordering and
+// compacting ms in place. After the cover-order sort (start ascending, end
+// descending) duplicate intervals are adjacent — their hits sum — and an
+// interval is strictly contained in another exactly when an earlier entry's
+// end reaches its end, so a linear scan with a running maximum replaces the
+// quadratic pairwise check. Survivors have strictly increasing starts and
+// ends, i.e. they are already canonically sorted.
+func appendMergedSMEMs(dst, ms []smem.Match) []smem.Match {
+	smem.SortCover(ms)
+	w := 0
 	for _, m := range ms {
-		if n := len(merged); n > 0 && merged[n-1].Start == m.Start && merged[n-1].End == m.End {
-			merged[n-1].Hits += m.Hits
+		if w > 0 && ms[w-1].Start == m.Start && ms[w-1].End == m.End {
+			ms[w-1].Hits += m.Hits
 			continue
 		}
-		merged = append(merged, m)
+		ms[w] = m
+		w++
 	}
-	var out []smem.Match
-	for i, m := range merged {
-		contained := false
-		for j, o := range merged {
-			if i != j && o.Contains(m) && (o.Start != m.Start || o.End != m.End) {
-				contained = true
-				break
-			}
+	maxEnd := -1
+	for _, m := range ms[:w] {
+		if m.End <= maxEnd {
+			continue
 		}
-		if !contained {
-			out = append(out, m)
-		}
+		maxEnd = m.End
+		dst = append(dst, m)
 	}
-	return out
+	return dst
 }
 
 // energyReport converts accumulated activity into the Table 4 style

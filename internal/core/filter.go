@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"casa/internal/dna"
 )
@@ -52,8 +51,20 @@ type Filter struct {
 	posIndex  []int32 // len(tags)+1: range of positions per tag entry
 	positions []int32 // occurrence start positions, sorted per k-mer
 
+	// Derived from cfg once at construction (initDerived) so the per-lookup
+	// hot path does not recompute the tag split on every call.
+	suffixBits uint
+	suffixMask uint64
+
 	// Stats accumulates lookup activity; reset by the caller per batch.
 	Stats FilterStats
+}
+
+// initDerived fills the fields derived from cfg; every construction site
+// (build, deserialize, clone) must call it.
+func (f *Filter) initDerived() {
+	f.suffixBits = uint(2 * (f.cfg.K - f.cfg.M))
+	f.suffixMask = uint64(1)<<f.suffixBits - 1
 }
 
 // tagRange is one mini-index entry: the start/end pointers into the tag
@@ -66,7 +77,7 @@ type tagRange struct {
 // never written during lookups) with fresh Stats. Lookup and Positions on
 // distinct clones are safe to run concurrently.
 func (f *Filter) Clone() *Filter {
-	return &Filter{
+	c := &Filter{
 		cfg:       f.cfg,
 		mini:      f.mini,
 		tags:      f.tags,
@@ -74,6 +85,8 @@ func (f *Filter) Clone() *Filter {
 		posIndex:  f.posIndex,
 		positions: f.positions,
 	}
+	c.initDerived()
+	return c
 }
 
 // BuildFilter constructs the filter for one reference partition. Building
@@ -107,9 +120,10 @@ func BuildFilter(part dna.Sequence, cfg Config) (*Filter, error) {
 		cfg:  cfg,
 		mini: make([]tagRange, dna.NumKmers(cfg.M)),
 	}
+	f.initDerived()
 	posMask := uint64(1)<<uint(posBits) - 1
-	suffixBits := 2 * (cfg.K - cfg.M)
-	suffixMask := uint64(1)<<uint(suffixBits) - 1
+	suffixBits := f.suffixBits
+	suffixMask := f.suffixMask
 
 	var prefixes []uint64 // m-mer prefix of each distinct k-mer, in order
 	var prevKmer uint64
@@ -180,12 +194,10 @@ func (f *Filter) Contains(kmer dna.Kmer) bool {
 func (f *Filter) find(kmer dna.Kmer) (int, bool) {
 	f.Stats.Lookups++
 	f.Stats.MiniAccesses++
-	suffixBits := 2 * (f.cfg.K - f.cfg.M)
-	prefix := uint64(kmer) >> uint(suffixBits)
-	r := f.mini[prefix]
+	r := f.mini[uint64(kmer)>>f.suffixBits]
 	f.Stats.TagSearches++
 	f.Stats.TagRowsEnabled += int64(r.end - r.start)
-	idx, ok := f.search(r, uint64(kmer)&(uint64(1)<<uint(suffixBits)-1))
+	idx, ok := f.search(r, uint64(kmer)&f.suffixMask)
 	if ok {
 		f.Stats.Hits++
 	}
@@ -194,16 +206,25 @@ func (f *Filter) find(kmer dna.Kmer) (int, bool) {
 
 // findQuiet locates kmer's tag entry without touching Stats.
 func (f *Filter) findQuiet(kmer dna.Kmer) (int, bool) {
-	suffixBits := 2 * (f.cfg.K - f.cfg.M)
-	prefix := uint64(kmer) >> uint(suffixBits)
-	return f.search(f.mini[prefix], uint64(kmer)&(uint64(1)<<uint(suffixBits)-1))
+	return f.search(f.mini[uint64(kmer)>>f.suffixBits], uint64(kmer)&f.suffixMask)
 }
 
+// search is an open-coded binary search over the tag range: sort.Search's
+// closure would allocate and indirect on every lookup, and this is the
+// hottest loop of the pre-seeding phase.
 func (f *Filter) search(r tagRange, suffix uint64) (int, bool) {
+	tags := f.tags
 	lo, hi := int(r.start), int(r.end)
-	i := lo + sort.Search(hi-lo, func(i int) bool { return f.tags[lo+i] >= suffix })
-	if i < hi && f.tags[i] == suffix {
-		return i, true
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tags[mid] < suffix {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(r.end) && tags[lo] == suffix {
+		return lo, true
 	}
 	return 0, false
 }

@@ -61,6 +61,30 @@ type Partition struct {
 
 	// Stats accumulates activity across SeedRead calls.
 	Stats PartStats
+
+	scr partScratch
+}
+
+// partScratch holds the partition's reusable per-read buffers. All are
+// sized to the read (not the reference), only ever grow, and never escape
+// a seeding call, so after warm-up the per-read path stops allocating.
+// Clone hands each worker a partition with empty scratch of its own.
+type partScratch struct {
+	kmers   []dna.Kmer        // rolling k-mers of the current read
+	inds    []SearchIndicator // per-pivot search indicators
+	exists  []bool            // per-pivot filter existence
+	extLens []int             // per-hit extension lengths (rmemSearch)
+	anchors []int             // exact-match anchor offsets
+	aInds   []SearchIndicator // exact-check anchor indicators
+}
+
+// growN returns s resized to n entries, reusing capacity when possible.
+// Contents are unspecified; callers overwrite (or clear) every entry.
+func growN[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // NewPartition builds the filter and CAM image for one partition.
@@ -94,27 +118,30 @@ func (p *Partition) Config() Config { return p.cfg }
 // with their hit counts. Strand handling lives in the Accelerator: pass
 // the reverse complement separately for the other strand.
 func (p *Partition) SeedRead(read dna.Sequence) []smem.Match {
-	return p.seedRead(read, p.cfg.ExactMatchPrepass)
+	return p.appendSeed(nil, read, p.cfg.ExactMatchPrepass)
 }
 
-// seedRead is SeedRead with the exact-match prepass controlled by the
-// caller: the Accelerator's two-stage flow (§4.3) performs the exact
-// check separately (ExactCheck) and runs the SMEM stage without it.
-func (p *Partition) seedRead(read dna.Sequence, prepass bool) []smem.Match {
+// appendSeed is SeedRead appending into dst, with the exact-match prepass
+// controlled by the caller: the Accelerator's two-stage flow (§4.3)
+// performs the exact check separately (ExactCheck) and runs the SMEM stage
+// without it. All intermediate arrays live in the partition's scratch, so
+// the steady-state call allocates nothing beyond growing dst.
+func (p *Partition) appendSeed(dst []smem.Match, read dna.Sequence, prepass bool) []smem.Match {
 	p.Stats.ReadsSeeded++
 	L := len(read)
 	maxPivot := L - p.cfg.K
 	if maxPivot < 0 {
-		return nil
+		return dst
 	}
 
 	// Pre-seeding phase: fetch the search indicators of every pivot's
 	// k-mer (both the pivot checks and the CRkM checks of Algorithm 1 read
 	// from this array; the hardware ships it through the FIFO with the
 	// read). Without the filter table the naive design skips this phase.
-	kmers := rollingKmers(read, p.cfg.K)
-	inds := make([]SearchIndicator, maxPivot+1)
-	exists := make([]bool, maxPivot+1)
+	kmers := p.rollingKmersInto(read)
+	inds := growN(p.scr.inds, maxPivot+1)
+	exists := growN(p.scr.exists, maxPivot+1)
+	p.scr.inds, p.scr.exists = inds, exists
 	anyHit := false
 	if p.cfg.UseFilterTable {
 		for i := 0; i <= maxPivot; i++ {
@@ -131,9 +158,15 @@ func (p *Partition) seedRead(read dna.Sequence, prepass bool) []smem.Match {
 			p.Stats.ReadsDiscarded++
 			p.Stats.PivotsTotal += int64(maxPivot + 1)
 			p.Stats.PivotsFilteredTable += int64(maxPivot + 1)
-			return nil
+			return dst
 		}
 	} else {
+		// Clear stale indicators from the previous read: the no-table
+		// configuration leaves them untouched (exactMatch still reads them,
+		// and must see the zero value the old fresh allocation provided).
+		for i := range inds {
+			inds[i] = SearchIndicator{}
+		}
 		for i := 0; i <= maxPivot; i++ {
 			exists[i] = true
 		}
@@ -146,11 +179,10 @@ func (p *Partition) seedRead(read dna.Sequence, prepass bool) []smem.Match {
 	if prepass && L >= p.cfg.MinSMEM {
 		if hits, ok := p.exactMatch(read, kmers, inds, exists); ok {
 			p.Stats.ReadsExact++
-			return []smem.Match{{Start: 0, End: L - 1, Hits: hits}}
+			return append(dst, smem.Match{Start: 0, End: L - 1, Hits: hits})
 		}
 	}
 
-	var out []smem.Match
 	var last smem.Match
 	haveLast := false
 	for pivot := 0; pivot <= maxPivot; pivot++ {
@@ -196,12 +228,14 @@ func (p *Partition) seedRead(read dna.Sequence, prepass bool) []smem.Match {
 		if haveLast && m.End <= last.End {
 			continue
 		}
-		out = append(out, m)
 		last, haveLast = m, true
+		// Candidates arrive with strictly ascending starts, so the output
+		// is already canonically sorted; the length filter runs inline.
+		if m.Len() >= p.cfg.MinSMEM {
+			dst = append(dst, m)
+		}
 	}
-	out = smem.FilterMinLen(out, p.cfg.MinSMEM)
-	smem.Sort(out)
-	return out
+	return dst
 }
 
 // rmemSearch performs the unidirectional right-maximal exact match search
@@ -237,7 +271,8 @@ func (p *Partition) rmemSearch(read dna.Sequence, pivot int, kmer dna.Kmer, ind 
 	// result is identical because a stride matches iff the reference
 	// extends the read at that hit.
 	best := 0
-	extLens := make([]int, len(positions))
+	extLens := growN(p.scr.extLens, len(positions))
+	p.scr.extLens = extLens
 	for i, pos := range positions {
 		ext := p.lce(read, pivot+p.cfg.K, int(pos)+p.cfg.K)
 		extLens[i] = p.cfg.K + ext
@@ -296,15 +331,7 @@ func (p *Partition) rmemSearch(read dna.Sequence, pivot int, kmer dna.Kmer, ind 
 func (p *Partition) exactMatch(read dna.Sequence, kmers []dna.Kmer, inds []SearchIndicator, exists []bool) (hits int, ok bool) {
 	L := len(read)
 	maxPivot := L - p.cfg.K
-	// Non-overlapping k-mer anchor offsets: 0, K, 2K, ..., plus the final
-	// k-mer so the tail is covered.
-	var anchors []int
-	for off := 0; off <= maxPivot; off += p.cfg.K {
-		anchors = append(anchors, off)
-	}
-	if anchors[len(anchors)-1] != maxPivot {
-		anchors = append(anchors, maxPivot)
-	}
+	anchors := p.anchorOffsets(maxPivot)
 	for _, a := range anchors {
 		p.Stats.ComputeCycles++ // controller gathers and checks one anchor
 		if !exists[a] {
@@ -358,14 +385,9 @@ func (p *Partition) ExactCheck(read dna.Sequence) (hits int, ok bool) {
 	if maxPivot < 0 {
 		return 0, false
 	}
-	var anchors []int
-	for off := 0; off <= maxPivot; off += p.cfg.K {
-		anchors = append(anchors, off)
-	}
-	if anchors[len(anchors)-1] != maxPivot {
-		anchors = append(anchors, maxPivot)
-	}
-	inds := make([]SearchIndicator, len(anchors))
+	anchors := p.anchorOffsets(maxPivot)
+	inds := growN(p.scr.aInds, len(anchors))
+	p.scr.aInds = inds
 	for ai, a := range anchors {
 		p.Stats.ComputeCycles++
 		ind, exists := p.filter.Lookup(dna.PackKmer(read, a, p.cfg.K))
@@ -399,14 +421,31 @@ func (p *Partition) ExactCheck(read dna.Sequence) (hits int, ok bool) {
 	return 0, false
 }
 
-// rollingKmers packs every k-mer of read in one pass (incremental shift
-// instead of repacking k bases per pivot).
-func rollingKmers(read dna.Sequence, k int) []dna.Kmer {
+// anchorOffsets fills the scratch anchor list with the exact-match anchor
+// offsets: non-overlapping k-mers at 0, K, 2K, ..., plus the final k-mer so
+// the tail is covered.
+func (p *Partition) anchorOffsets(maxPivot int) []int {
+	anchors := p.scr.anchors[:0]
+	for off := 0; off <= maxPivot; off += p.cfg.K {
+		anchors = append(anchors, off)
+	}
+	if anchors[len(anchors)-1] != maxPivot {
+		anchors = append(anchors, maxPivot)
+	}
+	p.scr.anchors = anchors
+	return anchors
+}
+
+// rollingKmersInto packs every k-mer of read in one pass (incremental shift
+// instead of repacking k bases per pivot), into the partition's scratch.
+func (p *Partition) rollingKmersInto(read dna.Sequence) []dna.Kmer {
+	k := p.cfg.K
 	n := len(read) - k + 1
 	if n <= 0 {
 		return nil
 	}
-	out := make([]dna.Kmer, n)
+	out := growN(p.scr.kmers, n)
+	p.scr.kmers = out
 	mask := dna.Kmer(1)<<(2*uint(k)) - 1
 	var v dna.Kmer
 	for i, b := range read {

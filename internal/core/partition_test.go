@@ -312,7 +312,8 @@ func TestRollingKmers(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	read := randSeq(rng, 60)
 	for _, k := range []int{1, 7, 19, 31} {
-		got := rollingKmers(read, k)
+		p := &Partition{cfg: Config{K: k}}
+		got := p.rollingKmersInto(read)
 		if len(got) != len(read)-k+1 {
 			t.Fatalf("k=%d: %d kmers", k, len(got))
 		}
@@ -321,8 +322,19 @@ func TestRollingKmers(t *testing.T) {
 				t.Fatalf("k=%d i=%d: rolling %d != packed %d", k, i, got[i], dna.PackKmer(read, i, k))
 			}
 		}
+		// Scratch reuse must not leak stale entries into a shorter read.
+		short := randSeq(rng, k+3)
+		again := p.rollingKmersInto(short)
+		if len(again) != 4 {
+			t.Fatalf("k=%d reuse: %d kmers", k, len(again))
+		}
+		for i := range again {
+			if again[i] != dna.PackKmer(short, i, k) {
+				t.Fatalf("k=%d reuse i=%d: rolling != packed", k, i)
+			}
+		}
 	}
-	if rollingKmers(randSeq(rng, 5), 7) != nil {
+	if (&Partition{cfg: Config{K: 7}}).rollingKmersInto(randSeq(rng, 5)) != nil {
 		t.Error("short read must yield no kmers")
 	}
 }

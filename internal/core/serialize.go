@@ -157,6 +157,7 @@ func readPartition(r *bufio.Reader, cfg Config) (*Partition, error) {
 		return nil, fmt.Errorf("mini index size %d does not match m=%d", nMini, cfg.M)
 	}
 	f := &Filter{cfg: cfg, mini: make([]tagRange, nMini)}
+	f.initDerived()
 	prev := int32(0)
 	for i := range f.mini {
 		end, err := readU32(r)

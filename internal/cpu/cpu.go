@@ -58,6 +58,13 @@ func (c Config) Validate() error {
 type Seeder struct {
 	cfg    Config
 	finder *smem.Bidirectional
+
+	// Per-instance scratch for the per-read hot path: the reverse
+	// complement and the search destination are built in reusable buffers,
+	// and only exactly sized copies are retained in the Activity. Clone
+	// hands each worker empty scratch of its own.
+	rc  dna.Sequence
+	buf []smem.Match
 }
 
 // New builds the FM-index over ref. Software BWA-MEM2 indexes the whole
@@ -118,12 +125,18 @@ func (s *Seeder) Seed(reads []dna.Sequence) *Activity {
 // the CPU timing model charges. Reads are keyed base+i so batch shards
 // merge worker-count independently.
 func (s *Seeder) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Activity {
-	act := &Activity{}
+	act := &Activity{
+		Reads: make([][]smem.Match, 0, len(reads)),
+		Rev:   make([][]smem.Match, 0, len(reads)),
+	}
 	for i, r := range reads {
-		act.Reads = append(act.Reads, s.finder.FindSMEMs(r, s.cfg.MinSMEM))
+		s.buf = s.finder.AppendSMEMs(s.buf[:0], r, s.cfg.MinSMEM)
+		act.Reads = append(act.Reads, smem.Retain(s.buf))
 		fwd := int64(s.finder.Steps)
 		act.Steps += fwd
-		act.Rev = append(act.Rev, s.finder.FindSMEMs(r.ReverseComplement(), s.cfg.MinSMEM))
+		s.rc = r.AppendReverseComplement(s.rc[:0])
+		s.buf = s.finder.AppendSMEMs(s.buf[:0], s.rc, s.cfg.MinSMEM)
+		act.Rev = append(act.Rev, smem.Retain(s.buf))
 		rev := int64(s.finder.Steps)
 		act.Steps += rev
 		if tb != nil {
@@ -132,6 +145,18 @@ func (s *Seeder) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) *Ac
 		}
 	}
 	return act
+}
+
+// SeedReadInto seeds one read on both strands into the caller-owned
+// buffers, reusing their backing arrays (fwd and rev are expected to be
+// resliced to length zero). Together with the seeder's own scratch this
+// makes the steady-state per-read path allocation-free; the allocation
+// regression suite pins that property.
+func (s *Seeder) SeedReadInto(fwd, rev []smem.Match, read dna.Sequence) ([]smem.Match, []smem.Match) {
+	fwd = s.finder.AppendSMEMs(fwd, read, s.cfg.MinSMEM)
+	s.rc = read.AppendReverseComplement(s.rc[:0])
+	rev = s.finder.AppendSMEMs(rev, s.rc, s.cfg.MinSMEM)
+	return fwd, rev
 }
 
 // Reduce folds the Activities of disjoint sub-batches (in input order)

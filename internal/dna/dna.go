@@ -111,11 +111,23 @@ func (s Sequence) Clone() Sequence {
 // ("three reads (together with the reverse strands) are sent to the
 // pre-seeding filter", §4.1).
 func (s Sequence) ReverseComplement() Sequence {
-	rc := make(Sequence, len(s))
-	for i, b := range s {
-		rc[len(s)-1-i] = b.Complement()
+	return s.AppendReverseComplement(nil)
+}
+
+// AppendReverseComplement appends the reverse complement of s to dst and
+// returns the extended slice. Hot paths that seed both strands per read
+// pass a reusable buffer (dst[:0]) so the steady state allocates nothing.
+func (s Sequence) AppendReverseComplement(dst Sequence) Sequence {
+	base := len(dst)
+	dst = append(dst, s...)
+	rc := dst[base:]
+	for i, j := 0, len(rc)-1; i < j; i, j = i+1, j-1 {
+		rc[i], rc[j] = rc[j]^3, rc[i]^3
 	}
-	return rc
+	if len(rc)%2 == 1 {
+		rc[len(rc)/2] ^= 3
+	}
+	return dst
 }
 
 // Equal reports whether two sequences are identical.

@@ -37,6 +37,14 @@ func (e casaEngine) SMEMs(res Result) [][]smem.Match {
 	return out
 }
 
+// SeedReadInto implements ReadSeeder: the accelerator's per-read sweep
+// runs against per-clone scratch and appends the merged strand SMEM sets
+// into dst's reused buffers.
+func (e casaEngine) SeedReadInto(dst *Seeds, read dna.Sequence) bool {
+	dst.Forward, dst.Reverse = e.a.SeedReadInto(dst.Forward[:0], dst.Reverse[:0], read)
+	return true
+}
+
 func (e casaEngine) ActivityCycles(act Activity) int64 {
 	return e.a.ActivityCycles(act.(*core.Activity))
 }

@@ -30,6 +30,13 @@ func (e cpuEngine) SMEMs(res Result) [][]smem.Match {
 	return res.(*cpu.Result).Reads
 }
 
+// SeedReadInto implements ReadSeeder: both strands are searched through
+// the seeder's per-clone scratch into dst's reused buffers.
+func (e cpuEngine) SeedReadInto(dst *Seeds, read dna.Sequence) bool {
+	dst.Forward, dst.Reverse = e.s.SeedReadInto(dst.Forward[:0], dst.Reverse[:0], read)
+	return true
+}
+
 func (e cpuEngine) Model(res Result) Model {
 	r := res.(*cpu.Result)
 	return Model{Seconds: r.Seconds, ReadsPerS: r.Throughput}

@@ -103,6 +103,20 @@ type Seeds struct {
 	Reverse []smem.Match
 }
 
+// ReadSeeder is the optional steady-state hot-path capability: seeding a
+// single read into caller-owned buffers. SeedReadInto appends the read's
+// SMEM sets into dst's slices (reslicing them to length zero first, so
+// their backing arrays are reused across calls) and reports whether this
+// instance supports the allocation-free path — false means dst is
+// untouched and the caller must fall back to SeedTrace. For engines
+// returning true, a warmed-up instance performs zero heap allocations per
+// read; the allocation regression suite (TestSeedZeroAlloc) pins this for
+// the casa, cpu and fmindex engines. Implementations may keep internal
+// scratch on the instance, so the usual Clone-per-worker rule applies.
+type ReadSeeder interface {
+	SeedReadInto(dst *Seeds, read dna.Sequence) bool
+}
+
 // Positioner is implemented by engines that can drive alignment: both
 // strands' SMEMs plus the reference positions behind a match. Only CASA
 // models the hit-position path (the CAM rows are position-addressed);

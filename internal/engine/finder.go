@@ -26,6 +26,13 @@ type seedCoster interface {
 	SeedCost() int64
 }
 
+// appendFinder is the optional allocation-free finder extension:
+// AppendSMEMs appends the read's SMEMs to dst, reusing its capacity and
+// the finder's internal scratch.
+type appendFinder interface {
+	AppendSMEMs(dst []smem.Match, read dna.Sequence, minLen int) []smem.Match
+}
+
 // finderEngine lifts any smem.Finder to an Engine: forward-strand SMEMs
 // only, no timing model.
 type finderEngine struct {
@@ -38,6 +45,10 @@ type finderEngine struct {
 	// publish folds one instance's cumulative counters into a registry;
 	// nil for finders that count nothing.
 	publish func(smem.Finder, *metrics.Registry)
+
+	// buf is the per-instance search destination for append-capable
+	// finders; retained results are exact-size copies of it.
+	buf []smem.Match
 }
 
 func (e *finderEngine) Name() string { return e.name }
@@ -47,19 +58,43 @@ func (e *finderEngine) Clone() Engine {
 	if e.clone != nil {
 		c.finder = e.clone(e.finder)
 	}
+	// The struct copy above would share buf's backing array with e; a
+	// clone must own its scratch (it regrows on first use).
+	c.buf = nil
 	return &c
 }
 
 func (e *finderEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
 	out := make([][]smem.Match, len(reads))
 	costed, _ := e.finder.(seedCoster)
+	appender, _ := e.finder.(appendFinder)
 	for i, r := range reads {
-		out[i] = e.finder.FindSMEMs(r, e.minLen)
+		if appender != nil {
+			e.buf = appender.AppendSMEMs(e.buf[:0], r, e.minLen)
+			out[i] = smem.Retain(e.buf)
+		} else {
+			out[i] = e.finder.FindSMEMs(r, e.minLen)
+		}
 		if tb != nil && costed != nil {
 			tb.Emit(base+i, "seed", "find", 0, costed.SeedCost())
 		}
 	}
 	return finderActivity{out}
+}
+
+// SeedReadInto implements ReadSeeder for finder engines whose finder
+// supports append-style search (the FM-index finders). Finder engines are
+// forward-strand only, so Reverse is reset empty. The brute-force oracle
+// runs behind this same adapter but allocates by design (quadratic
+// definition-based scans); it reports false and stays on FindSMEMs.
+func (e *finderEngine) SeedReadInto(dst *Seeds, read dna.Sequence) bool {
+	appender, ok := e.finder.(appendFinder)
+	if !ok {
+		return false
+	}
+	dst.Forward = appender.AppendSMEMs(dst.Forward[:0], read, e.minLen)
+	dst.Reverse = dst.Reverse[:0]
+	return true
 }
 
 func (e *finderEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {

@@ -1,0 +1,122 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"casa/internal/dna"
+)
+
+// adversarialTexts builds the text shapes that stress the block layout:
+// homopolymers (every popcount saturates one plane), ambiguity-collapsed
+// runs (long single-base stretches inside random sequence, the shape an
+// N-run takes after 2-bit mapping), texts shorter than one 64-symbol
+// block, and lengths straddling block boundaries (the n+1 BWT rows land
+// exactly on, one past, and one short of a block edge).
+func adversarialTexts(rng *rand.Rand) map[string]dna.Sequence {
+	withRuns := randSeq(rng, 200)
+	for i := 40; i < 100; i++ {
+		withRuns[i] = 0 // collapsed ambiguity run (N -> A)
+	}
+	for i := 140; i < 180; i++ {
+		withRuns[i] = 3
+	}
+	texts := map[string]dna.Sequence{
+		"random":        randSeq(rng, 512),
+		"homopolymerA":  make(dna.Sequence, 150), // zero value = base A
+		"ambiguousRuns": withRuns,
+		"tiny":          randSeq(rng, 13), // < one block
+		"oneBase":       randSeq(rng, 1),
+	}
+	for _, n := range []int{63, 64, 65, 127, 128, 130} {
+		texts["len"+itoa(n)] = randSeq(rng, n)
+	}
+	return texts
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestRankBatchMatchesScalar drives the batched Occ query against the
+// scalar one over every index and base, on random and adversarial texts.
+// The two share the per-block layout but not the loop structure, so any
+// divergence in sentinel correction or tail popcounts shows up here.
+func TestRankBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, text := range adversarialTexts(rng) {
+		t.Run(name, func(t *testing.T) {
+			f := Build(text)
+			rows := f.Len() + 1 // BWT rows incl. sentinel
+			idx := make([]int32, 0, rows+1)
+			for i := 0; i <= rows; i++ {
+				idx = append(idx, int32(i))
+			}
+			// Shuffled duplicates: batched queries need not be sorted or
+			// unique.
+			idx = append(idx, idx...)
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+			out := make([]int32, len(idx))
+			for b := dna.Base(0); b < dna.NumBases; b++ {
+				f.RankBatch(b, idx, out)
+				for j, i := range idx {
+					if want := f.Rank(b, i); out[j] != want {
+						t.Fatalf("RankBatch(%v)[%d] at i=%d: got %d, want scalar %d", b, j, i, out[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExtendLeftManyMatchesScalar checks the batched backward-extension
+// step against ExtendLeft over intervals harvested from real backward
+// searches (every prefix interval of random patterns) plus the edge
+// intervals: the full range, empty ranges, and single-row ranges.
+func TestExtendLeftManyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for name, text := range adversarialTexts(rng) {
+		t.Run(name, func(t *testing.T) {
+			f := Build(text)
+			var ivs []Interval
+			var bs []dna.Base
+			add := func(iv Interval, b dna.Base) {
+				ivs = append(ivs, iv)
+				bs = append(bs, b)
+			}
+			for b := dna.Base(0); b < dna.NumBases; b++ {
+				add(f.All(), b)
+				add(Interval{0, 0}, b)
+				add(Interval{int32(f.Len()+1) / 2, int32(f.Len()+1)/2 + 1}, b)
+			}
+			for p := 0; p < 32; p++ {
+				pat := randSeq(rng, 1+rng.Intn(12))
+				iv := f.All()
+				for i := len(pat) - 1; i >= 0; i-- {
+					add(iv, pat[i])
+					iv = f.ExtendLeft(iv, pat[i])
+					if iv.Empty() {
+						break
+					}
+				}
+			}
+
+			out := make([]Interval, len(ivs))
+			f.ExtendLeftMany(ivs, bs, out)
+			for j := range ivs {
+				if want := f.ExtendLeft(ivs[j], bs[j]); out[j] != want {
+					t.Fatalf("ExtendLeftMany[%d] iv=%+v base=%v: got %+v, want scalar %+v", j, ivs[j], bs[j], out[j], want)
+				}
+			}
+		})
+	}
+}

@@ -38,16 +38,41 @@ type ForwardStep struct {
 // where Hits changes between consecutive steps are the paper's left
 // extension points (LEPs).
 func (b *Bidirectional) ForwardSearch(query dna.Sequence, start int) []ForwardStep {
+	return b.ForwardSearchAppend(nil, query, start)
+}
+
+// ForwardSearchAppend is ForwardSearch appending into dst, for hot paths
+// that reuse a per-worker step buffer (dst[:0]) across reads: once the
+// buffer has grown to the longest match, the steady state allocates
+// nothing.
+//
+// Once the interval narrows to a single occurrence it can only shrink to
+// zero, so the remaining extension is resolved by comparing the text at
+// that occurrence directly — a sequential scan instead of one dependent
+// rank chain per base. The emitted steps (and therefore LEPs and modelled
+// step counts) are identical to the all-rank search.
+func (b *Bidirectional) ForwardSearchAppend(dst []ForwardStep, query dna.Sequence, start int) []ForwardStep {
 	iv := b.Rev.All()
-	var steps []ForwardStep
 	for e := start; e < len(query); e++ {
 		iv = b.Rev.ExtendLeft(iv, query[e])
 		if iv.Empty() {
 			break
 		}
-		steps = append(steps, ForwardStep{End: e, Hits: iv.Width()})
+		dst = append(dst, ForwardStep{End: e, Hits: iv.Width()})
+		if iv.Width() == 1 {
+			// The matched segment reversed occupies rev[p:...]; matching
+			// one more query base prepends it in the reversed text.
+			rev := b.Rev.Text()
+			p := int(b.Rev.SuffixAt(iv.Lo))
+			for e+1 < len(query) && p > 0 && rev[p-1] == query[e+1] {
+				e++
+				p--
+				dst = append(dst, ForwardStep{End: e, Hits: 1})
+			}
+			break
+		}
 	}
-	return steps
+	return dst
 }
 
 // LongestMatchFrom returns the largest end index e (inclusive) such that
@@ -64,6 +89,17 @@ func (b *Bidirectional) LongestMatchFrom(query dna.Sequence, start int) (end, hi
 		}
 		iv = next
 		end, hits = e, iv.Width()
+		if hits == 1 {
+			// Unique occurrence: finish by direct text comparison (see
+			// ForwardSearchAppend).
+			rev := b.Rev.Text()
+			p := int(b.Rev.SuffixAt(iv.Lo))
+			for end+1 < len(query) && p > 0 && rev[p-1] == query[end+1] {
+				end++
+				p--
+			}
+			break
+		}
 	}
 	return end, hits, end >= start
 }
@@ -81,6 +117,17 @@ func (b *Bidirectional) LongestMatchEndingAt(query dna.Sequence, end int) (start
 		}
 		iv = next
 		start, hits = x, iv.Width()
+		if hits == 1 {
+			// Unique occurrence: extending left can only keep this one
+			// occurrence or fail, so compare the text at it directly.
+			text := b.Fwd.Text()
+			p := int(b.Fwd.SuffixAt(iv.Lo))
+			for start > 0 && p > 0 && text[p-1] == query[start-1] {
+				start--
+				p--
+			}
+			break
+		}
 	}
 	return start, hits, start <= end
 }

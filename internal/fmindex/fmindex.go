@@ -38,6 +38,16 @@ func (iv Interval) Width() int { return int(iv.Hi - iv.Lo) }
 // Empty reports whether the interval contains no rows.
 func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
 
+// occBlock packs one 64-symbol BWT block into 32 bytes: the cumulative
+// per-base counts before the block and both bit planes (bit i of p0/p1 is
+// the low/high bit of the base at BWT position 64k+i). Interleaving counts
+// with planes means one rank touches a single cache line instead of three
+// separate arrays — the cache-line-aligned Occ layout BWA-MEM2 uses.
+type occBlock struct {
+	counts [4]int32 // occurrences of each base in bwt[0 : 64k)
+	p0, p1 uint64
+}
+
 // FMIndex is a full-text index over a DNA sequence supporting O(1)
 // backward extension and O(occ) location of matches.
 type FMIndex struct {
@@ -45,14 +55,12 @@ type FMIndex struct {
 	sa   []int32 // suffix array with sentinel row 0; len n+1
 	n    int
 
-	// BWT bit planes: bit i of plane0/plane1 is the low/high bit of the
-	// base at BWT position i. The sentinel's position holds base code 0
+	// occ[k] covers BWT positions [64k, 64k+64); the final entry carries
+	// only the closing counts. The sentinel's position holds base code 0
 	// (A); sentRow corrects rank(A, .) for it.
-	plane0, plane1 []uint64
-	sentRow        int32
-	// blocks[k][b] = occurrences of base b in bwt[0 : 64k).
-	blocks [][4]int32
-	c      [6]int32
+	occ     []occBlock
+	sentRow int32
+	c       [6]int32
 }
 
 // Build constructs the index over text. The sentinel is implicit; text is
@@ -63,13 +71,11 @@ func Build(text dna.Sequence) *FMIndex {
 	f := &FMIndex{text: text, sa: sa, n: n}
 
 	nb := (n + 1 + 63) / 64
-	f.plane0 = make([]uint64, nb)
-	f.plane1 = make([]uint64, nb)
-	f.blocks = make([][4]int32, nb+1)
+	f.occ = make([]occBlock, nb+1)
 	var run [4]int32
 	for i, p := range sa {
 		if i%64 == 0 {
-			f.blocks[i/64] = run
+			f.occ[i/64].counts = run
 		}
 		var b dna.Base
 		if p == 0 {
@@ -79,10 +85,10 @@ func Build(text dna.Sequence) *FMIndex {
 			b = text[p-1]
 			run[b]++
 		}
-		f.plane0[i/64] |= uint64(b&1) << uint(i%64)
-		f.plane1[i/64] |= uint64(b>>1) << uint(i%64)
+		f.occ[i/64].p0 |= uint64(b&1) << uint(i%64)
+		f.occ[i/64].p1 |= uint64(b>>1) << uint(i%64)
 	}
-	f.blocks[nb] = run
+	f.occ[nb].counts = run
 
 	// C table: c[s] = number of symbols strictly smaller than s, over the
 	// 5-symbol alphabet (0 = sentinel, 1..4 = bases).
@@ -109,7 +115,7 @@ func (f *FMIndex) Text() dna.Sequence { return f.text }
 // HeapBytes estimates the index's memory footprint in bytes, used by the
 // baseline models when reasoning about index sizes.
 func (f *FMIndex) HeapBytes() int {
-	return len(f.sa)*4 + len(f.plane0)*16 + len(f.blocks)*16 + len(f.text)
+	return len(f.sa)*4 + len(f.occ)*32 + len(f.text)
 }
 
 // All returns the interval covering every suffix (the empty pattern).
@@ -117,10 +123,10 @@ func (f *FMIndex) All() Interval { return Interval{0, int32(f.n + 1)} }
 
 // rank returns the number of occurrences of base b in bwt[0:i).
 func (f *FMIndex) rank(b dna.Base, i int32) int32 {
-	blk := i >> 6
-	r := f.blocks[blk][b]
+	o := &f.occ[i>>6]
+	r := o.counts[b]
 	if rem := uint(i & 63); rem != 0 {
-		p0, p1 := f.plane0[blk], f.plane1[blk]
+		p0, p1 := o.p0, o.p1
 		if b&1 == 0 {
 			p0 = ^p0
 		}
@@ -132,10 +138,46 @@ func (f *FMIndex) rank(b dna.Base, i int32) int32 {
 	// The sentinel row carries placeholder base-0 bits; the per-block
 	// counts already exclude it, so correct only when it falls inside the
 	// popcounted tail [64*blk, i).
-	if b == 0 && f.sentRow >= blk<<6 && f.sentRow < i {
+	if b == 0 && f.sentRow >= i&^63 && f.sentRow < i {
 		r--
 	}
 	return r
+}
+
+// Rank is the exported scalar Occ query: the number of occurrences of
+// base b in bwt[0:i). The batched RankBatch must agree with it query for
+// query; the differential tests drive both against each other.
+func (f *FMIndex) Rank(b dna.Base, i int32) int32 { return f.rank(b, i) }
+
+// RankBatch resolves several independent Occ queries for the same base in
+// one pass over the block tables: out[j] = Rank(b, idx[j]). The per-query
+// table and plane lookups are issued from a single tight loop, so the
+// dependent cache misses of independent queries overlap (memory-level
+// parallelism) instead of serializing behind one another — the same trick
+// BWA-MEM2 uses to batch k-mer lookups. out must have len(idx) capacity;
+// the call performs no allocation.
+func (f *FMIndex) RankBatch(b dna.Base, idx []int32, out []int32) {
+	_ = out[:len(idx)]
+	occ := f.occ
+	sentRow := f.sentRow
+	for j, i := range idx {
+		o := &occ[i>>6]
+		r := o.counts[b]
+		if rem := uint(i & 63); rem != 0 {
+			p0, p1 := o.p0, o.p1
+			if b&1 == 0 {
+				p0 = ^p0
+			}
+			if b&2 == 0 {
+				p1 = ^p1
+			}
+			r += int32(bits.OnesCount64(p0 & p1 & (1<<rem - 1)))
+		}
+		if b == 0 && sentRow >= i&^63 && sentRow < i {
+			r--
+		}
+		out[j] = r
+	}
 }
 
 // ExtendLeft prepends base b to the pattern represented by iv, returning
@@ -145,6 +187,26 @@ func (f *FMIndex) ExtendLeft(iv Interval, b dna.Base) Interval {
 	return Interval{
 		Lo: f.c[sym] + f.rank(b, iv.Lo),
 		Hi: f.c[sym] + f.rank(b, iv.Hi),
+	}
+}
+
+// ExtendLeftMany performs one backward-extension step for each of several
+// independent searches in a single pass: out[j] = ExtendLeft(ivs[j],
+// bs[j]). Each search extends by its own base, so one call advances the
+// left extensions of all of a pivot's LEPs (or of several reads) by one
+// step, overlapping their dependent rank lookups the way RankBatch
+// overlaps Occ queries. out must have len(ivs) capacity and bs must have
+// len(ivs) entries; the call performs no allocation.
+func (f *FMIndex) ExtendLeftMany(ivs []Interval, bs []dna.Base, out []Interval) {
+	_ = bs[:len(ivs)]
+	_ = out[:len(ivs)]
+	for j, iv := range ivs {
+		b := bs[j]
+		sym := int32(b) + 1
+		out[j] = Interval{
+			Lo: f.c[sym] + f.rank(b, iv.Lo),
+			Hi: f.c[sym] + f.rank(b, iv.Hi),
+		}
 	}
 }
 
@@ -196,6 +258,7 @@ func (f *FMIndex) BWTAt(r int32) byte {
 	if r == f.sentRow {
 		return 0
 	}
-	b := byte(f.plane0[r>>6]>>uint(r&63)&1) | byte(f.plane1[r>>6]>>uint(r&63)&1)<<1
+	o := f.occ[r>>6]
+	b := byte(o.p0>>uint(r&63)&1) | byte(o.p1>>uint(r&63)&1)<<1
 	return b + 1
 }

@@ -60,6 +60,18 @@ func FuzzSMEMEnginesAgree(f *testing.F) {
 	f.Add([]byte("ACGTACGTACGTACGTACGT"))
 	f.Add([]byte(""))
 	f.Add([]byte("\x00\x01\x02\x03ACGT\xfe\xff repeats"))
+	// Shapes that stress the blocked rank layout and the batched/width-1
+	// extension fast paths: homopolymers (one bit plane saturated, maximal
+	// interval widths), ambiguity-collapsed runs (an N-run maps to a
+	// single-base run mid-read), reads shorter than one 64-symbol block,
+	// and lengths just off the 64 boundary.
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"))
+	f.Add([]byte("TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT"))
+	f.Add([]byte(ref[0:20].String() + "NNNNNNNNNNNNNNNN" + ref[40:60].String()))
+	f.Add([]byte(ref[300:313].String()))
+	f.Add([]byte(ref[600:663].String()))
+	f.Add([]byte(ref[700:765].String()))
+	f.Add([]byte(ref[800:930].String()))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 256 {
 			raw = raw[:256] // keep the brute-force oracle cheap
