@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke experiments ablations examples clean
+.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke serve-smoke experiments ablations examples clean
 
 all: build test lint
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/pipeline/
+	$(GO) test -race ./internal/core/ ./internal/pipeline/ ./internal/serve/ ./internal/obshttp/
 
 cover:
 	$(GO) test -cover ./...
@@ -62,6 +62,12 @@ fuzz:
 # through /progress and /events, then interrupted (see the script).
 live-smoke:
 	bash scripts/live_smoke.sh
+
+# Seeding-server smoke: a race-built casa-serve answering POST /v1/seed
+# with reports matching casa-smem offline, streaming SSE, handling
+# concurrent clients, and draining cleanly on SIGTERM (see the script).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Regenerate every paper table/figure (minutes; see EXPERIMENTS.md).
 experiments:

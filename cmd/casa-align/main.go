@@ -149,8 +149,14 @@ func main() {
 	}
 	runID := progress.NewRunID()
 	logger = logger.With("run_id", runID, "engine", *engName)
+	// srv is declared before fatal so error exits after -http has started
+	// the observability server still release its listener.
+	var srv *obshttp.Server
 	fatal := func(err error) {
 		logger.Error(err.Error())
+		if srv != nil {
+			srv.Close()
+		}
 		os.Exit(1)
 	}
 
@@ -235,7 +241,6 @@ func main() {
 	}
 	logger.Info("run starting", "workers", pool.WorkerCount(), "batch", *batchSize, "paired", *reads2 != "")
 
-	var srv *obshttp.Server
 	if *httpAddr != "" {
 		// Start before aligning so /debug/pprof can profile the run and
 		// /progress and /events observe it live.

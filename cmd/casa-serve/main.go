@@ -1,0 +1,154 @@
+// Command casa-serve is the seeding front door: it loads a reference
+// FASTA once, builds one engine from the internal/engine registry
+// (-engine; "list" prints the catalogue), and serves read batches over
+// HTTP until terminated — the long-running counterpart of casa-smem's
+// one-shot batch run (see internal/serve for the API and queueing
+// semantics).
+//
+//	POST /v1/seed      submit a FASTA/FASTQ batch (raw body or
+//	                   curl -F reads=@reads.fq); answers a casa-smem/v1
+//	                   JSON report, or an SSE stream of per-shard
+//	                   progress events then the report with
+//	                   Accept: text/event-stream; ?include=smems adds
+//	                   per-read SMEM sets
+//	GET  /v1/runs[/{id}]  run inventory / casa-progress/v1 snapshots
+//	GET  /healthz, /metrics, /debug/pprof/
+//
+// A full queue answers 429 + Retry-After; disconnected clients free
+// their slot via the pool's drain semantics. SIGTERM/SIGINT drain
+// gracefully: stop accepting, finish the in-flight and queued runs,
+// flush metrics, exit 0. A second signal kills the process.
+//
+// Usage:
+//
+//	casa-serve -ref ref.fa [-addr :8844] [-engine casa] [-min-smem 19] [-workers 8] [-queue 8] [-metrics] [-log-format json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"casa/internal/dna"
+	"casa/internal/engine"
+	"casa/internal/progress"
+	"casa/internal/seqio"
+	"casa/internal/serve"
+)
+
+// newLogger builds the command's stderr slog.Logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func main() {
+	var (
+		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		addr       = flag.String("addr", "127.0.0.1:8844", "listen address (port 0 picks a free port)")
+		engName    = flag.String("engine", "casa", "seeding engine (any registered name; \"list\" prints them)")
+		minSMEM    = flag.Int("min-smem", 19, "minimum SMEM length")
+		partition  = flag.Int("partition", 0, "partition size in bases for partitioned engines (0 = engine default)")
+		workers    = flag.Int("workers", 0, "seeding worker goroutines per run (0 = one per CPU)")
+		queueDepth = flag.Int("queue", 8, "seed requests queued behind the running one before 429")
+		maxBody    = flag.Int64("max-body", 64<<20, "largest accepted read batch in bytes")
+		eventEvery = flag.Duration("event-interval", time.Second, "SSE heartbeat cadence between shard completions")
+		metricsOut = flag.Bool("metrics", false, "write the serving metrics text exposition to stderr at shutdown")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+	if *engName == "list" {
+		engine.WriteList(os.Stdout)
+		return
+	}
+	if *refPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casa-serve:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("pid", os.Getpid(), "server_id", progress.NewRunID())
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
+	ref, err := loadRef(*refPath)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("reference loaded", "path", *refPath, "bases", len(ref), "engine", *engName)
+
+	s, err := serve.Start(*addr, ref, serve.Config{
+		Engine:        *engName,
+		EngineOptions: engine.Options{MinSMEM: *minSMEM, Partition: *partition},
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		MaxBodyBytes:  *maxBody,
+		EventInterval: *eventEvery,
+		Log:           logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("seeding server listening", "addr", s.Addr())
+
+	// First SIGTERM/SIGINT starts the drain; stop() then restores default
+	// handling so a second signal kills a stuck process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	logger.Info("draining: finishing in-flight and queued runs")
+	if err := s.Close(); err != nil {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+	if *metricsOut {
+		if err := s.Metrics().WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	logger.Info("drained, exiting")
+}
+
+// loadRef concatenates the reference FASTA's records into the flat
+// sequence the engines index, the same way casa-smem loads it.
+func loadRef(path string) (dna.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := seqio.ReadFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	var ref dna.Sequence
+	for _, r := range recs {
+		ref = append(ref, r.Seq...)
+	}
+	return ref, nil
+}

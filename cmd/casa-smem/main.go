@@ -46,30 +46,14 @@ import (
 	"casa/internal/obshttp"
 	"casa/internal/progress"
 	"casa/internal/seqio"
+	"casa/internal/serve"
 	"casa/internal/smem"
 	"casa/internal/trace"
 )
 
-// reportSchema identifies the -json document layout.
-const reportSchema = "casa-smem/v1"
-
-// report is the -json output document. Field order is fixed and the
-// embedded registry serializes with sorted names, so the same run always
-// produces the same bytes. Reads counts the completed prefix; on an
-// interrupted run it is smaller than the input and Interrupted is set.
-type report struct {
-	Schema      string            `json:"schema"`
-	RunID       string            `json:"run_id"`
-	Engine      string            `json:"engine"`
-	Verify      string            `json:"verify,omitempty"`
-	MinSMEM     int               `json:"min_smem"`
-	Workers     int               `json:"workers"`
-	Reads       int               `json:"reads"`
-	SMEMs       int               `json:"smems"`
-	Mismatches  int               `json:"mismatches"`
-	Interrupted bool              `json:"interrupted,omitempty"`
-	Metrics     *metrics.Registry `json:"metrics"`
-}
+// The -json output document is serve.Report: the CLI and the casa-serve
+// HTTP API share one casa-smem/v1 type, so a batch seeded offline and one
+// POSTed to /v1/seed produce byte-identical modelled fields.
 
 // newLogger builds the command's stderr slog.Logger from the -log-level
 // and -log-format flags.
@@ -120,7 +104,7 @@ func main() {
 		maxReads   = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
 		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
 		quiet      = flag.Bool("quiet", false, "suppress per-read output (counts only)")
-		jsonOut    = flag.Bool("json", false, "emit a "+reportSchema+" JSON report on stdout instead of text")
+		jsonOut    = flag.Bool("json", false, "emit a "+serve.ReportSchema+" JSON report on stdout instead of text")
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
 		tracePath  = flag.String("trace", "", "write a casa-trace/v1 trace of the run (.jsonl = JSONL, else Chrome JSON)")
 		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
@@ -154,8 +138,14 @@ func main() {
 	}
 	runID := progress.NewRunID()
 	logger = logger.With("run_id", runID, "engine", *engName)
+	// srv is declared before fatal so error exits after -http has started
+	// the observability server still release its listener.
+	var srv *obshttp.Server
 	fatal := func(err error) {
 		logger.Error(err.Error())
+		if srv != nil {
+			srv.Close()
+		}
 		os.Exit(1)
 	}
 
@@ -186,7 +176,6 @@ func main() {
 	pool.Progress = tracker
 	logger.Info("run starting", "reads", len(reads), "workers", pool.WorkerCount(), "min_smem", *minSMEM)
 
-	var srv *obshttp.Server
 	if *httpAddr != "" {
 		// Start before seeding so /debug/pprof can profile the run and
 		// /progress and /events observe it live.
@@ -282,8 +271,8 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{
-			Schema:      reportSchema,
+		if err := enc.Encode(serve.Report{
+			Schema:      serve.ReportSchema,
 			RunID:       runID,
 			Engine:      *engName,
 			Verify:      *verify,

@@ -1,0 +1,130 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"casa/internal/metrics"
+)
+
+// This file is the handler plumbing shared between the observability
+// sidecar (this package's Server) and the serving front door
+// (internal/serve): method guards, the metrics exposition handler, JSON
+// responses, pprof registration, and the Server-Sent Events writer. Both
+// muxes are built from these pieces so the two HTTP surfaces keep
+// identical semantics.
+
+// RequireMethod enforces an endpoint's method set: it reports whether
+// r.Method is one of allowed and otherwise writes 405 with the Allow
+// header listing the permitted set. Allowing GET implies HEAD (net/http
+// suppresses the body on HEAD automatically), matching RFC 9110's
+// expectation that the two travel together.
+func RequireMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+	for _, m := range allowed {
+		if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
+			return true
+		}
+	}
+	if contains(allowed, http.MethodGet) && !contains(allowed, http.MethodHead) {
+		allowed = append(allowed, http.MethodHead)
+	}
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	http.Error(w, fmt.Sprintf("method %s not allowed (allow: %s)",
+		r.Method, strings.Join(allowed, ", ")), http.StatusMethodNotAllowed)
+	return false
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MetricsHandler serves reg's Prometheus text exposition. A nil registry
+// answers 503: the process exists but was not configured with metrics —
+// the endpoint is valid, the service behind it is not wired up — which
+// distinguishes it from a 404 typo in the scrape config.
+func MetricsHandler(reg *metrics.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		if reg == nil {
+			http.Error(w, "metrics not configured for this process", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// WriteJSON writes v as an indented JSON response, the encoding every
+// JSON endpoint (progress snapshots, seed reports) shares.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// RegisterPprof registers the standard runtime profile handlers on mux
+// explicitly — no default-mux blank import, so profiles appear only on
+// muxes that opt in.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// EventStream is a started Server-Sent Events response. Create with
+// NewEventStream, which writes the stream headers and lifts the server's
+// per-request write deadline (an SSE stream legitimately outlives any
+// fixed write budget; slow-client protection falls to the event cadence:
+// a blocked Emit surfaces as an error on the next event).
+type EventStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+// NewEventStream upgrades w to an SSE response. It fails only when the
+// ResponseWriter cannot stream (no http.Flusher), which the caller must
+// report as a 500 before any body is written.
+func NewEventStream(w http.ResponseWriter) (*EventStream, error) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("obshttp: response writer cannot stream (no http.Flusher)")
+	}
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	return &EventStream{w: w, flusher: flusher}, nil
+}
+
+// Emit writes one named event with v marshalled as its JSON data line
+// and flushes it to the client. The first error (marshal or a gone
+// client) ends the stream: callers return on a non-nil error.
+func (es *EventStream) Emit(event string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(es.w, "event: %s\ndata: %s\n\n", event, raw); err != nil {
+		return err
+	}
+	es.flusher.Flush()
+	return nil
+}

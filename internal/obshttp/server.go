@@ -9,16 +9,18 @@
 // the default-mux ListenAndServe/log.Fatal pattern, which leaked pprof
 // handlers onto every mux in the process and could not be shut down or
 // bound to :0 for tests.
+//
+// The handler plumbing (method guards, metrics exposition, SSE streams,
+// pprof registration — see handlers.go) is exported and shared with the
+// serving front door, internal/serve.
 package obshttp
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -35,6 +37,7 @@ const defaultEventInterval = time.Second
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	reg *metrics.Registry
 
 	mu            sync.Mutex
 	spans         []trace.Span
@@ -43,6 +46,10 @@ type Server struct {
 	err           error
 
 	watchdog *progress.Watchdog
+	// wdDeadline/wdLog hold a StartWatchdog request made before a tracker
+	// was attached; SetProgress arms it. wdDeadline > 0 marks it pending.
+	wdDeadline time.Duration
+	wdLog      *slog.Logger
 
 	quit chan struct{} // closed at Shutdown: unblocks long-lived SSE handlers
 	done chan struct{}
@@ -51,13 +58,14 @@ type Server struct {
 // Start listens on addr (host:port; port 0 picks a free port) and serves
 // the observability endpoints in a background goroutine:
 //
-//	/metrics       Prometheus text exposition of reg
+//	/metrics       Prometheus text exposition of reg (503 when reg is nil)
 //	/trace         Chrome trace_event JSON of the published span stream
 //	/debug/pprof/  the standard runtime profiles
 //
 // The trace endpoint returns 503 until PublishTrace is called — a trace
 // is only complete once the run has drained, and publishing a finished
 // snapshot keeps the handler race-free against still-emitting workers.
+// Read-only endpoints accept GET/HEAD only (anything else is 405).
 func Start(addr string, reg *metrics.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -65,50 +73,19 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 	}
 	s := &Server{
 		ln:            ln,
+		reg:           reg,
 		eventInterval: defaultEventInterval,
 		quit:          make(chan struct{}),
 		done:          make(chan struct{}),
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprint(w, "casa observability endpoints:\n  /metrics\n  /trace\n  /progress\n  /events\n  /debug/pprof/\n")
-	})
+	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		if reg == nil {
-			http.Error(w, "no metrics registry", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteText(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-		s.mu.Lock()
-		spans := s.spans
-		s.mu.Unlock()
-		if spans == nil {
-			http.Error(w, "trace not yet available: run with -trace and wait for the run to finish",
-				http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := trace.WriteChrome(w, spans); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/trace", s.handleTrace)
+	RegisterPprof(mux)
 
 	s.srv = &http.Server{
 		Handler: mux,
@@ -134,39 +111,107 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// handleIndex lists the endpoints this process actually serves right
+// now: /progress and /events appear once a tracker is attached, /trace
+// once a span stream is published, /metrics when a registry was
+// configured. Advertising an endpoint that would 503 misleads operators
+// discovering a process by its index page.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.Lock()
+	hasTracker, hasTrace := s.tracker != nil, s.spans != nil
+	s.mu.Unlock()
+	fmt.Fprint(w, "casa observability endpoints:\n")
+	if s.reg != nil {
+		fmt.Fprint(w, "  /metrics\n")
+	}
+	if hasTrace {
+		fmt.Fprint(w, "  /trace\n")
+	}
+	if hasTracker {
+		fmt.Fprint(w, "  /progress\n  /events\n")
+	}
+	fmt.Fprint(w, "  /debug/pprof/\n")
+}
+
+// handleTrace serves the published span stream as Chrome trace JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.Lock()
+	spans := s.spans
+	s.mu.Unlock()
+	if spans == nil {
+		http.Error(w, "trace not yet available: run with -trace and wait for the run to finish",
+			http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteChrome(w, spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // SetProgress attaches the run's progress tracker, enabling /progress
-// and /events. Call it before the run starts; without a tracker both
-// endpoints return 503.
+// and /events (without a tracker both endpoints return 503), and arms
+// any watchdog requested before the tracker existed. Call it before the
+// run starts.
 func (s *Server) SetProgress(t *progress.Tracker) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tracker = t
-	s.mu.Unlock()
+	s.armWatchdogLocked()
 }
 
 // SetEventInterval overrides the /events snapshot cadence (default 1s).
-// Zero or negative is rejected (the stream would spin).
-func (s *Server) SetEventInterval(d time.Duration) {
+// Zero or negative intervals are rejected with an error: accepting one
+// would make the stream spin, and silently keeping the old cadence hid
+// caller bugs.
+func (s *Server) SetEventInterval(d time.Duration) error {
 	if d <= 0 {
-		return
+		return fmt.Errorf("obshttp: event interval must be positive, got %v", d)
 	}
 	s.mu.Lock()
 	s.eventInterval = d
 	s.mu.Unlock()
+	return nil
 }
 
 // StartWatchdog arms a stall watchdog on the attached tracker: when no
 // shard completes within deadline, it logs the per-worker last-known
 // state and a goroutine dump through log (nil means slog.Default), once
-// per stall episode. The watchdog stops at Shutdown. It is a no-op
-// without a tracker or with a non-positive deadline, and at most one
+// per stall episode. The watchdog stops at Shutdown. Called before a
+// tracker is attached, the request is remembered and armed by
+// SetProgress — flag-ordering in the CLIs must not silently disable the
+// watchdog. It is a no-op with a non-positive deadline, and at most one
 // watchdog is armed per server.
 func (s *Server) StartWatchdog(deadline time.Duration, log *slog.Logger) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.tracker == nil || deadline <= 0 || s.watchdog != nil {
+	if deadline <= 0 {
 		return
 	}
-	s.watchdog = progress.NewWatchdog(s.tracker, deadline, log)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watchdog != nil || s.wdDeadline > 0 {
+		return
+	}
+	s.wdDeadline, s.wdLog = deadline, log
+	s.armWatchdogLocked()
+}
+
+// armWatchdogLocked (caller holds s.mu) starts the pending watchdog once
+// both halves — a tracker and a StartWatchdog request — are present.
+func (s *Server) armWatchdogLocked() {
+	if s.tracker == nil || s.wdDeadline <= 0 || s.watchdog != nil {
+		return
+	}
+	s.watchdog = progress.NewWatchdog(s.tracker, s.wdDeadline, s.wdLog)
 	s.watchdog.Start()
 }
 
@@ -178,57 +223,39 @@ func (s *Server) progressState() (*progress.Tracker, time.Duration) {
 }
 
 // handleProgress serves one casa-progress/v1 snapshot as JSON.
-func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	t, _ := s.progressState()
 	if t == nil {
 		http.Error(w, "no progress tracker attached to this run", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(t.Snapshot()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	WriteJSON(w, t.Snapshot())
 }
 
 // handleEvents serves the live run as a Server-Sent Events stream: an
 // immediate "progress" event, one more per event interval, and a final
-// "done" event when the run finishes (then the stream closes). The
-// stream also ends on client disconnect and at server shutdown.
+// "done" event when the run finishes (then the stream closes). A client
+// connecting after the run finished gets the initial snapshot and the
+// terminal "done" immediately. The stream also ends on client disconnect
+// and at server shutdown.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	t, interval := s.progressState()
 	if t == nil {
 		http.Error(w, "no progress tracker attached to this run", http.StatusServiceUnavailable)
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+	es, err := NewEventStream(w)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	// The server's WriteTimeout protects against slow clients, but an SSE
-	// stream legitimately outlives any fixed budget: lift the per-request
-	// write deadline for this response only.
-	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-
-	emit := func(event string) bool {
-		raw, err := json.Marshal(t.Snapshot())
-		if err != nil {
-			return false
-		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw); err != nil {
-			return false
-		}
-		flusher.Flush()
-		return true
-	}
-
-	if !emit("progress") {
+	if err := es.Emit("progress", t.Snapshot()); err != nil {
 		return
 	}
 	ticker := time.NewTicker(interval)
@@ -240,10 +267,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-s.quit:
 			return
 		case <-t.Done():
-			emit("done")
+			_ = es.Emit("done", t.Snapshot())
 			return
 		case <-ticker.C:
-			if !emit("progress") {
+			if err := es.Emit("progress", t.Snapshot()); err != nil {
 				return
 			}
 		}
@@ -261,12 +288,13 @@ func (s *Server) PublishTrace(spans []trace.Span) {
 
 // Shutdown gracefully drains in-flight requests and stops the server.
 // Long-lived /events streams are told to end first (graceful drain would
-// otherwise wait on them forever), and any armed watchdog is stopped. It
-// returns the first background serve error, if any.
+// otherwise wait on them forever), and any armed or pending watchdog is
+// stopped. It returns the first background serve error, if any.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	wd := s.watchdog
 	s.watchdog = nil
+	s.wdDeadline = 0
 	select {
 	case <-s.quit:
 	default:

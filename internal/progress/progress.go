@@ -77,6 +77,13 @@ type Tracker struct {
 
 	cells []cell
 
+	// updates is a coalescing edge trigger: ShardDone performs a
+	// non-blocking send, so a consumer that drains the channel sees "some
+	// shard completed since my last snapshot" without per-shard buffering
+	// — the hook live streams (casa-serve's per-shard SSE events) wait on
+	// instead of polling.
+	updates chan struct{}
+
 	doneOnce sync.Once
 	done     chan struct{}
 }
@@ -95,6 +102,7 @@ func New(runID, engine string, workers int, total int64) *Tracker {
 		workers: workers,
 		now:     time.Now,
 		cells:   make([]cell, workers),
+		updates: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 	t.total.v.Store(total)
@@ -140,7 +148,18 @@ func (t *Tracker) ShardDone(worker, reads, lastRead int) {
 	c.shards.v.Add(1)
 	c.last.v.Store(int64(lastRead) + 1)
 	t.Touch()
+	select {
+	case t.updates <- struct{}{}:
+	default: // a signal is already pending; receivers coalesce
+	}
 }
+
+// Updates returns the coalescing shard-completion signal: at least one
+// receive is possible after every ShardDone, and consecutive completions
+// between receives collapse into one signal. Event-driven consumers (the
+// serving layer's per-shard SSE stream) select on it alongside Done and
+// a heartbeat ticker instead of polling Snapshot.
+func (t *Tracker) Updates() <-chan struct{} { return t.updates }
 
 // AddCycles attributes model cycles to worker's cell (engines with a
 // cycle-domain model call this per shard; others contribute nothing).

@@ -1,0 +1,101 @@
+package progress
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry indexes the trackers of a multi-run process by run ID. The
+// batch CLIs drive one tracker per process, so "the" tracker could live
+// in a single obshttp slot; a serving process (casa-serve) runs many
+// seeding requests over its lifetime and needs every live run — and the
+// recent finished ones, for clients that fetch the terminal snapshot
+// after their stream closed — addressable at GET /v1/runs/{id}.
+//
+// Finished runs are retained up to the keep bound (FIFO by finish
+// observation order): a long-lived server's registry stays bounded no
+// matter how many requests it serves. Live runs are never evicted.
+type Registry struct {
+	mu       sync.Mutex
+	runs     map[string]*Tracker
+	finished []string // eviction order: runs observed finished, oldest first
+	keep     int
+}
+
+// DefaultKeepFinished is the finished-run retention bound used when
+// NewRegistry is given a non-positive keep.
+const DefaultKeepFinished = 64
+
+// NewRegistry returns a registry retaining at most keep finished runs
+// (non-positive means DefaultKeepFinished).
+func NewRegistry(keep int) *Registry {
+	if keep <= 0 {
+		keep = DefaultKeepFinished
+	}
+	return &Registry{runs: make(map[string]*Tracker), keep: keep}
+}
+
+// Add registers t under its run ID. Duplicate IDs are rejected: run IDs
+// are 64-bit random handles handed to clients, and silently replacing a
+// live run's tracker would detach its observers.
+func (r *Registry) Add(t *Tracker) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.runs[t.RunID()]; dup {
+		return fmt.Errorf("progress: run %q already registered", t.RunID())
+	}
+	r.runs[t.RunID()] = t
+	return nil
+}
+
+// Get returns the tracker registered under id, if any. Calling Get also
+// sweeps newly finished runs into the eviction queue, so retention needs
+// no background goroutine.
+func (r *Registry) Get(id string) (*Tracker, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweep()
+	t, ok := r.runs[id]
+	return t, ok
+}
+
+// Len returns the number of registered runs (live + retained finished).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweep()
+	return len(r.runs)
+}
+
+// IDs returns the registered run IDs, live runs first and finished runs
+// in finish observation order (oldest first) after them.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweep()
+	ids := make([]string, 0, len(r.runs))
+	for id, t := range r.runs {
+		if !t.Finished() {
+			ids = append(ids, id)
+		}
+	}
+	return append(ids, r.finished...)
+}
+
+// sweep (caller holds r.mu) moves newly finished runs into the eviction
+// queue and drops the oldest finished runs beyond the keep bound.
+func (r *Registry) sweep() {
+	queued := make(map[string]bool, len(r.finished))
+	for _, id := range r.finished {
+		queued[id] = true
+	}
+	for id, t := range r.runs {
+		if t.Finished() && !queued[id] {
+			r.finished = append(r.finished, id)
+		}
+	}
+	for len(r.finished) > r.keep {
+		delete(r.runs, r.finished[0])
+		r.finished = r.finished[1:]
+	}
+}

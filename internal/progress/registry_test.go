@@ -1,0 +1,92 @@
+package progress
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegistryAddGet covers registration, lookup, and the duplicate-ID
+// rejection that protects handed-out run handles.
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry(4)
+	tr := New("run1", "casa", 1, 10)
+	if err := r.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(New("run1", "ert", 1, 10)); err == nil {
+		t.Fatal("duplicate run ID accepted")
+	}
+	got, ok := r.Get("run1")
+	if !ok || got != tr {
+		t.Fatalf("Get(run1) = %v, %v; want the registered tracker", got, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get of an unknown ID reported ok")
+	}
+	if n := r.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+// TestRegistryEvictsFinished pins the retention contract: live runs are
+// never evicted, finished runs are dropped oldest-first beyond the keep
+// bound.
+func TestRegistryEvictsFinished(t *testing.T) {
+	r := NewRegistry(2)
+	live := New("live", "casa", 1, 10)
+	if err := r.Add(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"f1", "f2", "f3"} {
+		tr := New(id, "casa", 1, 10)
+		tr.Finish()
+		if err := r.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		// Sweep between adds so the eviction order tracks finish
+		// observation order deterministically.
+		r.Len()
+	}
+	if _, ok := r.Get("f1"); ok {
+		t.Fatal("oldest finished run f1 survived beyond the keep bound")
+	}
+	for _, id := range []string{"live", "f2", "f3"} {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("run %s evicted, want retained", id)
+		}
+	}
+	ids := r.IDs()
+	if len(ids) != 3 || ids[0] != "live" {
+		t.Fatalf("IDs = %v, want live first then f2, f3", ids)
+	}
+}
+
+// TestTrackerUpdates pins the coalescing shard-completion signal: a
+// receive is possible after ShardDone, bursts coalesce rather than
+// queue, and the channel is empty when nothing completed.
+func TestTrackerUpdates(t *testing.T) {
+	tr := New("rid", "casa", 2, 100)
+	select {
+	case <-tr.Updates():
+		t.Fatal("update signalled before any shard completed")
+	default:
+	}
+	tr.ShardDone(0, 10, 9)
+	tr.ShardDone(1, 10, 19) // coalesces with the pending signal
+	select {
+	case <-tr.Updates():
+	case <-time.After(time.Second):
+		t.Fatal("no update signal after ShardDone")
+	}
+	select {
+	case <-tr.Updates():
+		t.Fatal("burst of completions queued more than one signal")
+	default:
+	}
+	tr.ShardDone(0, 10, 29)
+	select {
+	case <-tr.Updates():
+	case <-time.After(time.Second):
+		t.Fatal("signal not re-armed after a drain")
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+
+	"casa/internal/seqio"
+)
+
+// readBatch extracts the request's read batch: the raw body, or — for
+// multipart/form-data uploads (curl -F reads=@reads.fq) — the first
+// "reads" part (falling back to the first file part of any name). The
+// payload itself is sniffed: '>' opens FASTA, '@' opens FASTQ, matching
+// how the formats are distinguished in the wild.
+func readBatch(r *http.Request) ([]seqio.Record, error) {
+	body := io.Reader(r.Body)
+	ct, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err == nil && ct == "multipart/form-data" {
+		part, err := readsPart(multipart.NewReader(r.Body, params["boundary"]))
+		if err != nil {
+			return nil, err
+		}
+		body = part
+	}
+	return parseReads(body)
+}
+
+// readsPart returns the multipart part holding the reads.
+func readsPart(mr *multipart.Reader) (*multipart.Part, error) {
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return nil, fmt.Errorf("multipart body has no \"reads\" part")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if part.FormName() == "reads" || part.FileName() != "" {
+			return part, nil
+		}
+	}
+}
+
+// parseReads sniffs the format from the first byte and parses the batch.
+func parseReads(r io.Reader) ([]seqio.Record, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	first, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("empty read batch")
+	}
+	if err := br.UnreadByte(); err != nil {
+		return nil, err
+	}
+	switch first {
+	case '>':
+		return seqio.ReadFasta(br)
+	case '@':
+		return seqio.ReadFastq(br)
+	default:
+		return nil, fmt.Errorf("read batch is neither FASTA ('>') nor FASTQ ('@'): starts with %q", first)
+	}
+}

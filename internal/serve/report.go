@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"casa/internal/metrics"
+	"casa/internal/smem"
+)
+
+// ReportSchema identifies the seeding report JSON layout. It is the same
+// casa-smem/v1 document cmd/casa-smem emits with -json: a batch seeded
+// through POST /v1/seed and one seeded offline by the CLI produce
+// byte-identical modelled fields (engine, min_smem, workers, reads,
+// smems, metrics) for the same inputs — only run_id varies.
+const ReportSchema = "casa-smem/v1"
+
+// Report is one seeding run's casa-smem/v1 document. Field order is
+// fixed and the embedded registry serializes with sorted names, so the
+// same run always produces the same bytes. Reads counts the completed
+// prefix; on an interrupted (cancelled) run it is smaller than the input
+// and Interrupted is set.
+//
+// Results is a serving-side extension (new fields are not schema
+// changes): the per-read SMEM sets, present only when the client asked
+// for them (?include=smems). The CLI never sets it, keeping CLI and
+// server reports byte-comparable by default.
+type Report struct {
+	Schema      string            `json:"schema"`
+	RunID       string            `json:"run_id"`
+	Engine      string            `json:"engine"`
+	Verify      string            `json:"verify,omitempty"`
+	MinSMEM     int               `json:"min_smem"`
+	Workers     int               `json:"workers"`
+	Reads       int               `json:"reads"`
+	SMEMs       int               `json:"smems"`
+	Mismatches  int               `json:"mismatches"`
+	Interrupted bool              `json:"interrupted,omitempty"`
+	Metrics     *metrics.Registry `json:"metrics"`
+	Results     []ReadSMEMs       `json:"results,omitempty"`
+}
+
+// ReadSMEMs is one read's SMEM set in a Report's Results extension.
+type ReadSMEMs struct {
+	Name  string     `json:"name"`
+	SMEMs []SMEMJSON `json:"smems"`
+}
+
+// SMEMJSON is one forward-strand SMEM: the closed read interval
+// [start, end] and its reference occurrence count.
+type SMEMJSON struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Hits  int `json:"hits"`
+}
+
+// toSMEMs converts one read's matches to their JSON shape.
+func toSMEMs(ms []smem.Match) []SMEMJSON {
+	out := make([]SMEMJSON, len(ms))
+	for i, m := range ms {
+		out[i] = SMEMJSON{Start: m.Start, End: m.End, Hits: m.Hits}
+	}
+	return out
+}

@@ -1,0 +1,489 @@
+// Package serve is the seeding front door: a long-running multi-tenant
+// HTTP server that loads a reference once, builds one engine via the
+// internal/engine registry, and seeds client-submitted read batches over
+// the shared immutable index — the host-side counterpart of CASA's
+// batch-oriented accelerator pipeline, and the serving layer the
+// ROADMAP's "seeding-as-a-service" item calls for.
+//
+// Requests flow through a bounded FIFO queue with a concurrency cap of
+// one batch.SeedEngineCtx run at a time: within a run the pool fans out
+// over engine clones exactly as the CLIs do, so the modelled numbers of
+// a served batch are byte-identical to an offline casa-smem run of the
+// same inputs. A full queue answers 429 with Retry-After; a client
+// disconnect cancels its run via RunCtx's drain semantics (claimed
+// shards finish, the completed prefix stays consistent) and frees the
+// slot; Shutdown stops accepting, finishes the in-flight and queued
+// runs, and then stops the dispatcher — the SIGTERM drain casa-serve
+// relies on.
+//
+// Endpoints (handler plumbing shared with internal/obshttp):
+//
+//	POST /v1/seed      seed a FASTA/FASTQ batch (body or multipart);
+//	                   JSON casa-smem/v1 report, or — with
+//	                   Accept: text/event-stream — an SSE stream of
+//	                   per-shard "progress" events then one "report"
+//	GET  /v1/runs      run IDs known to this process
+//	GET  /v1/runs/{id} one run's casa-progress/v1 snapshot
+//	GET  /healthz      200 serving / 503 draining
+//	GET  /metrics      process-level serving counters
+//	     /debug/pprof/ the standard profiles
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"casa/internal/batch"
+	"casa/internal/dna"
+	"casa/internal/engine"
+	"casa/internal/metrics"
+	"casa/internal/obshttp"
+	"casa/internal/progress"
+)
+
+// Config tunes the serving layer. The zero value serves the casa engine
+// with library defaults.
+type Config struct {
+	// Engine is the registry name of the seeding engine ("" = casa).
+	Engine string
+
+	// EngineOptions are the construction knobs passed to the registry.
+	// A zero MinSMEM is resolved to the engines' shared default (19) so
+	// the reported min_smem matches what the engines actually did.
+	EngineOptions engine.Options
+
+	// Workers is the per-run pool size (0 = one per CPU), the same knob
+	// as the CLIs' -workers.
+	Workers int
+
+	// QueueDepth bounds the requests waiting behind the running one
+	// (0 = 8). A full queue answers 429 + Retry-After.
+	QueueDepth int
+
+	// MaxBodyBytes caps an uploaded read batch (0 = 64 MiB).
+	MaxBodyBytes int64
+
+	// EventInterval is the SSE heartbeat cadence between shard
+	// completions (0 = 1s).
+	EventInterval time.Duration
+
+	// KeepFinished bounds the finished runs retained for GET /v1/runs
+	// (0 = progress.DefaultKeepFinished).
+	KeepFinished int
+
+	// Log receives request/lifecycle records (nil = slog.Default).
+	Log *slog.Logger
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Engine == "" {
+		c.Engine = "casa"
+	}
+	if c.EngineOptions.MinSMEM == 0 {
+		c.EngineOptions.MinSMEM = 19
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.EventInterval <= 0 {
+		c.EventInterval = time.Second
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// job is one accepted seeding request travelling from its handler to the
+// dispatcher and back.
+type job struct {
+	ctx     context.Context // the request context: cancelled on client disconnect
+	reads   []dna.Sequence
+	names   []string
+	tracker *progress.Tracker
+	done    chan *Report // buffered: the dispatcher never blocks on a gone handler
+}
+
+// Server is a running seeding front door. Create with Start (registry
+// name over a reference) or StartEngine (an already-built engine).
+type Server struct {
+	cfg   Config
+	proto engine.Engine // cloned per request: counters never leak across tenants
+
+	ln   net.Listener
+	srv  *http.Server
+	reg  *metrics.Registry  // process-level serving counters, at /metrics
+	runs *progress.Registry // run ID -> tracker, at /v1/runs/{id}
+
+	queue        chan *job
+	quitOnce     sync.Once
+	quit         chan struct{} // closed at Shutdown, after the listener drains
+	dispatchDone chan struct{}
+	serveDone    chan struct{}
+	draining     atomic.Bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// Start builds cfg.Engine over ref via the registry and serves on addr
+// (host:port; port 0 picks a free port).
+func Start(addr string, ref dna.Sequence, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if f, ok := engine.Lookup(cfg.Engine); ok {
+		cfg.Engine = f.Name
+	}
+	eng, err := engine.New(cfg.Engine, ref, cfg.EngineOptions)
+	if err != nil {
+		return nil, err
+	}
+	return StartEngine(addr, eng, cfg)
+}
+
+// StartEngine serves an already-built engine on addr. proto is never
+// seeded directly: every request runs on a fresh Clone, so per-request
+// reports carry only their own run's counters.
+func StartEngine(addr string, proto engine.Engine, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:          cfg,
+		proto:        proto,
+		ln:           ln,
+		reg:          metrics.New(),
+		runs:         progress.NewRegistry(cfg.KeepFinished),
+		queue:        make(chan *job, cfg.QueueDepth),
+		quit:         make(chan struct{}),
+		dispatchDone: make(chan struct{}),
+		serveDone:    make(chan struct{}),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/v1/seed", s.handleSeed)
+	mux.HandleFunc("/v1/runs", s.handleRuns)
+	mux.HandleFunc("/v1/runs/", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", obshttp.MetricsHandler(s.reg))
+	obshttp.RegisterPprof(mux)
+
+	s.srv = &http.Server{
+		Handler: mux,
+		// A seed request legitimately waits behind the queue for minutes,
+		// so there is no fixed write budget; slowloris protection comes
+		// from the header/read timeouts, and queue admission bounds how
+		// many such long-lived requests exist.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	go func() {
+		defer close(s.serveDone)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
+	go s.dispatch()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Runs returns the run registry (snapshots of live and recent runs).
+func (s *Server) Runs() *progress.Registry { return s.runs }
+
+// dispatch is the serving loop: one queued run at a time, in FIFO order.
+// After quit (the listener has drained, so no handler can enqueue) it
+// flushes whatever is left — jobs whose clients disconnected while
+// queued — and exits.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runJob seeds one request's batch on a fresh engine clone. Cancelled
+// jobs (client gone while queued) finish their tracker and report the
+// empty prefix without touching the engine.
+func (s *Server) runJob(j *job) {
+	rep := &Report{
+		Schema:  ReportSchema,
+		RunID:   j.tracker.RunID(),
+		Engine:  s.proto.Name(),
+		MinSMEM: s.cfg.EngineOptions.MinSMEM,
+		Workers: j.tracker.Workers(),
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.tracker.Finish()
+		rep.Interrupted = true
+		rep.Metrics = metrics.New()
+		j.done <- rep
+		return
+	}
+	eng := s.proto.Clone()
+	reg := metrics.New()
+	pool := batch.Options{
+		Workers:  s.cfg.Workers,
+		Metrics:  reg,
+		Progress: j.tracker,
+	}
+	res, done, err := batch.SeedEngineCtx(j.ctx, eng, j.reads, pool)
+	j.tracker.Finish()
+	smems := eng.SMEMs(res)
+	total := 0
+	for _, ms := range smems[:done] {
+		total += len(ms)
+	}
+	rep.Reads = done
+	rep.SMEMs = total
+	rep.Interrupted = err != nil
+	rep.Metrics = reg
+	if j.names != nil {
+		rep.Results = make([]ReadSMEMs, done)
+		for i := 0; i < done; i++ {
+			rep.Results[i] = ReadSMEMs{Name: j.names[i], SMEMs: toSMEMs(smems[i])}
+		}
+	}
+	s.reg.Counter("serve/reads/seeded").Add(int64(done))
+	s.reg.Counter("serve/runs/completed").Add(1)
+	if err != nil {
+		s.reg.Counter("serve/runs/cancelled").Add(1)
+	}
+	s.cfg.Log.Info("run finished", "run_id", rep.RunID, "reads", done, "smems", total, "interrupted", rep.Interrupted)
+	j.done <- rep
+}
+
+// handleSeed admits one read batch into the queue and answers with the
+// run's report — as one JSON document, or as an SSE stream of per-shard
+// progress events followed by the final "report" event when the client
+// asks for text/event-stream.
+func (s *Server) handleSeed(w http.ResponseWriter, r *http.Request) {
+	if !obshttp.RequireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	recs, err := readBatch(r)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("read batch exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(recs) == 0 {
+		http.Error(w, "read batch holds no records", http.StatusBadRequest)
+		return
+	}
+	reads := make([]dna.Sequence, len(recs))
+	var names []string
+	if wantSMEMs(r) {
+		names = make([]string, len(recs))
+	}
+	for i, rec := range recs {
+		reads[i] = rec.Seq
+		if names != nil {
+			names[i] = rec.Name
+		}
+	}
+
+	runID := progress.NewRunID()
+	workers := batch.Options{Workers: s.cfg.Workers}.WorkerCount()
+	tracker := progress.New(runID, s.proto.Name(), workers, int64(len(reads)))
+	j := &job{ctx: r.Context(), reads: reads, names: names, tracker: tracker, done: make(chan *Report, 1)}
+	select {
+	case s.queue <- j:
+	default:
+		s.reg.Counter("serve/runs/rejected").Add(1)
+		// The queue holds whole batches, so a slot rarely frees in less
+		// than a second; a constant hint keeps well-behaved clients from
+		// hammering without tracking per-run durations.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "seed queue is full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	s.reg.Counter("serve/runs/accepted").Add(1)
+	if err := s.runs.Add(tracker); err != nil {
+		// Run IDs are 64-bit random; a collision is effectively a broken
+		// RNG. The run still executes, it is just not addressable.
+		s.cfg.Log.Warn("run not registered", "run_id", runID, "err", err)
+	}
+	s.cfg.Log.Info("run accepted", "run_id", runID, "reads", len(reads), "queued", len(s.queue))
+	w.Header().Set("X-Casa-Run", runID)
+
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamSeed(w, r, j)
+		return
+	}
+	select {
+	case rep := <-j.done:
+		obshttp.WriteJSON(w, rep)
+	case <-r.Context().Done():
+		// Client gone: the dispatcher observes the cancelled context —
+		// mid-run it drains the claimed shards, queued it skips the job —
+		// and the buffered done channel absorbs the report.
+	}
+}
+
+// streamSeed answers one admitted job as an SSE stream: an immediate
+// snapshot, one "progress" event per completed shard (coalesced under
+// load) with heartbeats in between, and the terminal "report" event.
+func (s *Server) streamSeed(w http.ResponseWriter, r *http.Request, j *job) {
+	es, err := obshttp.NewEventStream(w)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := es.Emit("progress", j.tracker.Snapshot()); err != nil {
+		return
+	}
+	heartbeat := time.NewTicker(s.cfg.EventInterval)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case rep := <-j.done:
+			_ = es.Emit("report", rep)
+			return
+		case <-j.tracker.Updates():
+			if err := es.Emit("progress", j.tracker.Snapshot()); err != nil {
+				return
+			}
+		case <-heartbeat.C:
+			if err := es.Emit("progress", j.tracker.Snapshot()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// wantSMEMs reports whether the client asked for per-read SMEM sets in
+// the report (?include=smems).
+func wantSMEMs(r *http.Request) bool {
+	for _, v := range r.URL.Query()["include"] {
+		if v == "smems" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleRuns lists the run IDs known to this process.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if !obshttp.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	obshttp.WriteJSON(w, struct {
+		Runs []string `json:"runs"`
+	}{Runs: s.runs.IDs()})
+}
+
+// handleRun serves one run's casa-progress/v1 snapshot — live runs keep
+// updating, finished runs answer their terminal snapshot until evicted.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !obshttp.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	t, ok := s.runs.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown run %q", id), http.StatusNotFound)
+		return
+	}
+	obshttp.WriteJSON(w, t.Snapshot())
+}
+
+// handleHealthz distinguishes a serving process from a draining one, the
+// readiness signal load balancers and the smoke test key on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !obshttp.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleIndex lists the serving surface.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if !obshttp.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	fmt.Fprintf(w, "casa-serve (%s engine):\n  POST /v1/seed\n  GET  /v1/runs\n  GET  /v1/runs/{id}\n  GET  /healthz\n  GET  /metrics\n       /debug/pprof/\n",
+		s.proto.Name())
+}
+
+// Metrics returns the process-level serving registry (for a final flush
+// at shutdown).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Shutdown drains gracefully: stop accepting (new seeds answer 503
+// while existing connections settle, then the listener closes), wait for
+// every in-flight and queued run to finish and its handler to answer,
+// then stop the dispatcher. It returns the first background serve error,
+// if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.srv.Shutdown(ctx)
+	// The listener has drained (or ctx expired): no handler can enqueue
+	// anymore, so the dispatcher can flush and exit.
+	s.quitOnce.Do(func() { close(s.quit) })
+	<-s.dispatchDone
+	<-s.serveDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}
+
+// Close is Shutdown with a 30-second drain budget.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
