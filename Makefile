@@ -12,15 +12,17 @@ build:
 	$(GO) vet ./...
 
 # Structural lints the compiler cannot see (engine dispatch must stay in
-# the internal/engine registry).
+# the internal/engine registry; modelled packages must stay off the wall
+# clock).
 lint:
 	bash scripts/lint_engine_registry.sh
+	bash scripts/lint_time_domain.sh
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/pipeline/ ./internal/serve/ ./internal/obshttp/
+	$(GO) test -race ./internal/core/ ./internal/pipeline/ ./internal/serve/ ./internal/obshttp/ ./internal/progress/ ./internal/trace/
 
 cover:
 	$(GO) test -cover ./...

@@ -12,16 +12,19 @@
 //	                   Accept: text/event-stream; ?include=smems adds
 //	                   per-read SMEM sets
 //	GET  /v1/runs[/{id}]  run inventory / casa-progress/v1 snapshots
-//	GET  /healthz, /metrics, /debug/pprof/
+//	GET  /v1/stats     lifetime summary (casa-serve-stats/v1 JSON)
+//	GET  /healthz, /metrics, /debug/runtrace, /debug/pprof/
 //
-// A full queue answers 429 + Retry-After; disconnected clients free
-// their slot via the pool's drain semantics. SIGTERM/SIGINT drain
-// gracefully: stop accepting, finish the in-flight and queued runs,
-// flush metrics, exit 0. A second signal kills the process.
+// A full queue answers 429 with a Retry-After derived from observed run
+// durations; disconnected clients free their slot via the pool's drain
+// semantics. SIGTERM/SIGINT drain gracefully: stop accepting, finish the
+// in-flight and queued runs, flush metrics (-metrics) and the wall-clock
+// run lifecycle trace (-trace), exit 0. A second signal kills the
+// process. See docs/OBSERVABILITY.md for the serving telemetry surface.
 //
 // Usage:
 //
-//	casa-serve -ref ref.fa [-addr :8844] [-engine casa] [-min-smem 19] [-workers 8] [-queue 8] [-metrics] [-log-format json]
+//	casa-serve -ref ref.fa [-addr :8844] [-engine casa] [-min-smem 19] [-workers 8] [-queue 8] [-metrics] [-trace run.json] [-log-format json]
 package main
 
 import (
@@ -71,6 +74,8 @@ func main() {
 		maxBody    = flag.Int64("max-body", 64<<20, "largest accepted read batch in bytes")
 		eventEvery = flag.Duration("event-interval", time.Second, "SSE heartbeat cadence between shard completions")
 		metricsOut = flag.Bool("metrics", false, "write the serving metrics text exposition to stderr at shutdown")
+		traceOut   = flag.String("trace", "", "write the wall-clock run lifecycle trace (Chrome JSON) to this file at shutdown")
+		traceCap   = flag.Int("trace-spans", 0, "wall-clock lifecycle spans retained for /debug/runtrace and -trace (0 = library default)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
@@ -101,13 +106,14 @@ func main() {
 	logger.Info("reference loaded", "path", *refPath, "bases", len(ref), "engine", *engName)
 
 	s, err := serve.Start(*addr, ref, serve.Config{
-		Engine:        *engName,
-		EngineOptions: engine.Options{MinSMEM: *minSMEM, Partition: *partition},
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		MaxBodyBytes:  *maxBody,
-		EventInterval: *eventEvery,
-		Log:           logger,
+		Engine:            *engName,
+		EngineOptions:     engine.Options{MinSMEM: *minSMEM, Partition: *partition},
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		MaxBodyBytes:      *maxBody,
+		EventInterval:     *eventEvery,
+		TraceSpanCapacity: *traceCap,
+		Log:               logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -131,7 +137,29 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeRunTrace(s, *traceOut); err != nil {
+			fatal(err)
+		}
+		logger.Info("run trace written", "path", *traceOut)
+	}
 	logger.Info("drained, exiting")
+}
+
+// writeRunTrace dumps the server's wall-clock lifecycle trace
+// (casa-walltrace/v1 Chrome JSON, the same document /debug/runtrace
+// serves) into path — load it in Perfetto to see where each served run's
+// wall time went.
+func writeRunTrace(s *serve.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteRunTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadRef concatenates the reference FASTA's records into the flat

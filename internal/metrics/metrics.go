@@ -63,6 +63,20 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add shifts the gauge by delta (CAS loop, safe for concurrent use). The
+// serving layer uses gauges as live levels — in-flight requests, queue
+// depth, open SSE streams — where paired +1/-1 shifts, not one-shot Sets,
+// are the natural update. Model gauges keep the set-once discipline.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -85,8 +99,73 @@ func (h *Histogram) Observe(v int64) {
 	h.n.Add(1)
 }
 
+// PowerOfTwoBounds returns the n ascending bounds 1, 2, 4, ..., 2^(n-1)
+// — the shared bucket layout of the serving layer's wall-clock duration
+// histograms (unit: microseconds; 30 buckets span 1 µs to ~9 min, enough
+// for any request this side of a timeout). A shared helper rather than
+// per-call-site literals so every duration histogram agrees on bounds
+// and Merge never trips over a mismatch.
+func PowerOfTwoBounds(n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > 62 {
+		n = 62
+	}
+	bounds := make([]int64, n)
+	for i := range bounds {
+		bounds[i] = 1 << i
+	}
+	return bounds
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// of the recorded observations: the upper bound of the bucket holding the
+// rank-⌈q·n⌉ observation. Returns 0 when the histogram is empty. For
+// observations in the +Inf bucket the estimate is twice the largest
+// finite bound — a deliberate overestimate, never an underestimate, which
+// is the safe direction for the backpressure hints derived from it.
+func (h *Histogram) Quantile(q float64) int64 {
+	return QuantileFromBuckets(h.bounds, h.BucketCounts(), h.n.Load(), q)
+}
+
+// QuantileFromBuckets is Histogram.Quantile over an already-frozen
+// snapshot (bounds without +Inf, per-bucket counts with the +Inf bucket
+// last, total observation count) — the form /v1/stats computes from
+// Registry.Snapshots.
+func QuantileFromBuckets(bounds, counts []int64, n int64, q float64) int64 {
+	if n <= 0 || len(counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			break
+		}
+	}
+	// The +Inf bucket (or a snapshot whose counts undershoot n).
+	if len(bounds) == 0 {
+		return 0
+	}
+	return 2 * bounds[len(bounds)-1]
+}
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
@@ -233,9 +312,31 @@ func (r *Registry) checkKindFree(name, kind string) {
 // src's value. Merging the per-worker registries of any sharding of a
 // batch — in any order — yields the same totals as a sequential run,
 // because every additive metric is integer-valued.
+//
+// Histograms merge by identity of bounds: if src and r both hold a
+// histogram under the same name but with different bucket bounds, Merge
+// panics (via Registry.Histogram's re-registration check). Bounds are
+// compile-time constants wherever histograms are created, so a
+// disagreement is a programming error — silently resampling one layout
+// into the other would corrupt the determinism contract.
 func (r *Registry) Merge(src *Registry) {
+	r.mergePrefixed(src, "")
+}
+
+// MergePrefixed folds src into r with every metric name prefixed by
+// prefix+"/" — how a serving process accumulates each finished run's
+// engine registry into its lifetime registry ("casa/reads/seeded"
+// becomes "lifetime/casa/reads/seeded") without colliding with its own
+// serving metrics. Names that would exceed the 4-segment limit are
+// skipped; the count of skipped names is returned so callers can surface
+// the gap instead of silently under-reporting.
+func (r *Registry) MergePrefixed(src *Registry, prefix string) int {
+	return r.mergePrefixed(src, prefix+"/")
+}
+
+func (r *Registry) mergePrefixed(src *Registry, prefix string) int {
 	if r == src {
-		return
+		return 0
 	}
 	src.mu.Lock()
 	names := make([]string, 0, len(src.counters)+len(src.gauges)+len(src.histograms))
@@ -272,20 +373,45 @@ func (r *Registry) Merge(src *Registry) {
 	}
 	src.mu.Unlock()
 
+	skipped := 0
 	for _, c := range cvals {
-		r.Counter(c.name).Add(c.v)
+		if name, ok := prefixed(prefix, c.name); ok {
+			r.Counter(name).Add(c.v)
+		} else {
+			skipped++
+		}
 	}
 	for _, g := range gvals {
-		r.Gauge(g.name).Set(g.v)
+		if name, ok := prefixed(prefix, g.name); ok {
+			r.Gauge(name).Set(g.v)
+		} else {
+			skipped++
+		}
 	}
 	for _, h := range hvals {
-		dst := r.Histogram(h.name, h.bounds)
+		name, ok := prefixed(prefix, h.name)
+		if !ok {
+			skipped++
+			continue
+		}
+		dst := r.Histogram(name, h.bounds)
 		for i, n := range h.counts {
 			dst.counts[i].Add(n)
 		}
 		dst.sum.Add(h.sum)
 		dst.n.Add(h.n)
 	}
+	return skipped
+}
+
+// prefixed joins prefix (either "" or "lifetime/"-style, slash included)
+// with name, reporting whether the result still fits the naming scheme.
+func prefixed(prefix, name string) (string, bool) {
+	if prefix == "" {
+		return name, true
+	}
+	full := prefix + name
+	return full, validName(full)
 }
 
 // Snapshot is one metric's frozen value, used for deterministic output.

@@ -249,3 +249,187 @@ func TestEqualAndDiff(t *testing.T) {
 		t.Fatal("different registries reported equal")
 	}
 }
+
+func TestGaugeAdd(t *testing.T) {
+	r := New()
+	g := r.Gauge("serve/queue/depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after +3-1 = %g, want 2", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after paired concurrent shifts = %g, want 2", got)
+	}
+}
+
+func TestPowerOfTwoBounds(t *testing.T) {
+	b := PowerOfTwoBounds(5)
+	want := []int64{1, 2, 4, 8, 16}
+	if len(b) != len(want) {
+		t.Fatalf("bounds %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds %v, want %v", b, want)
+		}
+	}
+	if got := PowerOfTwoBounds(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PowerOfTwoBounds(0) = %v, want [1]", got)
+	}
+	if got := PowerOfTwoBounds(100); len(got) != 62 {
+		t.Fatalf("PowerOfTwoBounds(100) has %d bounds, want the 62 cap", len(got))
+	}
+	// The layout must be a valid ascending histogram spec.
+	New().Histogram("a/b", PowerOfTwoBounds(30))
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("serve/run/duration_us", PowerOfTwoBounds(10))
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	// 90 observations in the (2,4] bucket, 10 in (256,512].
+	for i := 0; i < 90; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(400)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %d, want 4", got)
+	}
+	if got := h.Quantile(0.99); got != 512 {
+		t.Fatalf("p99 = %d, want 512", got)
+	}
+	if got := h.Quantile(1); got != 512 {
+		t.Fatalf("p100 = %d, want 512", got)
+	}
+	// An observation beyond the largest bound lands in +Inf: the estimate
+	// is twice the largest finite bound, an upper bound by construction.
+	h.Observe(1 << 20)
+	if got := h.Quantile(1); got != 1024 {
+		t.Fatalf("p100 with +Inf observation = %d, want 1024", got)
+	}
+}
+
+func TestQuantileFromBucketsSnapshot(t *testing.T) {
+	r := New()
+	h := r.Histogram("a/b", []int64{10, 100})
+	for i := 0; i < 7; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(50)
+	}
+	var snap Snapshot
+	for _, s := range r.Snapshots() {
+		if s.Name == "a/b" {
+			snap = s
+		}
+	}
+	if got := QuantileFromBuckets(snap.Bounds, snap.Counts, snap.Count, 0.5); got != 10 {
+		t.Fatalf("snapshot p50 = %d, want 10", got)
+	}
+	if got := QuantileFromBuckets(snap.Bounds, snap.Counts, snap.Count, 0.9); got != 100 {
+		t.Fatalf("snapshot p90 = %d, want 100", got)
+	}
+	if got := QuantileFromBuckets(nil, nil, 0, 0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %d, want 0", got)
+	}
+}
+
+func TestMergePrefixed(t *testing.T) {
+	src := New()
+	src.Counter("casa/reads/seeded").Add(7)
+	src.Gauge("casa/model/seconds").Set(1.5)
+	src.Histogram("casa/smem/lengths", []int64{1, 2}).Observe(2)
+
+	dst := New()
+	dst.Counter("serve/runs/completed").Add(1)
+	if skipped := dst.MergePrefixed(src, "lifetime"); skipped != 0 {
+		t.Fatalf("skipped %d names, want 0", skipped)
+	}
+	if got := dst.Counter("lifetime/casa/reads/seeded").Value(); got != 7 {
+		t.Fatalf("lifetime counter = %d, want 7", got)
+	}
+	if got := dst.Gauge("lifetime/casa/model/seconds").Value(); got != 1.5 {
+		t.Fatalf("lifetime gauge = %g, want 1.5", got)
+	}
+	if got := dst.Histogram("lifetime/casa/smem/lengths", []int64{1, 2}).Count(); got != 1 {
+		t.Fatalf("lifetime histogram count = %d, want 1", got)
+	}
+	// Accumulation across runs: a second merge adds.
+	dst.MergePrefixed(src, "lifetime")
+	if got := dst.Counter("lifetime/casa/reads/seeded").Value(); got != 14 {
+		t.Fatalf("lifetime counter after second run = %d, want 14", got)
+	}
+	// The destination's own metrics are untouched.
+	if got := dst.Counter("serve/runs/completed").Value(); got != 1 {
+		t.Fatalf("serving counter perturbed: %d", got)
+	}
+}
+
+func TestMergePrefixedSkipsOverlongNames(t *testing.T) {
+	src := New()
+	src.Counter("a/b/c/d").Add(1) // 4 segments: prefixing would make 5
+	src.Counter("a/b").Add(2)
+	dst := New()
+	if skipped := dst.MergePrefixed(src, "lifetime"); skipped != 1 {
+		t.Fatalf("skipped %d names, want 1", skipped)
+	}
+	if got := dst.Counter("lifetime/a/b").Value(); got != 2 {
+		t.Fatalf("short name not merged: %d", got)
+	}
+	for _, s := range dst.Snapshots() {
+		if strings.Contains(s.Name, "c/d") {
+			t.Fatalf("overlong name %q merged anyway", s.Name)
+		}
+	}
+}
+
+// TestMergeHistogramBoundsDisagree pins Merge's behavior when source and
+// destination hold the same histogram name with different bucket bounds:
+// it panics (the re-registration check), because bounds are compile-time
+// constants and silently resampling one layout into the other would
+// corrupt the additive-merge determinism contract.
+func TestMergeHistogramBoundsDisagree(t *testing.T) {
+	a := New()
+	a.Histogram("serve/queue/wait_us", []int64{1, 2, 4}).Observe(3)
+	b := New()
+	b.Histogram("serve/queue/wait_us", []int64{1, 2, 8}).Observe(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge with disagreeing histogram bounds did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestMergePrefixedHistogramBoundsDisagree: the same contract holds on
+// the prefixed (lifetime) path.
+func TestMergePrefixedHistogramBoundsDisagree(t *testing.T) {
+	dst := New()
+	dst.Histogram("lifetime/casa/smem/lengths", []int64{1, 2})
+	src := New()
+	src.Histogram("casa/smem/lengths", []int64{1, 4}).Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MergePrefixed with disagreeing bounds did not panic")
+		}
+	}()
+	dst.MergePrefixed(src, "lifetime")
+}

@@ -1,6 +1,8 @@
 package progress
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -88,5 +90,69 @@ func TestTrackerUpdates(t *testing.T) {
 	case <-tr.Updates():
 	case <-time.After(time.Second):
 		t.Fatal("signal not re-armed after a drain")
+	}
+}
+
+// TestRegistryEvictionRacesSnapshots hammers the serving access pattern
+// under the race detector: one side adds and finishes runs fast enough
+// to churn the eviction queue (keep bound 4), while concurrent readers —
+// the GET /v1/runs and GET /v1/runs/{id} paths — list IDs and snapshot
+// whatever they find. Every listed ID must either resolve to a
+// snapshottable tracker or have been evicted between the list and the
+// lookup; nothing may tear.
+func TestRegistryEvictionRacesSnapshots(t *testing.T) {
+	r := NewRegistry(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the dispatcher side: register, progress, finish
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := New(fmt.Sprintf("run%06d", i), "casa", 2, 8)
+			if err := r.Add(tr); err != nil {
+				t.Error(err)
+				return
+			}
+			tr.ShardDone(0, 4, 3)
+			tr.Finish()
+		}
+	}()
+	for g := 0; g < 4; g++ { // the handler side: list + snapshot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range r.IDs() {
+					if tr, ok := r.Get(id); ok {
+						snap := tr.Snapshot()
+						if snap.RunID != id {
+							t.Errorf("snapshot of %s names run %s", id, snap.RunID)
+							return
+						}
+					}
+				}
+				r.Len()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The keep bound must have held through the churn: at most 4 finished
+	// runs (plus none live) remain addressable.
+	if n := r.Len(); n > 4 {
+		t.Fatalf("registry retains %d runs after churn, keep bound is 4", n)
 	}
 }

@@ -18,24 +18,35 @@
 //
 // Endpoints (handler plumbing shared with internal/obshttp):
 //
-//	POST /v1/seed      seed a FASTA/FASTQ batch (body or multipart);
-//	                   JSON casa-smem/v1 report, or — with
-//	                   Accept: text/event-stream — an SSE stream of
-//	                   per-shard "progress" events then one "report"
-//	GET  /v1/runs      run IDs known to this process
-//	GET  /v1/runs/{id} one run's casa-progress/v1 snapshot
-//	GET  /healthz      200 serving / 503 draining
-//	GET  /metrics      process-level serving counters
-//	     /debug/pprof/ the standard profiles
+//	POST /v1/seed        seed a FASTA/FASTQ batch (body or multipart);
+//	                     JSON casa-smem/v1 report, or — with
+//	                     Accept: text/event-stream — an SSE stream of
+//	                     per-shard "progress" events then one "report"
+//	GET  /v1/runs        run IDs known to this process
+//	GET  /v1/runs/{id}   one run's casa-progress/v1 snapshot
+//	GET  /v1/stats       lifetime summary (casa-serve-stats/v1 JSON)
+//	GET  /healthz        200 serving / 503 draining
+//	GET  /metrics        lifetime serving + per-endpoint http metrics
+//	GET  /debug/runtrace wall-clock run lifecycle trace (Chrome JSON)
+//	     /debug/pprof/   the standard profiles
+//
+// Observability (see telemetry.go and docs/OBSERVABILITY.md): every
+// request flows through obshttp.Instrument (per-endpoint counts, status
+// classes, duration histograms, access logs keyed by run ID), every
+// accepted run is traced through its wall-clock lifecycle
+// (received→parsed→queued→running→reporting), and each finished run's
+// engine registry is folded into the server registry under lifetime/.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +58,7 @@ import (
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/progress"
+	"casa/internal/trace"
 )
 
 // Config tunes the serving layer. The zero value serves the casa engine
@@ -79,7 +91,13 @@ type Config struct {
 	// (0 = progress.DefaultKeepFinished).
 	KeepFinished int
 
-	// Log receives request/lifecycle records (nil = slog.Default).
+	// TraceSpanCapacity bounds the wall-clock lifecycle spans retained
+	// for /debug/runtrace and -trace (0 = trace.DefaultWallCapacity;
+	// five spans per run, oldest runs evicted first).
+	TraceSpanCapacity int
+
+	// Log receives request/lifecycle records and the access log
+	// (nil = slog.Default).
 	Log *slog.Logger
 }
 
@@ -114,6 +132,15 @@ type job struct {
 	names   []string
 	tracker *progress.Tracker
 	done    chan *Report // buffered: the dispatcher never blocks on a gone handler
+
+	// Wall-clock lifecycle milestones (telemetry.go). The handler stamps
+	// the first three; the dispatcher stamps started/finished, and the
+	// send on done orders them before the handler's reporting span.
+	received time.Time // request entered the handler
+	parsed   time.Time // batch read and parsed
+	queued   time.Time // admitted into the queue
+	started  time.Time // dequeued by the dispatcher
+	finished time.Time // run (and report assembly) complete
 }
 
 // Server is a running seeding front door. Create with Start (registry
@@ -122,10 +149,17 @@ type Server struct {
 	cfg   Config
 	proto engine.Engine // cloned per request: counters never leak across tenants
 
-	ln   net.Listener
-	srv  *http.Server
-	reg  *metrics.Registry  // process-level serving counters, at /metrics
-	runs *progress.Registry // run ID -> tracker, at /v1/runs/{id}
+	ln      net.Listener
+	srv     *http.Server
+	reg     *metrics.Registry  // lifetime serving counters, at /metrics
+	runs    *progress.Registry // run ID -> tracker, at /v1/runs/{id}
+	wall    *trace.WallTrace   // run lifecycle spans, at /debug/runtrace
+	started time.Time          // process uptime origin for /v1/stats
+
+	// Hot serving instruments, resolved once (Registry lookups lock).
+	histQueueWait *metrics.Histogram // serve/queue/wait_us
+	histRunDur    *metrics.Histogram // serve/run/duration_us
+	gQueueDepth   *metrics.Gauge     // serve/queue/depth
 
 	queue        chan *job
 	quitOnce     sync.Once
@@ -167,23 +201,34 @@ func StartEngine(addr string, proto engine.Engine, cfg Config) (*Server, error) 
 		ln:           ln,
 		reg:          metrics.New(),
 		runs:         progress.NewRegistry(cfg.KeepFinished),
+		wall:         trace.NewWall(cfg.TraceSpanCapacity),
+		started:      time.Now(),
 		queue:        make(chan *job, cfg.QueueDepth),
 		quit:         make(chan struct{}),
 		dispatchDone: make(chan struct{}),
 		serveDone:    make(chan struct{}),
 	}
+	wallBounds := metrics.PowerOfTwoBounds(30)
+	s.histQueueWait = s.reg.Histogram("serve/queue/wait_us", wallBounds)
+	s.histRunDur = s.reg.Histogram("serve/run/duration_us", wallBounds)
+	s.gQueueDepth = s.reg.Gauge("serve/queue/depth")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/v1/seed", s.handleSeed)
 	mux.HandleFunc("/v1/runs", s.handleRuns)
 	mux.HandleFunc("/v1/runs/", s.handleRun)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", obshttp.MetricsHandler(s.reg))
+	mux.HandleFunc("/debug/runtrace", s.handleRunTrace)
 	obshttp.RegisterPprof(mux)
 
 	s.srv = &http.Server{
-		Handler: mux,
+		// Every request passes through the instrumentation middleware:
+		// per-endpoint wall-clock metrics into the serving registry and
+		// one access-log record per request, run-ID-correlated.
+		Handler: obshttp.Instrument(mux, s.reg, cfg.Log),
 		// A seed request legitimately waits behind the queue for minutes,
 		// so there is no fixed write budget; slowloris protection comes
 		// from the header/read timeouts, and queue admission bounds how
@@ -219,11 +264,13 @@ func (s *Server) dispatch() {
 	for {
 		select {
 		case j := <-s.queue:
+			s.gQueueDepth.Set(float64(len(s.queue)))
 			s.runJob(j)
 		case <-s.quit:
 			for {
 				select {
 				case j := <-s.queue:
+					s.gQueueDepth.Set(float64(len(s.queue)))
 					s.runJob(j)
 				default:
 					return
@@ -237,6 +284,7 @@ func (s *Server) dispatch() {
 // jobs (client gone while queued) finish their tracker and report the
 // empty prefix without touching the engine.
 func (s *Server) runJob(j *job) {
+	j.started = time.Now()
 	rep := &Report{
 		Schema:  ReportSchema,
 		RunID:   j.tracker.RunID(),
@@ -248,6 +296,9 @@ func (s *Server) runJob(j *job) {
 		j.tracker.Finish()
 		rep.Interrupted = true
 		rep.Metrics = metrics.New()
+		j.finished = j.started // never ran: a zero-length running span
+		s.reg.Counter("serve/runs/cancelled").Add(1)
+		s.recordLifecycle(j)
 		j.done <- rep
 		return
 	}
@@ -275,12 +326,23 @@ func (s *Server) runJob(j *job) {
 			rep.Results[i] = ReadSMEMs{Name: j.names[i], SMEMs: toSMEMs(smems[i])}
 		}
 	}
+	j.finished = time.Now()
 	s.reg.Counter("serve/reads/seeded").Add(int64(done))
 	s.reg.Counter("serve/runs/completed").Add(1)
 	if err != nil {
 		s.reg.Counter("serve/runs/cancelled").Add(1)
 	}
-	s.cfg.Log.Info("run finished", "run_id", rep.RunID, "reads", done, "smems", total, "interrupted", rep.Interrupted)
+	// Fold this run's engine registry into the server's lifetime
+	// aggregate. The per-request registry the report carries is untouched
+	// — reports stay byte-identical to offline runs — while /metrics
+	// accumulates lifetime/casa/reads/seeded and friends across runs.
+	if skipped := s.reg.MergePrefixed(reg, "lifetime"); skipped > 0 {
+		s.reg.Counter("serve/lifetime/skipped_names").Add(int64(skipped))
+	}
+	s.recordLifecycle(j)
+	s.cfg.Log.Info("run finished", "run_id", rep.RunID, "reads", done, "smems", total, "interrupted", rep.Interrupted,
+		"queue_wait_us", maxZero(j.started.Sub(j.queued).Microseconds()),
+		"run_us", j.finished.Sub(j.started).Microseconds())
 	j.done <- rep
 }
 
@@ -289,11 +351,17 @@ func (s *Server) runJob(j *job) {
 // progress events followed by the final "report" event when the client
 // asks for text/event-stream.
 func (s *Server) handleSeed(w http.ResponseWriter, r *http.Request) {
+	received := time.Now()
 	if !obshttp.RequireMethod(w, r, http.MethodPost) {
 		return
 	}
 	if s.draining.Load() {
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	wantResults, err := parseInclude(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -313,7 +381,7 @@ func (s *Server) handleSeed(w http.ResponseWriter, r *http.Request) {
 	}
 	reads := make([]dna.Sequence, len(recs))
 	var names []string
-	if wantSMEMs(r) {
+	if wantResults {
 		names = make([]string, len(recs))
 	}
 	for i, rec := range recs {
@@ -326,15 +394,23 @@ func (s *Server) handleSeed(w http.ResponseWriter, r *http.Request) {
 	runID := progress.NewRunID()
 	workers := batch.Options{Workers: s.cfg.Workers}.WorkerCount()
 	tracker := progress.New(runID, s.proto.Name(), workers, int64(len(reads)))
-	j := &job{ctx: r.Context(), reads: reads, names: names, tracker: tracker, done: make(chan *Report, 1)}
+	j := &job{
+		ctx: r.Context(), reads: reads, names: names, tracker: tracker,
+		done:     make(chan *Report, 1),
+		received: received, parsed: time.Now(),
+	}
+	j.queued = time.Now()
 	select {
 	case s.queue <- j:
+		s.gQueueDepth.Set(float64(len(s.queue)))
 	default:
 		s.reg.Counter("serve/runs/rejected").Add(1)
-		// The queue holds whole batches, so a slot rarely frees in less
-		// than a second; a constant hint keeps well-behaved clients from
-		// hammering without tracking per-run durations.
-		w.Header().Set("Retry-After", "1")
+		// The hint extrapolates from observed run durations: everything
+		// ahead of a retrying client (the queue plus the running request)
+		// times the median run, clamped. Before any run completes there
+		// is nothing to extrapolate from and the hint is 1s.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(len(s.queue), s.histRunDur.Quantile(0.5))))
 		http.Error(w, "seed queue is full, retry later", http.StatusTooManyRequests)
 		return
 	}
@@ -354,6 +430,7 @@ func (s *Server) handleSeed(w http.ResponseWriter, r *http.Request) {
 	select {
 	case rep := <-j.done:
 		obshttp.WriteJSON(w, rep)
+		s.recordReporting(j, time.Now())
 	case <-r.Context().Done():
 		// Client gone: the dispatcher observes the cancelled context —
 		// mid-run it drains the claimed shards, queued it skips the job —
@@ -370,6 +447,10 @@ func (s *Server) streamSeed(w http.ResponseWriter, r *http.Request, j *job) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.reg.Counter("serve/sse/streams").Add(1)
+	active := s.reg.Gauge("serve/sse/active")
+	active.Add(1)
+	defer active.Add(-1)
 	if err := es.Emit("progress", j.tracker.Snapshot()); err != nil {
 		return
 	}
@@ -381,6 +462,7 @@ func (s *Server) streamSeed(w http.ResponseWriter, r *http.Request, j *job) {
 			return
 		case rep := <-j.done:
 			_ = es.Emit("report", rep)
+			s.recordReporting(j, time.Now())
 			return
 		case <-j.tracker.Updates():
 			if err := es.Emit("progress", j.tracker.Snapshot()); err != nil {
@@ -394,15 +476,22 @@ func (s *Server) streamSeed(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 }
 
-// wantSMEMs reports whether the client asked for per-read SMEM sets in
-// the report (?include=smems).
-func wantSMEMs(r *http.Request) bool {
+// parseInclude reports whether the client asked for per-read SMEM sets
+// in the report (?include=smems). Unknown values are an error: silently
+// ignoring a typo ("smem") would hand back a report without the results
+// the client asked for, which reads like an empty run.
+func parseInclude(r *http.Request) (smems bool, err error) {
 	for _, v := range r.URL.Query()["include"] {
-		if v == "smems" {
-			return true
+		switch v {
+		case "smems":
+			smems = true
+		case "":
+			// ?include= with no value: a harmless no-op.
+		default:
+			return false, fmt.Errorf("unknown include value %q (supported: smems)", v)
 		}
 	}
-	return false
+	return smems, nil
 }
 
 // handleRuns lists the run IDs known to this process.
@@ -452,8 +541,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if !obshttp.RequireMethod(w, r, http.MethodGet) {
 		return
 	}
-	fmt.Fprintf(w, "casa-serve (%s engine):\n  POST /v1/seed\n  GET  /v1/runs\n  GET  /v1/runs/{id}\n  GET  /healthz\n  GET  /metrics\n       /debug/pprof/\n",
+	fmt.Fprintf(w, "casa-serve (%s engine):\n  POST /v1/seed\n  GET  /v1/runs\n  GET  /v1/runs/{id}\n  GET  /v1/stats\n  GET  /healthz\n  GET  /metrics\n  GET  /debug/runtrace\n       /debug/pprof/\n",
 		s.proto.Name())
+}
+
+// WriteRunTrace writes the wall-clock run lifecycle trace as Chrome
+// trace_event JSON (casa-walltrace/v1) — the document /debug/runtrace
+// serves, and what casa-serve's -trace flag writes at shutdown.
+func (s *Server) WriteRunTrace(w io.Writer) error {
+	return trace.WriteChromeWall(w, s.wall.Spans(), s.wall.Dropped())
 }
 
 // Metrics returns the process-level serving registry (for a final flush

@@ -614,3 +614,193 @@ func TestParseReadsSniffsFormats(t *testing.T) {
 	}
 	_ = seqio.Record{}
 }
+
+// TestIncludeRejectsUnknown pins the ?include= validation: a typo'd value
+// is a 400 naming the supported set, not a silently thinner report.
+func TestIncludeRejectsUnknown(t *testing.T) {
+	ref, fq, _ := testRef(t, 1<<12, 2, 60)
+	s := startTestServer(t, ref, Config{Engine: "fmindex"})
+	url := "http://" + s.Addr() + "/v1/seed"
+
+	code, _, raw := postSeed(t, url+"?include=smem", fq)
+	if code != http.StatusBadRequest {
+		t.Fatalf("?include=smem: code %d, want 400", code)
+	}
+	if !strings.Contains(string(raw), `"smem"`) || !strings.Contains(string(raw), "smems") {
+		t.Fatalf("rejection %q names neither the bad value nor the supported set", raw)
+	}
+	// An empty value is a harmless no-op, not an error.
+	if code, _, _ := postSeed(t, url+"?include=", fq); code != http.StatusOK {
+		t.Fatalf("?include=: code %d, want 200", code)
+	}
+}
+
+// TestRetryAfterSeconds pins the 429 hint derivation: queue occupancy
+// times the median run, ceil'd to seconds and clamped to [1, 300], with
+// a 1s fallback before any run has completed.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		queued int
+		p50us  int64
+		want   int
+	}{
+		{0, 0, 1},               // nothing observed yet: fallback
+		{5, -1, 1},              // defensive: negative estimate
+		{0, 400_000, 1},         // 1 running x 0.4s rounds up to 1s
+		{2, 1_500_000, 5},       // (2+1) x 1.5s = 4.5s -> 5s
+		{1, 1_000_000, 2},       // exact seconds stay exact
+		{7, 3_600_000_000, 300}, // clamp: hours-long estimates cap at 300s
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.p50us); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d) = %d, want %d", c.queued, c.p50us, got, c.want)
+		}
+	}
+}
+
+// TestStatsEndpoint seeds one batch and checks GET /v1/stats reflects it:
+// schema, terminal run counts, populated latency quantiles and (after the
+// middleware's deferred record lands) the per-endpoint http map.
+func TestStatsEndpoint(t *testing.T) {
+	ref, fq, reads := testRef(t, 1<<13, 10, 60)
+	s := startTestServer(t, ref, Config{Engine: "casa"})
+	base := "http://" + s.Addr()
+
+	if code, _, _ := postSeed(t, base+"/v1/seed", fq); code != http.StatusOK {
+		t.Fatalf("seed: code %d", code)
+	}
+
+	getStats := func() Stats {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/stats: code %d", resp.StatusCode)
+		}
+		var st Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := getStats()
+	if st.Schema != StatsSchema || st.Engine != "casa" {
+		t.Fatalf("stats header wrong: %+v", st)
+	}
+	if st.RunsAccepted != 1 || st.RunsCompleted != 1 || st.RunsRejected != 0 {
+		t.Fatalf("run counts wrong: %+v", st)
+	}
+	if st.ReadsSeeded != int64(len(reads)) {
+		t.Fatalf("reads_seeded = %d, want %d", st.ReadsSeeded, len(reads))
+	}
+	if st.QueueCapacity != 8 || st.QueueDepth != 0 {
+		t.Fatalf("queue state wrong: %+v", st)
+	}
+	if st.RunDuration.Count != 1 || st.RunDuration.P50us <= 0 || st.RunDuration.P99us < st.RunDuration.P50us {
+		t.Fatalf("run_duration quantiles wrong: %+v", st.RunDuration)
+	}
+	if st.QueueWait.Count != 1 {
+		t.Fatalf("queue_wait count = %d, want 1", st.QueueWait.Count)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("uptime %f", st.UptimeSeconds)
+	}
+	if st.TraceSpans < 4 {
+		t.Fatalf("trace_spans = %d, want the run's lifecycle chain", st.TraceSpans)
+	}
+
+	// The middleware records a request's histogram after its response is
+	// written, so the seed request's entry may land a beat after the
+	// client sees the report: poll for the http map.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if q, ok := getStats().HTTP["v1_seed"]; ok && q.Count >= 1 && q.P50us > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("http map never gained v1_seed: %+v", getStats().HTTP)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunTraceEndpoint checks /debug/runtrace serves a Chrome trace with
+// the lifecycle span chain of a completed run, named by its run ID.
+func TestRunTraceEndpoint(t *testing.T) {
+	ref, fq, _ := testRef(t, 1<<13, 5, 60)
+	s := startTestServer(t, ref, Config{Engine: "casa"})
+	base := "http://" + s.Addr()
+
+	code, rep, _ := postSeed(t, base+"/v1/seed", fq)
+	if code != http.StatusOK {
+		t.Fatalf("seed: code %d", code)
+	}
+
+	type traceDoc struct {
+		Events []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Cat   string `json:"cat"` // lifecycle track of "X" span events
+			TS    *int64 `json:"ts"`
+			Dur   *int64 `json:"dur"`
+		} `json:"traceEvents"`
+		Other struct {
+			Schema string `json:"schema"`
+			Domain string `json:"domain"`
+		} `json:"otherData"`
+	}
+	getTrace := func() traceDoc {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/runtrace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/runtrace: code %d", resp.StatusCode)
+		}
+		var doc traceDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	doc := getTrace()
+	if doc.Other.Schema != trace.WallSchemaVersion || doc.Other.Domain != "wall" {
+		t.Fatalf("trace header wrong: %+v", doc.Other)
+	}
+	tracks := map[string]bool{}
+	for _, ev := range doc.Events {
+		if ev.Phase != "X" || ev.Name != rep.RunID {
+			continue
+		}
+		tracks[ev.Cat] = true
+		if ev.TS == nil || ev.Dur == nil || *ev.TS < 0 || *ev.Dur < 0 {
+			t.Fatalf("span on %q has bad ts/dur: %+v", ev.Cat, ev)
+		}
+	}
+	for _, want := range []string{"received", "parsed", "queued", "running"} {
+		if !tracks[want] {
+			t.Fatalf("run %s has no %q span (tracks %v)", rep.RunID, want, tracks)
+		}
+	}
+	// The reporting span is emitted after the response is written, so it
+	// may trail the client's read: poll for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !tracks["reporting"] {
+		if time.Now().After(deadline) {
+			t.Fatal("reporting span never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+		for _, ev := range getTrace().Events {
+			if ev.Phase == "X" && ev.Name == rep.RunID {
+				tracks[ev.Cat] = true
+			}
+		}
+	}
+}

@@ -52,7 +52,8 @@ type chromeEvent struct {
 type chromeArgs struct {
 	Name   string `json:"name,omitempty"`   // metadata events
 	Read   *int   `json:"read,omitempty"`   // read-scoped span events
-	Cycles *int64 `json:"cycles,omitempty"` // span events
+	Cycles *int64 `json:"cycles,omitempty"` // cycle-domain span events
+	RunID  string `json:"run_id,omitempty"` // wall-domain span events (wall.go)
 }
 
 // WriteChrome writes the span stream as Chrome trace_event JSON (object

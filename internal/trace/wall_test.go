@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wallAt builds a fixed absolute time for deterministic wall tests.
+func wallAt(us int64) time.Time { return time.UnixMicro(1_700_000_000_000_000 + us) }
+
+func TestWallTraceRecordAndOrder(t *testing.T) {
+	w := NewWall(16)
+	// Recorded out of chronological order: Spans must sort by start.
+	w.Record("casa-serve", "running", "run-b", wallAt(500), 300*time.Microsecond)
+	w.Record("casa-serve", "received", "run-a", wallAt(0), 100*time.Microsecond)
+	w.Record("casa-serve", "queued", "run-a", wallAt(100), 400*time.Microsecond)
+
+	spans := w.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	wantTracks := []string{"received", "queued", "running"}
+	for i, s := range spans {
+		if s.Track != wantTracks[i] {
+			t.Fatalf("span %d on track %q, want %q", i, s.Track, wantTracks[i])
+		}
+	}
+	if spans[0].Name != "run-a" || spans[0].Dur != 100 {
+		t.Fatalf("first span %+v, want run-a / 100us", spans[0])
+	}
+	if spans[2].End()-spans[2].Start != 300 {
+		t.Fatalf("running span duration %d, want 300", spans[2].Dur)
+	}
+	if w.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", w.Dropped())
+	}
+}
+
+func TestWallTraceNegativeDurationClamped(t *testing.T) {
+	w := NewWall(4)
+	w.Record("p", "t", "n", wallAt(10), -5*time.Microsecond)
+	spans := w.Spans()
+	if len(spans) != 1 || spans[0].Dur != 0 {
+		t.Fatalf("negative duration recorded as %+v, want Dur 0", spans)
+	}
+}
+
+func TestWallTraceRingEviction(t *testing.T) {
+	w := NewWall(3)
+	for i := 0; i < 5; i++ {
+		w.Record("p", "t", "n", wallAt(int64(i)), time.Microsecond)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("ring retains %d spans, want 3", w.Len())
+	}
+	if w.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", w.Dropped())
+	}
+	spans := w.Spans()
+	// The two oldest spans (starts 0 and 1) were evicted.
+	for i, s := range spans {
+		if want := int64(i + 2); s.Start-wallAt(0).UnixMicro() != want {
+			t.Fatalf("span %d starts at offset %d, want %d", i, s.Start-wallAt(0).UnixMicro(), want)
+		}
+	}
+}
+
+func TestWallTraceNilIsNoop(t *testing.T) {
+	var w *WallTrace
+	w.Record("p", "t", "n", wallAt(0), time.Second) // must not panic
+	if w.Spans() != nil || w.Len() != 0 || w.Dropped() != 0 {
+		t.Fatal("nil WallTrace is not a no-op sink")
+	}
+}
+
+func TestWallTraceConcurrentRecord(t *testing.T) {
+	w := NewWall(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Record("p", "t", "n", wallAt(int64(g*1000+i)), time.Microsecond)
+				_ = w.Spans()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Len() != 800 {
+		t.Fatalf("retained %d spans, want 800", w.Len())
+	}
+}
+
+func TestWriteChromeWall(t *testing.T) {
+	w := NewWall(16)
+	w.Record("casa-serve", "received", "aabbccdd", wallAt(1000), 50*time.Microsecond)
+	w.Record("casa-serve", "queued", "aabbccdd", wallAt(1050), 200*time.Microsecond)
+	w.Record("casa-serve", "running", "aabbccdd", wallAt(1250), 700*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeWall(&buf, w.Spans(), w.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, WallSchemaVersion) {
+		t.Fatalf("export lacks schema %q:\n%s", WallSchemaVersion, out)
+	}
+	if !strings.Contains(out, `"domain": "wall"`) {
+		t.Fatalf("export lacks the wall domain marker:\n%s", out)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Args struct {
+				Name  string `json:"name"`
+				RunID string `json:"run_id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Schema  string `json:"schema"`
+			Domain  string `json:"domain"`
+			Dropped int64  `json:"dropped"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export does not parse: %v", err)
+	}
+	if doc.OtherData.Schema != WallSchemaVersion || doc.OtherData.Domain != "wall" {
+		t.Fatalf("otherData %+v", doc.OtherData)
+	}
+	var xEvents, metaEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metaEvents++
+		case "X":
+			xEvents++
+			if ev.Name != "aabbccdd" || ev.Args.RunID != "aabbccdd" {
+				t.Fatalf("span event %+v does not carry the run ID", ev)
+			}
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("%d span events, want 3", xEvents)
+	}
+	// 1 process + 3 tracks.
+	if metaEvents != 4 {
+		t.Fatalf("%d metadata events, want 4", metaEvents)
+	}
+	// Timestamps are rebased onto the earliest span.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "received" && ev.Ts != 0 {
+			t.Fatalf("earliest span at ts %d, want 0", ev.Ts)
+		}
+	}
+
+	// Determinism: exporting the same stream twice yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteChromeWall(&buf2, w.Spans(), w.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("wall chrome export is not deterministic")
+	}
+}
+
+func TestWriteChromeWallEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeWall(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), WallSchemaVersion) {
+		t.Fatal("empty export lacks the schema marker")
+	}
+}

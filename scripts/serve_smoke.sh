@@ -4,9 +4,11 @@
 # modelled fields (reads, smems, engine, min_smem) are byte-for-byte
 # those of a casa-smem -json run over the same inputs, stream a second
 # batch over SSE and require per-shard progress events plus a terminal
-# report event, run two POSTs concurrently, then SIGTERM the server and
-# require a graceful drain with exit 0. Run by CI's serve-smoke job and
-# by `make serve-smoke`.
+# report event, run two POSTs concurrently, check the telemetry surface
+# (/metrics histograms, run-ID-correlated access logs, /v1/stats,
+# /debug/runtrace), then SIGTERM the server and require a graceful drain
+# with exit 0 plus a -trace Chrome JSON dump. Run by CI's serve-smoke job
+# and by `make serve-smoke`.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -32,7 +34,7 @@ WANT_SMEMS=$(sed -n 's/.*"smems": \([0-9]*\).*/\1/p' offline.json | head -1)
 echo "offline: $WANT_READS reads, $WANT_SMEMS SMEMs"
 
 echo "== starting casa-serve =="
-./casa-serve -ref ref.fa -engine casa -addr 127.0.0.1:0 >serve.out 2>serve.log &
+./casa-serve -ref ref.fa -engine casa -addr 127.0.0.1:0 -trace runtrace.json >serve.out 2>serve.log &
 SERVE_PID=$!
 ADDR=
 for _ in $(seq 1 600); do
@@ -86,6 +88,40 @@ echo "== health and method guards =="
 curl -sf "http://$ADDR/healthz" >/dev/null
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/seed")
 [ "$CODE" = "405" ] || { echo "GET /v1/seed answered $CODE, want 405"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @reads.fq "http://$ADDR/v1/seed?include=bogus")
+[ "$CODE" = "400" ] || { echo "POST ?include=bogus answered $CODE, want 400"; exit 1; }
+
+echo "== lifetime metrics exposition =="
+curl -sf "http://$ADDR/metrics" >metrics.txt
+for m in serve_run_duration_us_count serve_queue_wait_us_count http_v1_seed_duration_us_count; do
+    grep -q "^$m " metrics.txt || { grep TYPE metrics.txt; echo "/metrics lacks $m"; exit 1; }
+done
+grep -q '^serve_queue_depth ' metrics.txt || { echo "/metrics lacks the queue-depth gauge"; exit 1; }
+grep -q '^lifetime_' metrics.txt || { echo "/metrics lacks the lifetime/ engine aggregate"; exit 1; }
+RUN_COUNT=$(sed -n 's/^serve_run_duration_us_count \([0-9]*\)$/\1/p' metrics.txt)
+[ "${RUN_COUNT:-0}" -ge 4 ] || { echo "run-duration histogram counts $RUN_COUNT runs, want >= 4"; exit 1; }
+echo "metrics exposition carries serving + lifetime families ($RUN_COUNT runs observed)"
+
+echo "== access log correlates run IDs =="
+grep -q 'http request' serve.log || { tail serve.log; echo "no access-log records in the log"; exit 1; }
+grep 'http request' serve.log | grep 'path=/v1/seed' | grep -q 'run_id=' \
+    || { grep 'http request' serve.log | head -5; echo "seed access-log lines carry no run_id"; exit 1; }
+
+echo "== GET /v1/stats =="
+curl -sf "http://$ADDR/v1/stats" >stats.json
+grep -q '"schema": "casa-serve-stats/v1"' stats.json || { cat stats.json; echo "stats is not casa-serve-stats/v1"; exit 1; }
+COMPLETED=$(sed -n 's/.*"runs_completed": \([0-9]*\).*/\1/p' stats.json | head -1)
+[ "${COMPLETED:-0}" -ge 4 ] || { cat stats.json; echo "stats counts $COMPLETED completed runs, want >= 4"; exit 1; }
+grep -q '"p50_us"' stats.json || { cat stats.json; echo "stats has no latency quantiles"; exit 1; }
+echo "stats: $COMPLETED completed runs"
+
+echo "== GET /debug/runtrace =="
+curl -sf "http://$ADDR/debug/runtrace" >runtrace_live.json
+grep -q '"schema": "casa-walltrace/v1"' runtrace_live.json || { head runtrace_live.json; echo "runtrace is not casa-walltrace/v1"; exit 1; }
+grep -q '"traceEvents"' runtrace_live.json || { echo "runtrace has no traceEvents"; exit 1; }
+for track in received queued running reporting; do
+    grep -q "\"$track\"" runtrace_live.json || { echo "runtrace has no $track spans"; exit 1; }
+done
 
 echo "== SIGTERM drains and exits 0 =="
 kill -TERM "$SERVE_PID"
@@ -93,5 +129,10 @@ RC=0
 wait "$SERVE_PID" || RC=$?
 [ "$RC" = "0" ] || { cat serve.log; echo "casa-serve exited $RC after SIGTERM"; exit 1; }
 grep -q 'drained, exiting' serve.log || { tail serve.log; echo "no drain record in the log"; exit 1; }
+
+echo "== -trace wrote the lifecycle trace at shutdown =="
+[ -s runtrace.json ] || { echo "-trace wrote no runtrace.json"; exit 1; }
+grep -q '"schema": "casa-walltrace/v1"' runtrace.json || { head runtrace.json; echo "shutdown trace is not casa-walltrace/v1"; exit 1; }
+grep -q '"ph": "X"' runtrace.json || { echo "shutdown trace has no complete events"; exit 1; }
 
 echo "serve smoke OK"
