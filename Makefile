@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke serve-smoke experiments ablations examples clean
+.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke serve-smoke walltrace-smoke experiments ablations examples clean
 
 all: build test lint
 
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/pipeline/ ./internal/serve/ ./internal/obshttp/ ./internal/progress/ ./internal/trace/
+	$(GO) test -race ./internal/batch/ ./internal/core/ ./internal/pipeline/ ./internal/serve/ ./internal/obshttp/ ./internal/progress/ ./internal/trace/
 
 cover:
 	$(GO) test -cover ./...
@@ -70,6 +70,12 @@ live-smoke:
 # concurrent clients, and draining cleanly on SIGTERM (see the script).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Wall-trace smoke: seed a toy batch with casa-smem -walltrace and
+# assert casa-trace -wall reports the expected worker/shard/read counts
+# and utilization lines (see the script).
+walltrace-smoke:
+	bash scripts/walltrace_smoke.sh
 
 # Regenerate every paper table/figure (minutes; see EXPERIMENTS.md).
 experiments:

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"casa/internal/batch"
+	"casa/internal/buildinfo"
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/engine"
@@ -121,13 +122,19 @@ func main() {
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
 		tracePath  = flag.String("trace", "", "write a casa-trace/v1 seeding trace (.jsonl = JSONL, else Chrome JSON)")
 		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
+		wallPath   = flag.String("walltrace", "", "write a casa-walltrace/v1 host wall-clock profile of the seeding pool (Chrome JSON; analyze with casa-trace -wall)")
 		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /progress, /events and /debug/pprof on this address until interrupted")
 		progEvery  = flag.Duration("progress", 0, "log a progress snapshot at this interval (0 = off)")
 		stallAfter = flag.Duration("stall-timeout", 0, "warn with per-worker state and a goroutine dump when no seeding shard completes for this long (0 = off)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		version    = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-align")
+		return
+	}
 	if *engName == "list" || *verify == "list" {
 		engine.WriteList(os.Stdout)
 		return
@@ -226,7 +233,15 @@ func main() {
 		}
 		tr = trace.New(policy, 0)
 	}
-	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	// The wall recorder profiles the host side of the seeding pool: one
+	// span per claimed shard, across every streamed batch (ReadBase keeps
+	// shard names globally unique). The verify and reverse-complement
+	// passes share it — their spans land under the same workers.
+	var wall *trace.WallTrace
+	if *wallPath != "" {
+		wall = trace.NewWall(0)
+	}
+	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr, Wall: wall}
 	// The input streams in batches, so the read total is unknown upfront
 	// (single-end) or learned at load (paired): the tracker starts at 0
 	// and grows via AddTotal, and percent/ETA stay 0 until it is known.
@@ -306,6 +321,14 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if wall != nil {
+		spans := wall.Spans()
+		if err := trace.WriteWallFile(*wallPath, spans, wall.Dropped()); err != nil {
+			fatal(err)
+		}
+		logger.Info("wall trace written", "path", *wallPath,
+			"spans", len(spans), "dropped", wall.Dropped())
 	}
 	if *metricsOut {
 		if err := reg.WriteText(os.Stderr); err != nil {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"casa/internal/buildinfo"
 )
 
 func benchDoc(rows ...row) doc {
@@ -162,4 +167,57 @@ func TestCompareHost(t *testing.T) {
 			t.Fatalf("regs=%v", regs)
 		}
 	})
+}
+
+// TestHostBlockRoundTrip pins the host-side observability fields: a
+// document carrying build info, phase breakdown and per-rep timings still
+// validates (DisallowUnknownFields must know every field), and none of it
+// reaches the comparison gates.
+func TestHostBlockRoundTrip(t *testing.T) {
+	build := buildinfo.Current()
+	d := benchDoc(
+		row{Engine: "casa", Workers: 1, HostSeconds: 1, HostReadsPerS: 200,
+			HostRepSeconds: []float64{1.2, 1.0, 1.1}, ModelSeconds: 0.01, ModelCycles: 1000, ModelReadsPerS: 20000},
+		row{Engine: "ert", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
+		row{Engine: "genax", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
+		row{Engine: "gencache", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
+		row{Engine: "cpu", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
+		row{Engine: "fmindex", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
+	)
+	d.Host = currentHostEnv()
+	d.Host.Phases = &hostPhases{
+		RefGenSeconds:     0.1,
+		ReadSimSeconds:    0.05,
+		IndexBuildSeconds: map[string]float64{"casa": 0.2},
+		SeedingSeconds:    3.3,
+	}
+	if d.Host.Build == nil || d.Host.Build.GoVersion != build.GoVersion {
+		t.Fatalf("host env lacks build info: %+v", d.Host)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(path); err != nil {
+		t.Fatalf("document with host phases does not validate: %v", err)
+	}
+
+	// A baseline without any of the new host fields gates cleanly against
+	// it: host metadata is never compared.
+	base := benchDoc(d.Engines...)
+	for i := range base.Engines {
+		base.Engines[i].HostRepSeconds = nil
+	}
+	regs, err := compareDocs(base, d, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("regs=%v err=%v", regs, err)
+	}
+	if regs := compareHost(base, d, 0.5); len(regs) != 0 {
+		t.Fatalf("host gate tripped on metadata: %v", regs)
+	}
 }

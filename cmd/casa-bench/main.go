@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"casa/internal/batch"
+	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
 	"casa/internal/readsim"
@@ -58,34 +59,53 @@ type workload struct {
 // simulator on this machine; model numbers are the simulated hardware's
 // and are identical at every worker count (the determinism contract).
 type row struct {
-	Engine         string  `json:"engine"`
-	Workers        int     `json:"workers"`
-	HostSeconds    float64 `json:"host_seconds"`
-	HostReadsPerS  float64 `json:"host_reads_per_s"`
-	ModelSeconds   float64 `json:"model_seconds,omitempty"`
-	ModelCycles    int64   `json:"model_cycles,omitempty"`
-	ModelReadsPerS float64 `json:"model_reads_per_s,omitempty"`
+	Engine        string  `json:"engine"`
+	Workers       int     `json:"workers"`
+	HostSeconds   float64 `json:"host_seconds"`
+	HostReadsPerS float64 `json:"host_reads_per_s"`
+	// HostRepSeconds lists every repetition's wall time (HostSeconds is
+	// their minimum): the spread shows whether the machine was quiet
+	// enough to trust the row. Host-side, so -compare never reads it.
+	HostRepSeconds []float64 `json:"host_rep_seconds,omitempty"`
+	ModelSeconds   float64   `json:"model_seconds,omitempty"`
+	ModelCycles    int64     `json:"model_cycles,omitempty"`
+	ModelReadsPerS float64   `json:"model_reads_per_s,omitempty"`
+}
+
+// hostPhases breaks the benchmark's one-time host costs out of the
+// per-row seeding timings: generating the reference, simulating the
+// reads, and building each engine's index. Like every host field,
+// -compare ignores it.
+type hostPhases struct {
+	RefGenSeconds     float64            `json:"ref_gen_seconds"`
+	ReadSimSeconds    float64            `json:"read_sim_seconds"`
+	IndexBuildSeconds map[string]float64 `json:"index_build_seconds"` // engine -> build wall time
+	SeedingSeconds    float64            `json:"seeding_seconds"`     // all reps, all rows
 }
 
 // hostEnv records the machine a benchmark ran on. Host throughput is
 // meaningless without it; the model numbers stay machine-independent, so
 // -compare ignores every host field.
 type hostEnv struct {
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Build      *buildinfo.Info `json:"build_info,omitempty"`
+	Phases     *hostPhases     `json:"phases,omitempty"`
 }
 
 // currentHostEnv captures the running process's environment.
 func currentHostEnv() *hostEnv {
+	build := buildinfo.Current()
 	return &hostEnv{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Build:      &build,
 	}
 }
 
@@ -109,8 +129,13 @@ func main() {
 		compare       = flag.String("compare", "", "baseline benchmark file: exit non-zero if model numbers regress beyond -threshold")
 		threshold     = flag.Float64("threshold", 0.10, "allowed fractional model regression for -compare")
 		hostThreshold = flag.Float64("host-threshold", 0.5, "host-throughput floor for -compare: fail below this fraction of baseline host reads/s (0 disables)")
+		version       = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-bench")
+		return
+	}
 	if *validate != "" {
 		if err := validateFile(*validate); err != nil {
 			log.Fatal(err)
@@ -169,8 +194,13 @@ func runBench(scale string, ws []int, reps int) doc {
 	if scale == "quick" {
 		refBases, nReads = 1<<16, 200
 	}
+	phases := &hostPhases{IndexBuildSeconds: map[string]float64{}}
+	refStart := time.Now()
 	ref := readsim.GenerateReference(readsim.DefaultGenome(refBases, 21))
+	phases.RefGenSeconds = time.Since(refStart).Seconds()
+	simStart := time.Now()
 	reads := readsim.Sequences(readsim.Simulate(ref, readsim.DefaultProfile(nReads, 22)))
+	phases.ReadSimSeconds = time.Since(simStart).Seconds()
 	const minSMEM = 19
 	d := doc{
 		Schema: benchSchema,
@@ -180,20 +210,26 @@ func runBench(scale string, ws []int, reps int) doc {
 			RefBases: len(ref), Reads: len(reads), ReadLen: len(reads[0]), MinSMEM: minSMEM,
 		},
 	}
+	d.Host.Phases = phases
 
-	for _, e := range buildEngines(ref, minSMEM) {
+	seedStart := time.Now()
+	for _, e := range buildEngines(ref, minSMEM, phases.IndexBuildSeconds) {
 		for _, w := range ws {
 			opts := batch.Options{Workers: w}
-			var host float64
 			var m model
+			repSecs := make([]float64, 0, reps)
 			for rep := 0; rep < reps; rep++ {
 				start := time.Now()
 				m = e.run(reads, opts)
-				if s := time.Since(start).Seconds(); rep == 0 || s < host {
+				repSecs = append(repSecs, time.Since(start).Seconds())
+			}
+			host := repSecs[0]
+			for _, s := range repSecs[1:] {
+				if s < host {
 					host = s
 				}
 			}
-			r := row{Engine: e.name, Workers: w, HostSeconds: host}
+			r := row{Engine: e.name, Workers: w, HostSeconds: host, HostRepSeconds: repSecs}
 			if host > 0 {
 				r.HostReadsPerS = float64(len(reads)) / host
 			}
@@ -202,7 +238,19 @@ func runBench(scale string, ws []int, reps int) doc {
 			log.Printf("%-8s workers=%d host=%.3fs (%.0f reads/s)", e.name, w, host, r.HostReadsPerS)
 		}
 	}
+	phases.SeedingSeconds = time.Since(seedStart).Seconds()
+	log.Printf("host phases: ref_gen=%.3fs read_sim=%.3fs index_build=%.3fs seeding=%.3fs",
+		phases.RefGenSeconds, phases.ReadSimSeconds, sumValues(phases.IndexBuildSeconds), phases.SeedingSeconds)
 	return d
+}
+
+// sumValues totals a per-engine timing map.
+func sumValues(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
 }
 
 // runGate compares cur against the baseline file and exits non-zero on
@@ -244,10 +292,11 @@ type benchEngine struct {
 
 // buildEngines constructs every registered engine over ref, scaled to
 // bench size (small segments so multi-partition paths are exercised,
-// table k-mers kept small enough for CI memory). The golden oracle is
-// skipped — quadratic, validation only — so a newly registered engine is
+// table k-mers kept small enough for CI memory), recording each engine's
+// index-build wall time into buildSecs. The golden oracle is skipped —
+// quadratic, validation only — so a newly registered engine is
 // benchmarked automatically.
-func buildEngines(ref dna.Sequence, minSMEM int) []benchEngine {
+func buildEngines(ref dna.Sequence, minSMEM int, buildSecs map[string]float64) []benchEngine {
 	opt := engine.Options{
 		MinSMEM:    minSMEM,
 		Partition:  len(ref) / 4,
@@ -259,10 +308,12 @@ func buildEngines(ref dna.Sequence, minSMEM int) []benchEngine {
 		if f.Golden {
 			continue
 		}
+		buildStart := time.Now()
 		e, err := engine.New(f.Name, ref, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
+		buildSecs[f.Name] = time.Since(buildStart).Seconds()
 		out = append(out, benchEngine{f.Name, func(reads []dna.Sequence, o batch.Options) model {
 			res := batch.SeedEngine(e, reads, o)
 			if mod, ok := e.(engine.Modeler); ok {

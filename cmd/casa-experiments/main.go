@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"casa/internal/buildinfo"
 	"casa/internal/energy"
 	"casa/internal/experiments"
 )
@@ -30,8 +31,13 @@ func main() {
 		summary   = flag.Bool("summary", false, "print the headline ratio summary (§7.1/§7.2)")
 		ablation  = flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 		all       = flag.Bool("all", false, "run every artifact")
+		version   = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-experiments")
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {

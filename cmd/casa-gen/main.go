@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 
+	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/readsim"
 	"casa/internal/seqio"
@@ -33,8 +34,13 @@ func main() {
 		readsOut = flag.String("reads-out", "reads.fq", "reads FASTQ output path")
 		paired   = flag.Bool("paired", false, "emit paired-end reads (mate files <reads-out> and <reads-out>.2)")
 		insert   = flag.Int("insert", 350, "paired-end mean fragment length")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-gen")
+		return
+	}
 
 	if *chroms < 1 {
 		log.Fatal("chroms must be >= 1")

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"casa/internal/buildinfo"
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/seqio"
@@ -34,6 +35,7 @@ type options struct {
 	ref, out, info string
 	partition      int
 	k, m           int
+	version        bool
 }
 
 // buildOnly names the flags that configure an index build and therefore
@@ -53,6 +55,7 @@ func parseArgs(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.k, "k", 19, "seed k-mer size")
 	fs.IntVar(&o.m, "m", 10, "mini index m-mer size")
 	fs.StringVar(&o.info, "info", "", "inspect an existing index instead of building")
+	fs.BoolVar(&o.version, "version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -82,6 +85,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if o.version {
+		buildinfo.Print(os.Stdout, "casa-index")
+		return
+	}
 	if o.info != "" {
 		inspect(o.info)
 		return

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
 	"casa/internal/progress"
@@ -78,8 +79,13 @@ func main() {
 		traceCap   = flag.Int("trace-spans", 0, "wall-clock lifecycle spans retained for /debug/runtrace and -trace (0 = library default)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		version    = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-serve")
+		return
+	}
 	if *engName == "list" {
 		engine.WriteList(os.Stdout)
 		return
@@ -141,7 +147,9 @@ func main() {
 		if err := writeRunTrace(s, *traceOut); err != nil {
 			fatal(err)
 		}
-		logger.Info("run trace written", "path", *traceOut)
+		spans, dropped := s.TraceStats()
+		logger.Info("run trace written", "path", *traceOut,
+			"spans", spans, "dropped", dropped)
 	}
 	logger.Info("drained, exiting")
 }

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"casa/internal/buildinfo"
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/engine"
@@ -34,8 +35,13 @@ func main() {
 		naive     = flag.Bool("naive", false, "disable the pre-seeding filter and analyses")
 		noPrepass = flag.Bool("no-exact-prepass", false, "disable the exact-match prepass")
 		maxReads  = flag.Int("max-reads", 0, "cap the number of reads (0 = all)")
+		version   = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-sim")
+		return
+	}
 	if (*refPath == "" && *indexPath == "") || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -17,7 +17,10 @@
 // machine-readable report (schema casa-smem/v1) on stdout; -metrics
 // writes the Prometheus-style text exposition to stderr; -trace records
 // the run's cycle-domain spans (casa-trace/v1; Chrome JSON, or JSONL for
-// .jsonl paths) with optional -trace-sample sampling; -http serves
+// .jsonl paths) with optional -trace-sample sampling; -walltrace records
+// the host wall-clock profile (casa-walltrace/v1: per-shard worker spans
+// plus the CLI's load/build/seed phases — analyze with casa-trace -wall);
+// -http serves
 // /metrics, /trace, /progress, /events and /debug/pprof until
 // interrupted; -progress logs periodic snapshots for non-HTTP runs;
 // -stall-timeout arms a watchdog that dumps per-worker state and
@@ -26,7 +29,7 @@
 //
 // Usage:
 //
-//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-http localhost:6060] [-progress 5s] [-stall-timeout 1m] [-log-format json]
+//	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-walltrace wall.json] [-http localhost:6060] [-progress 5s] [-stall-timeout 1m] [-log-format json]
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"casa/internal/batch"
+	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
 	"casa/internal/metrics"
@@ -108,13 +112,19 @@ func main() {
 		metricsOut = flag.Bool("metrics", false, "write the metrics text exposition to stderr after the run")
 		tracePath  = flag.String("trace", "", "write a casa-trace/v1 trace of the run (.jsonl = JSONL, else Chrome JSON)")
 		traceSamp  = flag.String("trace-sample", "all", "trace sampling policy: all, head:N, slowest:N")
+		wallPath   = flag.String("walltrace", "", "write a casa-walltrace/v1 host wall-clock profile of the run (Chrome JSON; analyze with casa-trace -wall)")
 		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /progress, /events and /debug/pprof on this address until interrupted")
 		progEvery  = flag.Duration("progress", 0, "log a progress snapshot at this interval (0 = off)")
 		stallAfter = flag.Duration("stall-timeout", 0, "warn with per-worker state and a goroutine dump when no shard completes for this long (0 = off)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		version    = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-smem")
+		return
+	}
 	if *engName == "list" || *verify == "list" {
 		engine.WriteList(os.Stdout)
 		return
@@ -156,10 +166,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The wall recorder profiles the *host* side of the run: the CLI's own
+	// load/build/seed phases (proc "casa-smem", track "phase") plus the
+	// batch layer's per-shard worker spans. Entirely separate from the
+	// cycle-domain -trace.
+	var wall *trace.WallTrace
+	if *wallPath != "" {
+		wall = trace.NewWall(0)
+	}
+	phase := func(name string, start time.Time) {
+		wall.Record("casa-smem", "phase", name, start, time.Since(start))
+	}
+
+	loadStart := time.Now()
 	ref, reads, names, err := load(*refPath, *readsPath, *maxReads)
 	if err != nil {
 		fatal(err)
 	}
+	phase("load", loadStart)
 	reg := metrics.New()
 	// Record spans whenever anything could consume them: a -trace file or
 	// the HTTP server's /trace endpoint.
@@ -171,7 +195,7 @@ func main() {
 		}
 		tr = trace.New(policy, 0)
 	}
-	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	pool := batch.Options{Workers: *workers, Metrics: reg, Trace: tr, Wall: wall}
 	tracker := progress.New(runID, *engName, pool.WorkerCount(), int64(len(reads)))
 	pool.Progress = tracker
 	logger.Info("run starting", "reads", len(reads), "workers", pool.WorkerCount(), "min_smem", *minSMEM)
@@ -206,11 +230,15 @@ func main() {
 		}()
 	}
 
+	buildStart := time.Now()
 	eng, err := engine.New(*engName, ref, engine.Options{MinSMEM: *minSMEM})
 	if err != nil {
 		fatal(err)
 	}
+	phase("build", buildStart)
+	seedStart := time.Now()
 	got, done, runErr := findAll(ctx, eng, reads, pool)
+	phase("seed", seedStart)
 	tracker.Finish()
 	interrupted := runErr != nil
 	if interrupted {
@@ -250,6 +278,14 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if wall != nil {
+		spans := wall.Spans()
+		if err := trace.WriteWallFile(*wallPath, spans, wall.Dropped()); err != nil {
+			fatal(err)
+		}
+		logger.Info("wall trace written", "path", *wallPath,
+			"spans", len(spans), "dropped", wall.Dropped())
 	}
 
 	totalSMEMs, mismatches := 0, 0

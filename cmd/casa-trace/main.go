@@ -9,9 +9,15 @@
 // FM-index steps — see docs/OBSERVABILITY.md for each engine's unit) for
 // read spans, modelled-wall nanoseconds for pipeline system spans.
 //
+// With -wall the input is instead a casa-walltrace/v1 capture (the host
+// wall-clock domain, as written by -walltrace or served at
+// GET /debug/runtrace): the report becomes a per-worker utilization
+// table, the pool's imbalance ratio and the slowest shards.
+//
 // Usage:
 //
 //	casa-trace [-top 10] trace.json
+//	casa-trace -wall [-top 10] walltrace.json
 package main
 
 import (
@@ -23,19 +29,30 @@ import (
 	"os"
 	"sort"
 
+	"casa/internal/buildinfo"
 	"casa/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casa-trace: ")
-	top := flag.Int("top", 10, "slowest reads to show per engine")
+	top := flag.Int("top", 10, "slowest reads (or, with -wall, shards) to show")
+	wall := flag.Bool("wall", false, "input is a casa-walltrace/v1 host wall-clock capture")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "casa-trace")
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: casa-trace [-top N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: casa-trace [-wall] [-top N] trace.json")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *top); err != nil {
+	analyzer := run
+	if *wall {
+		analyzer = runWall
+	}
+	if err := analyzer(os.Stdout, flag.Arg(0), *top); err != nil {
 		log.Fatal(err)
 	}
 }

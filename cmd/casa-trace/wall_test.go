@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"casa/internal/trace"
+)
+
+// wallFixture writes a small casa-walltrace/v1 capture: a 2-worker pool
+// over 4 shards of 25 reads, one host reduce phase and one lifecycle
+// span, with worker 0 doing three shards (the straggler).
+func wallFixture(t *testing.T) string {
+	t.Helper()
+	w := trace.NewWall(64)
+	at := func(us int64) time.Time { return time.UnixMicro(1_800_000_000_000_000 + us) }
+	w.Record(trace.WallWorkerProc(0), "casa", trace.WallShardName(0, 0, 25), at(0), 300*time.Microsecond)
+	w.Record(trace.WallWorkerProc(1), "casa", trace.WallShardName(1, 25, 50), at(0), 100*time.Microsecond)
+	w.Record(trace.WallWorkerProc(0), "casa", trace.WallShardName(2, 50, 75), at(310), 200*time.Microsecond)
+	w.Record(trace.WallWorkerProc(0), "casa", trace.WallShardName(3, 75, 100), at(520), 100*time.Microsecond)
+	w.Record(trace.WallHostProc, "casa", "reduce", at(630), 40*time.Microsecond)
+	w.Record("casa-serve", "running", "run-xyz", at(0), 700*time.Microsecond)
+	path := filepath.Join(t.TempDir(), "wall.json")
+	if err := trace.WriteWallFile(path, w.Spans(), w.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWallReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runWall(&buf, wallFixture(t), 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"casa-walltrace/v1: 6 spans (0 dropped)",
+		"workers: 2   shards: 4   reads: 100",
+		// Worker 0: 3 shards, 75 reads, 600 us busy.
+		"00          3       75        600",
+		"01          1       25        100",
+		// Pool busy 700 us; imbalance = 600 / mean(350) = 1.71x.
+		"imbalance (max/mean worker busy): 1.71x",
+		"slowest 2 shards:",
+		trace.WallShardName(0, 0, 25),
+		trace.WallShardName(2, 50, 75),
+		"non-worker spans (2):",
+		"reduce",
+		"run-xyz",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wall report lacks %q:\n%s", want, out)
+		}
+	}
+	// -top 2 must leave shard 3 out of the slowest table.
+	if strings.Contains(out, trace.WallShardName(3, 75, 100)) {
+		t.Fatalf("wall report ranks more shards than -top asked for:\n%s", out)
+	}
+}
+
+func TestRunWallRejectsCycleTrace(t *testing.T) {
+	// A cycle-domain trace file must be refused, not misread: the two
+	// schemas are deliberately incompatible.
+	path := filepath.Join(t.TempDir(), "cycle.json")
+	tr := trace.New(trace.Policy{}, 0)
+	b := tr.NewBuffer("e")
+	b.Emit(0, "exact", "exact", 0, 10)
+	if err := trace.WriteFile(path, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runWall(&buf, path, 5); err == nil {
+		t.Fatal("runWall accepted a casa-trace/v1 cycle-domain file")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"casa/internal/metrics"
 	"casa/internal/progress"
@@ -60,6 +61,18 @@ type Options struct {
 	// The merged span stream — and its exported bytes — is identical for
 	// any worker count, the same discipline Metrics follows.
 	Trace *trace.Trace
+
+	// Wall, when non-nil, receives host wall-clock spans: one span per
+	// claimed shard (proc trace.WallWorkerProc(worker), track Engine,
+	// name trace.WallShardName carrying the shard index, global read
+	// range and read count) plus spans for the sequential reduce/merge
+	// phases on the trace.WallHostProc process. The overhead is one
+	// time.Now pair per shard — far off the per-read hot path — and the
+	// spans live in their own casa-walltrace/v1 domain: the modelled
+	// cycle-domain Trace and the determinism contract are untouched.
+	// casa-trace -wall turns a capture into per-worker utilization and
+	// shard-skew tables; see docs/OBSERVABILITY.md.
+	Wall *trace.WallTrace
 
 	// Engine labels this run's observability output: it becomes the trace
 	// process name and the "engine" pprof goroutine label on the workers.
@@ -143,6 +156,19 @@ func RunCtx[R any](ctx context.Context, n int, o Options, fn func(worker, lo, hi
 	if workers > numShards {
 		workers = numShards
 	}
+	// runShard wraps one fn call in its wall span when profiling is on: a
+	// time.Now pair per shard, never per read, so the hot path stays
+	// allocation- and syscall-free with Wall unset.
+	runShard := func(w, s, lo, hi int) R {
+		if o.Wall == nil {
+			return fn(w, lo, hi)
+		}
+		start := time.Now()
+		r := fn(w, lo, hi)
+		o.Wall.Record(trace.WallWorkerProc(w), o.wallTrack(),
+			trace.WallShardName(s, o.ReadBase+lo, o.ReadBase+hi), start, time.Since(start))
+		return r
+	}
 	results := make([]R, numShards)
 	if workers <= 1 {
 		completed := 0
@@ -152,7 +178,7 @@ func RunCtx[R any](ctx context.Context, n int, o Options, fn func(worker, lo, hi
 					return
 				}
 				lo, hi := s*grain, min(s*grain+grain, n)
-				results[s] = fn(0, lo, hi)
+				results[s] = runShard(0, s, lo, hi)
 				o.shardDone(0, lo, hi)
 				completed = s + 1
 			}
@@ -175,7 +201,7 @@ func RunCtx[R any](ctx context.Context, n int, o Options, fn func(worker, lo, hi
 						return
 					}
 					lo, hi := s*grain, min(s*grain+grain, n)
-					results[s] = fn(w, lo, hi)
+					results[s] = runShard(w, s, lo, hi)
 					o.shardDone(w, lo, hi)
 				}
 			})
@@ -192,6 +218,33 @@ func (o Options) shardDone(worker, lo, hi int) {
 	if o.Progress != nil {
 		o.Progress.ShardDone(worker, hi-lo, o.ReadBase+hi-1)
 	}
+}
+
+// wallTrack labels this run's wall spans: the engine name, or "batch"
+// for raw Run callers that never set one.
+func (o Options) wallTrack() string {
+	if o.Engine != "" {
+		return o.Engine
+	}
+	return "batch"
+}
+
+// wallPhase records one host-side sequential phase (reduce, merge) as a
+// wall span on the WallHostProc process; no-op with profiling off.
+func (o Options) wallPhase(name string, start time.Time) {
+	if o.Wall == nil {
+		return
+	}
+	o.Wall.Record(trace.WallHostProc, o.wallTrack(), name, start, time.Since(start))
+}
+
+// wallNow returns the phase start timestamp, skipping the clock read
+// entirely when profiling is off.
+func (o Options) wallNow() time.Time {
+	if o.Wall == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // labeled runs body with pprof goroutine labels identifying the engine

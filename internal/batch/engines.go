@@ -125,8 +125,11 @@ func SeedEngineCtx(ctx context.Context, e engine.Engine, reads []dna.Sequence, o
 		}
 		return act
 	})
+	reduceStart := o.wallNow()
 	res := e.Reduce(reads[:done], acts)
+	o.wallPhase("reduce", reduceStart)
 	if o.Metrics != nil {
+		mergeStart := o.wallNow()
 		mergeRegistries(o, regs)
 		for _, eng := range engines {
 			if wp, ok := eng.(engine.WorkerPublisher); ok {
@@ -134,6 +137,7 @@ func SeedEngineCtx(ctx context.Context, e engine.Engine, reads []dna.Sequence, o
 			}
 		}
 		res.PublishModelMetrics(o.Metrics)
+		o.wallPhase("merge-metrics", mergeStart)
 	}
 	return res, done, err
 }
@@ -183,9 +187,11 @@ func FindSMEMsCtx(ctx context.Context, reads []dna.Sequence, minLen int, o Optio
 		}
 		return out
 	})
+	mergeStart := o.wallNow()
 	merged := make([][]smem.Match, 0, done)
 	for _, s := range shards {
 		merged = append(merged, s...)
 	}
+	o.wallPhase("merge", mergeStart)
 	return merged, done, err
 }

@@ -1,0 +1,86 @@
+// Package buildinfo reports what binary is running: the module path and
+// version plus the VCS state the Go toolchain stamped at build time. One
+// tiny package so every CLI's -version flag, casa-serve's /healthz and
+// casa-bench's host-environment block print the same identity — when a
+// benchmark file and a serving log disagree, the first question is
+// always "were these even the same build?".
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity, JSON-ready for embedding in benchmark
+// documents and health endpoints.
+type Info struct {
+	// Module is the main module path ("casa").
+	Module string `json:"module"`
+	// Version is the main module version: "(devel)" for a plain
+	// go-build checkout, a semver tag for released builds.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, empty when the build had no VCS
+	// stamp (e.g. go test binaries, or builds outside a checkout).
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339), empty without a stamp.
+	Time string `json:"time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// Current reads the running binary's build identity. Always usable: when
+// the binary carries no build info at all (unusual outside tests), only
+// GoVersion is filled.
+func Current() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+// "casa (devel) go1.22.1 rev 1a2b3c4d (modified)".
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "unknown"
+	}
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	s += " " + i.GoVersion
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if i.Modified {
+		s += " (modified)"
+	}
+	return s
+}
+
+// Print writes the standard -version output for a command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, Current())
+}

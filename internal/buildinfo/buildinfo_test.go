@@ -1,0 +1,62 @@
+package buildinfo
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCurrentAlwaysHasToolchain(t *testing.T) {
+	info := Current()
+	if info.GoVersion != runtime.Version() {
+		t.Fatalf("GoVersion %q, want %q", info.GoVersion, runtime.Version())
+	}
+	// Test binaries are built from the module, so the path is known.
+	if info.Module != "casa" {
+		t.Fatalf("Module %q, want casa", info.Module)
+	}
+}
+
+func TestStringNeverEmpty(t *testing.T) {
+	for _, i := range []Info{
+		{},
+		{Module: "casa", Version: "(devel)", GoVersion: "go1.22", Revision: "0123456789abcdef", Modified: true},
+	} {
+		s := i.String()
+		if s == "" {
+			t.Fatal("empty String()")
+		}
+		if i.Revision != "" && !strings.Contains(s, i.Revision[:12]) {
+			t.Fatalf("String %q lacks the short revision", s)
+		}
+		if i.Modified && !strings.Contains(s, "(modified)") {
+			t.Fatalf("String %q lacks the modified marker", s)
+		}
+	}
+}
+
+func TestPrintLeadsWithCommand(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, "casa-smem")
+	if !strings.HasPrefix(buf.String(), "casa-smem ") {
+		t.Fatalf("Print output %q does not lead with the command name", buf.String())
+	}
+}
+
+func TestInfoJSONShape(t *testing.T) {
+	data, err := json.Marshal(Info{Module: "casa", Version: "(devel)", GoVersion: "go1.22"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"module"`, `"version"`, `"go_version"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("JSON %s lacks %s", data, key)
+		}
+	}
+	// Empty VCS fields stay out of the document.
+	if strings.Contains(string(data), "revision") {
+		t.Fatalf("JSON %s carries an empty revision", data)
+	}
+}

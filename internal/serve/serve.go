@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"casa/internal/batch"
+	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
 	"casa/internal/metrics"
@@ -159,6 +160,7 @@ type Server struct {
 	// Hot serving instruments, resolved once (Registry lookups lock).
 	histQueueWait *metrics.Histogram // serve/queue/wait_us
 	histRunDur    *metrics.Histogram // serve/run/duration_us
+	histImbalance *metrics.Histogram // lifetime/batch/imbalance_permille
 	gQueueDepth   *metrics.Gauge     // serve/queue/depth
 
 	queue        chan *job
@@ -211,6 +213,7 @@ func StartEngine(addr string, proto engine.Engine, cfg Config) (*Server, error) 
 	wallBounds := metrics.PowerOfTwoBounds(30)
 	s.histQueueWait = s.reg.Histogram("serve/queue/wait_us", wallBounds)
 	s.histRunDur = s.reg.Histogram("serve/run/duration_us", wallBounds)
+	s.histImbalance = s.reg.Histogram("lifetime/batch/imbalance_permille", wallBounds)
 	s.gQueueDepth = s.reg.Gauge("serve/queue/depth")
 
 	mux := http.NewServeMux()
@@ -304,10 +307,16 @@ func (s *Server) runJob(j *job) {
 	}
 	eng := s.proto.Clone()
 	reg := metrics.New()
+	// Each run records its pool's wall spans into a private recorder —
+	// sized to the run, so a huge batch cannot evict other runs' lifecycle
+	// spans — then foldRunWall nests them under this run's lifecycle trace
+	// and feeds the lifetime worker-utilization instruments.
+	runWall := trace.NewWall(0)
 	pool := batch.Options{
 		Workers:  s.cfg.Workers,
 		Metrics:  reg,
 		Progress: j.tracker,
+		Wall:     runWall,
 	}
 	res, done, err := batch.SeedEngineCtx(j.ctx, eng, j.reads, pool)
 	j.tracker.Finish()
@@ -339,6 +348,7 @@ func (s *Server) runJob(j *job) {
 	if skipped := s.reg.MergePrefixed(reg, "lifetime"); skipped > 0 {
 		s.reg.Counter("serve/lifetime/skipped_names").Add(int64(skipped))
 	}
+	s.foldRunWall(rep.RunID, runWall)
 	s.recordLifecycle(j)
 	s.cfg.Log.Info("run finished", "run_id", rep.RunID, "reads", done, "smems", total, "interrupted", rep.Interrupted,
 		"queue_wait_us", maxZero(j.started.Sub(j.queued).Microseconds()),
@@ -520,7 +530,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz distinguishes a serving process from a draining one, the
-// readiness signal load balancers and the smoke test key on.
+// readiness signal load balancers and the smoke test key on. The body
+// carries the build identity so "which build is this replica running?"
+// is one curl, not a deploy-log archaeology session; status-code-only
+// consumers are unaffected.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !obshttp.RequireMethod(w, r, http.MethodGet) {
 		return
@@ -529,7 +542,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	obshttp.WriteJSON(w, struct {
+		Status string         `json:"status"`
+		Engine string         `json:"engine"`
+		Build  buildinfo.Info `json:"build_info"`
+	}{Status: "ok", Engine: s.proto.Name(), Build: buildinfo.Current()})
 }
 
 // handleIndex lists the serving surface.
@@ -550,6 +567,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // serves, and what casa-serve's -trace flag writes at shutdown.
 func (s *Server) WriteRunTrace(w io.Writer) error {
 	return trace.WriteChromeWall(w, s.wall.Spans(), s.wall.Dropped())
+}
+
+// TraceStats reports the lifecycle trace ring's occupancy: the spans
+// currently retained and how many the ring has evicted so far — the
+// numbers /v1/stats serves as trace_spans/trace_dropped, exposed here for
+// casa-serve's shutdown log.
+func (s *Server) TraceStats() (spans int, dropped int64) {
+	return s.wall.Len(), s.wall.Dropped()
 }
 
 // Metrics returns the process-level serving registry (for a final flush

@@ -804,3 +804,97 @@ func TestRunTraceEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWallFolding pins the per-run pool profiling: a served run's
+// batch-layer shard spans are nested into the lifecycle trace (casa-serve
+// process, worker label as track, run ID prefixed to the name) and feed
+// the lifetime utilization stats (worker_busy_us, run_imbalance).
+func TestRunWallFolding(t *testing.T) {
+	ref, fq, _ := testRef(t, 1<<13, 12, 60)
+	s := startTestServer(t, ref, Config{Engine: "casa", Workers: 2})
+	base := "http://" + s.Addr()
+
+	code, rep, _ := postSeed(t, base+"/v1/seed", fq)
+	if code != http.StatusOK {
+		t.Fatalf("seed: code %d", code)
+	}
+
+	var shardSpans, hostSpans int
+	for _, sp := range s.wall.Spans() {
+		if !strings.HasPrefix(sp.Name, rep.RunID+" ") {
+			continue
+		}
+		name := strings.TrimPrefix(sp.Name, rep.RunID+" ")
+		if sp.Proc != wallProc {
+			t.Fatalf("folded span %+v not on the %q process", sp, wallProc)
+		}
+		if _, _, _, ok := trace.ParseWallShardName(name); ok {
+			shardSpans++
+			if _, ok := trace.ParseWallWorkerProc(sp.Track); !ok {
+				t.Fatalf("shard span %+v track is not a worker label", sp)
+			}
+		}
+		if sp.Track == trace.WallHostProc {
+			hostSpans++
+		}
+	}
+	if shardSpans == 0 {
+		t.Fatal("no shard spans folded into the lifecycle trace")
+	}
+	if hostSpans == 0 {
+		t.Fatal("no host-phase (reduce/merge) spans folded into the lifecycle trace")
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkerBusyUS <= 0 {
+		t.Fatalf("worker_busy_us = %d, want > 0", st.WorkerBusyUS)
+	}
+	if st.RunImbalance.Count != 1 {
+		t.Fatalf("run_imbalance count = %d, want 1", st.RunImbalance.Count)
+	}
+	// Permille ratio: max/mean >= 1 by construction, so >= 1000.
+	if st.RunImbalance.P50us < 1000 {
+		t.Fatalf("run_imbalance p50 = %d permille, want >= 1000", st.RunImbalance.P50us)
+	}
+}
+
+// TestHealthzBuildInfo checks the readiness body carries the build
+// identity without breaking status-code-only consumers.
+func TestHealthzBuildInfo(t *testing.T) {
+	ref, _, _ := testRef(t, 1<<12, 1, 60)
+	s := startTestServer(t, ref, Config{Engine: "casa"})
+
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: code %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Engine string `json:"engine"`
+		Build  struct {
+			Module    string `json:"module"`
+			GoVersion string `json:"go_version"`
+		} `json:"build_info"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Engine != "casa" {
+		t.Fatalf("healthz body %+v", body)
+	}
+	if body.Build.Module != "casa" || body.Build.GoVersion == "" {
+		t.Fatalf("healthz build info %+v", body.Build)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
+	"casa/internal/trace"
 )
 
 // wallProc is the process label of every serving-lifecycle wall span.
@@ -56,6 +57,42 @@ func (s *Server) recordLifecycle(j *job) {
 // has no reporting span.
 func (s *Server) recordReporting(j *job, wrote time.Time) {
 	s.wall.Record(wallProc, "reporting", j.tracker.RunID(), j.finished, wrote.Sub(j.finished))
+}
+
+// foldRunWall folds one finished run's batch-layer wall recorder into the
+// server: the per-worker busy times feed the lifetime utilization
+// instruments (lifetime/batch/worker_busy_us, the per-run imbalance
+// histogram behind run_imbalance_permille in /v1/stats), and the spans
+// themselves are nested into the lifecycle trace — re-labelled onto the
+// casa-serve process with the worker/host label as the track and the run
+// ID prefixed to the span name, so /debug/runtrace shows each run's
+// shard gantt directly under its received→…→reporting chain.
+func (s *Server) foldRunWall(runID string, runWall *trace.WallTrace) {
+	spans := runWall.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	workers, _ := trace.WallWorkers(spans)
+	var busy int64
+	for _, st := range workers {
+		busy += st.BusyUS
+	}
+	s.reg.Counter("lifetime/batch/worker_busy_us").Add(busy)
+	if imb := trace.WallImbalance(workers); imb > 0 {
+		s.histImbalance.Observe(int64(imb * 1000))
+	}
+	if dropped := runWall.Dropped(); dropped > 0 {
+		s.reg.Counter("lifetime/batch/wall_spans_dropped").Add(dropped)
+	}
+	for _, sp := range spans {
+		s.wall.AddSpan(trace.WallSpan{
+			Proc:  wallProc,
+			Track: sp.Proc,
+			Name:  runID + " " + sp.Name,
+			Start: sp.Start,
+			Dur:   sp.Dur,
+		})
+	}
 }
 
 func maxZero(v int64) int64 {
@@ -120,6 +157,12 @@ type Stats struct {
 	RunDuration Quantiles            `json:"run_duration"`
 	HTTP        map[string]Quantiles `json:"http"` // endpoint label -> request durations
 
+	// Pool utilization across served runs: total worker busy time and the
+	// per-run load-imbalance ratio (max/mean worker busy, in permille so
+	// the integer histogram keeps 3 digits: 1000 = perfectly balanced).
+	WorkerBusyUS int64     `json:"worker_busy_us"`
+	RunImbalance Quantiles `json:"run_imbalance_permille"`
+
 	TraceSpans   int   `json:"trace_spans"`
 	TraceDropped int64 `json:"trace_dropped"`
 }
@@ -148,6 +191,8 @@ func (s *Server) stats() Stats {
 		QueueWait:     quantiles(s.histQueueWait),
 		RunDuration:   quantiles(s.histRunDur),
 		HTTP:          map[string]Quantiles{},
+		WorkerBusyUS:  s.reg.Counter("lifetime/batch/worker_busy_us").Value(),
+		RunImbalance:  quantiles(s.histImbalance),
 		TraceSpans:    s.wall.Len(),
 		TraceDropped:  s.wall.Dropped(),
 	}

@@ -80,7 +80,21 @@ func (t *WallTrace) Record(proc, track, name string, start time.Time, dur time.D
 	if d < 0 {
 		d = 0
 	}
-	s := WallSpan{Proc: proc, Track: track, Name: name, Start: start.UnixMicro(), Dur: d}
+	t.AddSpan(WallSpan{Proc: proc, Track: track, Name: name, Start: start.UnixMicro(), Dur: d})
+}
+
+// AddSpan appends one already-built span, clamping a negative duration to
+// zero — the bulk-ingest counterpart of Record, used when folding a
+// per-run recorder into a long-lived ring (casa-serve nests each run's
+// batch-layer shard spans under its lifecycle trace this way). No-op on a
+// nil recorder.
+func (t *WallTrace) AddSpan(s WallSpan) {
+	if t == nil {
+		return
+	}
+	if s.Dur < 0 {
+		s.Dur = 0
+	}
 	t.mu.Lock()
 	if len(t.spans) < t.cap {
 		t.spans = append(t.spans, s)
@@ -163,6 +177,7 @@ type chromeWallDoc struct {
 type chromeWallOtherData struct {
 	Schema  string `json:"schema"`
 	Domain  string `json:"domain"`
+	Spans   int    `json:"spans"`
 	Dropped int64  `json:"dropped,omitempty"`
 }
 
@@ -223,7 +238,7 @@ func WriteChromeWall(w io.Writer, spans []WallSpan, dropped int64) error {
 
 	doc := chromeWallDoc{
 		TraceEvents: events,
-		OtherData:   chromeWallOtherData{Schema: WallSchemaVersion, Domain: "wall", Dropped: dropped},
+		OtherData:   chromeWallOtherData{Schema: WallSchemaVersion, Domain: "wall", Spans: len(spans), Dropped: dropped},
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -72,8 +72,35 @@ func TestWallTraceRingEviction(t *testing.T) {
 func TestWallTraceNilIsNoop(t *testing.T) {
 	var w *WallTrace
 	w.Record("p", "t", "n", wallAt(0), time.Second) // must not panic
+	w.AddSpan(WallSpan{Proc: "p", Track: "t", Name: "n"})
 	if w.Spans() != nil || w.Len() != 0 || w.Dropped() != 0 {
 		t.Fatal("nil WallTrace is not a no-op sink")
+	}
+}
+
+func TestWallTraceWraparoundOrdering(t *testing.T) {
+	// Starts arrive out of chronological order and the ring wraps twice
+	// over: Spans must still return the retained set sorted by start, and
+	// retention must follow arrival order (oldest *recorded* evicted
+	// first), not start order.
+	w := NewWall(4)
+	starts := []int64{50, 10, 90, 30, 70, 20, 80, 60, 40, 100}
+	for _, us := range starts {
+		w.Record("p", "t", "n", wallAt(us), time.Microsecond)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("ring retains %d spans, want 4", w.Len())
+	}
+	if w.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", w.Dropped())
+	}
+	spans := w.Spans()
+	// The last four recorded were 80, 60, 40, 100 — sorted: 40, 60, 80, 100.
+	want := []int64{40, 60, 80, 100}
+	for i, s := range spans {
+		if got := s.Start - wallAt(0).UnixMicro(); got != want[i] {
+			t.Fatalf("span %d starts at offset %d, want %d", i, got, want[i])
+		}
 	}
 }
 
@@ -85,7 +112,12 @@ func TestWallTraceConcurrentRecord(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				w.Record("p", "t", "n", wallAt(int64(g*1000+i)), time.Microsecond)
+				if g%2 == 0 {
+					w.Record("p", "t", "n", wallAt(int64(g*1000+i)), time.Microsecond)
+				} else {
+					w.AddSpan(WallSpan{Proc: "p", Track: "t", Name: "n",
+						Start: wallAt(int64(g*1000 + i)).UnixMicro(), Dur: 1})
+				}
 				_ = w.Spans()
 			}
 		}(g)

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWallShardNameRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ shard, lo, hi int }{
+		{0, 0, 1}, {3, 300, 400}, {17, 123456, 130000},
+	} {
+		name := WallShardName(tc.shard, tc.lo, tc.hi)
+		shard, lo, hi, ok := ParseWallShardName(name)
+		if !ok || shard != tc.shard || lo != tc.lo || hi != tc.hi {
+			t.Fatalf("ParseWallShardName(%q) = (%d,%d,%d,%v), want (%d,%d,%d,true)",
+				name, shard, lo, hi, ok, tc.shard, tc.lo, tc.hi)
+		}
+	}
+	for _, bad := range []string{"", "reduce", "shard x reads", "received"} {
+		if _, _, _, ok := ParseWallShardName(bad); ok {
+			t.Fatalf("ParseWallShardName(%q) parsed, want reject", bad)
+		}
+	}
+}
+
+func TestWallWorkerProcRoundTrip(t *testing.T) {
+	for _, w := range []int{0, 1, 7, 15, 99, 128} {
+		proc := WallWorkerProc(w)
+		got, ok := ParseWallWorkerProc(proc)
+		if !ok || got != w {
+			t.Fatalf("ParseWallWorkerProc(%q) = (%d,%v), want (%d,true)", proc, got, ok, w)
+		}
+	}
+	for _, bad := range []string{"", "host", "casa-serve", "worker x", "worker -1"} {
+		if _, ok := ParseWallWorkerProc(bad); ok {
+			t.Fatalf("ParseWallWorkerProc(%q) parsed, want reject", bad)
+		}
+	}
+}
+
+// shardSpan builds one worker shard span for the analysis tests.
+func shardSpan(worker, shard, lo, hi int, startUS, durUS int64) WallSpan {
+	return WallSpan{
+		Proc:  WallWorkerProc(worker),
+		Track: "casa",
+		Name:  WallShardName(shard, lo, hi),
+		Start: startUS,
+		Dur:   durUS,
+	}
+}
+
+func TestWallWorkersUtilization(t *testing.T) {
+	spans := []WallSpan{
+		shardSpan(0, 0, 0, 100, 0, 50),
+		shardSpan(1, 1, 100, 200, 0, 200),
+		shardSpan(0, 2, 200, 300, 60, 40),
+		{Proc: WallHostProc, Track: "casa", Name: "reduce", Start: 260, Dur: 10},
+		{Proc: "casa-serve", Track: "running", Name: "r1", Start: 0, Dur: 270},
+	}
+	workers, others := WallWorkers(spans)
+	if len(workers) != 2 {
+		t.Fatalf("got %d workers, want 2", len(workers))
+	}
+	w0, w1 := workers[0], workers[1]
+	if w0.Worker != 0 || w0.Shards != 2 || w0.Reads != 200 || w0.BusyUS != 90 {
+		t.Fatalf("worker 0 stat %+v, want 2 shards / 200 reads / 90us busy", w0)
+	}
+	if w0.StartUS != 0 || w0.EndUS != 100 {
+		t.Fatalf("worker 0 window [%d,%d), want [0,100)", w0.StartUS, w0.EndUS)
+	}
+	if w1.Worker != 1 || w1.Shards != 1 || w1.Reads != 100 || w1.BusyUS != 200 {
+		t.Fatalf("worker 1 stat %+v, want 1 shard / 100 reads / 200us busy", w1)
+	}
+	if len(others) != 2 {
+		t.Fatalf("got %d non-worker spans, want 2", len(others))
+	}
+
+	// max busy 200 over mean (90+200)/2 = 145.
+	imb := WallImbalance(workers)
+	if want := 200.0 / 145.0; imb < want-1e-9 || imb > want+1e-9 {
+		t.Fatalf("imbalance %.4f, want %.4f", imb, want)
+	}
+	if WallImbalance(nil) != 0 {
+		t.Fatal("imbalance of an empty pool must be 0")
+	}
+	if got := WallWindow(spans); got != 270 {
+		t.Fatalf("window %d, want 270", got)
+	}
+	if WallWindow(nil) != 0 {
+		t.Fatal("window of an empty stream must be 0")
+	}
+}
+
+func TestParseChromeWallRoundTrip(t *testing.T) {
+	w := NewWall(16)
+	w.Record("casa-serve", "received", "run-a", wallAt(1000), 50*time.Microsecond)
+	w.Record(WallWorkerProc(0), "casa", WallShardName(0, 0, 100), wallAt(1100), 400*time.Microsecond)
+	w.Record(WallWorkerProc(1), "casa", WallShardName(1, 100, 180), wallAt(1150), 300*time.Microsecond)
+	w.Record(WallHostProc, "casa", "reduce", wallAt(1600), 20*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeWall(&buf, w.Spans(), 3); err != nil {
+		t.Fatal(err)
+	}
+	spans, dropped, err := ParseChromeWall(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("parsed %d spans, want 4", len(spans))
+	}
+	// Timestamps were rebased onto the earliest span; durations and
+	// proc/track/name survive exactly, so the analysis still works.
+	workers, others := WallWorkers(spans)
+	if len(workers) != 2 || len(others) != 2 {
+		t.Fatalf("round-trip split %d workers / %d others, want 2 / 2", len(workers), len(others))
+	}
+	if workers[0].Reads != 100 || workers[1].Reads != 80 {
+		t.Fatalf("round-trip reads %d / %d, want 100 / 80", workers[0].Reads, workers[1].Reads)
+	}
+	if workers[0].BusyUS != 400 || workers[1].BusyUS != 300 {
+		t.Fatalf("round-trip busy %d / %d, want 400 / 300", workers[0].BusyUS, workers[1].BusyUS)
+	}
+
+	if _, _, err := ParseChromeWall([]byte(`{"otherData":{"schema":"casa-trace/v1"}}`)); err == nil {
+		t.Fatal("cycle-domain schema must be rejected by the wall parser")
+	}
+}
+
+func TestWallFileRoundTrip(t *testing.T) {
+	w := NewWall(8)
+	w.Record(WallWorkerProc(0), "casa", WallShardName(0, 0, 10), wallAt(0), 100*time.Microsecond)
+	path := filepath.Join(t.TempDir(), "wall.json")
+	if err := WriteWallFile(path, w.Spans(), w.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	spans, dropped, err := ParseWallFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || dropped != 0 {
+		t.Fatalf("file round-trip: %d spans, %d dropped", len(spans), dropped)
+	}
+	if spans[0].Dur != 100 || spans[0].Name != WallShardName(0, 0, 10) {
+		t.Fatalf("file round-trip span %+v", spans[0])
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Wall-clock trace smoke test: seed a toy batch with casa-smem
+# -walltrace, then assert casa-trace -wall reads the capture back and
+# reports the expected pool shape — 4 workers, the exact shard count the
+# pool's grain math dictates, every read accounted for, no ring drops,
+# and the utilization/imbalance lines the analyzer promises. Run by
+# CI's walltrace-smoke job and by `make walltrace-smoke`.
+set -euo pipefail
+
+GO=${GO:-go}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+# 8000 reads on 4 workers: grain = ceil(8000/(4*4)) = 500, so exactly
+# 16 shards — a fixed shape the assertions below can pin. The shard and
+# read totals are exact regardless of how the workers split them; how
+# many of the 4 workers actually claim a shard from the dynamic handout
+# is scheduling-dependent, so the worker count is only bounded.
+READS=8000
+WORKERS=4
+SHARDS=16
+
+echo "== generating workload =="
+(cd "$ROOT" && $GO run ./cmd/casa-gen -bases $((1 << 20)) -reads $READS -read-len 101 -seed 7 \
+    -out "$WORKDIR/ref.fa" -reads-out "$WORKDIR/reads.fq")
+
+echo "== seeding with -walltrace =="
+(cd "$ROOT" && $GO run ./cmd/casa-smem -ref "$WORKDIR/ref.fa" -reads "$WORKDIR/reads.fq" \
+    -engine casa -max-reads 0 -workers $WORKERS -quiet \
+    -walltrace "$WORKDIR/wall.json") >smem.out 2>smem.log
+grep -q "wall trace written" smem.log || { cat smem.log; echo "no wall-trace log line"; exit 1; }
+[ -s wall.json ] || { echo "wall.json missing or empty"; exit 1; }
+
+echo "== analyzing with casa-trace -wall =="
+(cd "$ROOT" && $GO run ./cmd/casa-trace -wall "$WORKDIR/wall.json") >wall.txt
+cat wall.txt
+
+echo "== asserting the report =="
+grep -q "(0 dropped)" wall.txt || { echo "expected a drop-free capture"; exit 1; }
+GOT_WORKERS=$(sed -n 's/.*workers: \([0-9]*\).*/\1/p' wall.txt | head -1)
+[ -n "$GOT_WORKERS" ] || { echo "no workers count in the report"; exit 1; }
+[ "$GOT_WORKERS" -ge 1 ] && [ "$GOT_WORKERS" -le $WORKERS ] \
+    || { echo "expected 1..$WORKERS workers, got $GOT_WORKERS"; exit 1; }
+grep -q "shards: $SHARDS " wall.txt || { echo "expected shards: $SHARDS"; exit 1; }
+grep -q "reads: $READS" wall.txt || { echo "expected reads: $READS"; exit 1; }
+grep -q "utilization" wall.txt || { echo "expected a pool utilization line"; exit 1; }
+grep -q "imbalance (max/mean worker busy):" wall.txt || { echo "expected an imbalance line"; exit 1; }
+# Host phases from the CLI ride along as non-worker spans.
+for phase in load build seed; do
+    grep -q " $phase\$" wall.txt || grep -q " $phase " wall.txt \
+        || { echo "expected host phase span '$phase'"; exit 1; }
+done
+
+echo "walltrace smoke OK: $GOT_WORKERS/$WORKERS workers, $SHARDS shards, $READS reads"
