@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke serve-smoke walltrace-smoke experiments ablations examples clean
+.PHONY: all build test race cover lint bench bench-quick bench-baseline bench-all fuzz live-smoke serve-smoke walltrace-smoke index-smoke experiments ablations examples clean
 
 all: build test lint
 
@@ -59,6 +59,8 @@ bench-all:
 fuzz:
 	$(GO) test ./internal/seqio/ -fuzz FuzzReadFasta -fuzztime 15s
 	$(GO) test ./internal/seqio/ -fuzz FuzzReadFastq -fuzztime 15s
+	$(GO) test ./internal/idxio/ -fuzz FuzzIndexRoundTrip -fuzztime 15s
+	$(GO) test ./internal/idxio/ -fuzz FuzzIndexCorrupted -fuzztime 15s
 
 # Live-telemetry smoke: a race-built casa-smem run observed mid-flight
 # through /progress and /events, then interrupted (see the script).
@@ -76,6 +78,13 @@ serve-smoke:
 # and utilization lines (see the script).
 walltrace-smoke:
 	bash scripts/walltrace_smoke.sh
+
+# Index-persistence smoke: for every persisting engine, a casa-smem
+# -index run must match a fresh -ref rebuild byte for byte, and the
+# sharded composites must agree with their inner engines at shard counts
+# 1/2/5 (see the script).
+index-smoke:
+	bash scripts/index_smoke.sh
 
 # Regenerate every paper table/figure (minutes; see EXPERIMENTS.md).
 experiments:

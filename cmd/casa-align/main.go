@@ -37,9 +37,9 @@ import (
 
 	"casa/internal/batch"
 	"casa/internal/buildinfo"
-	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/engine"
+	"casa/internal/idxio"
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/pairing"
@@ -48,6 +48,7 @@ import (
 	"casa/internal/sam"
 	"casa/internal/seedex"
 	"casa/internal/seqio"
+	_ "casa/internal/shard" // registers the sharded:<name> composites
 	"casa/internal/smem"
 	"casa/internal/trace"
 )
@@ -109,7 +110,7 @@ func logSnapshot(log *slog.Logger, s progress.Snapshot) {
 func main() {
 	var (
 		refPath    = flag.String("ref", "", "reference FASTA (required)")
-		indexPath  = flag.String("index", "", "prebuilt CASA index (casa-index output) over the same reference; casa engine only")
+		indexPath  = flag.String("index", "", "prebuilt casa-idx/v1 index (casa-index output) over the same reference; any persisting engine")
 		readsPath  = flag.String("reads", "", "reads FASTQ (required; mate 1 in paired mode)")
 		reads2     = flag.String("reads2", "", "mate-2 FASTQ (enables paired-end mode)")
 		outPath    = flag.String("out", "-", "SAM output path (- = stdout)")
@@ -149,6 +150,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// With -index the engine identity comes from the container header; an
+	// explicit conflicting -engine is an error, not a silent override.
+	if *indexPath != "" {
+		var engSet bool
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "engine" {
+				engSet = true
+			}
+		})
+		hdr, err := peekHeader(*indexPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casa-align:", err)
+			os.Exit(1)
+		}
+		if engSet && *engName != hdr.Engine {
+			fmt.Fprintf(os.Stderr, "casa-align: %s holds a %s index; it cannot seed with -engine %s\n",
+				*indexPath, hdr.Engine, *engName)
+			os.Exit(2)
+		}
+		*engName = hdr.Engine
+	}
 	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casa-align:", err)
@@ -180,19 +202,22 @@ func main() {
 	}
 	var eng engine.Engine
 	if *indexPath != "" {
-		if *engName != "casa" {
-			fatal(fmt.Errorf("-index carries a casa accelerator; it cannot seed with -engine %s", *engName))
-		}
 		f, err := os.Open(*indexPath)
 		if err != nil {
 			fatal(err)
 		}
-		acc, err := core.ReadIndex(f)
+		var hdr idxio.Header
+		eng, hdr, err = engine.LoadIndex(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-		eng = engine.CASA(acc)
+		// The index must describe the same reference -ref resolved to:
+		// extension and SAM emission use -ref's coordinate space, so a
+		// stale index would silently misplace every alignment.
+		if err := checkChromosomes(hdr.Chromosomes, ix.Chromosomes()); err != nil {
+			fatal(fmt.Errorf("%s does not match -ref %s: %w", *indexPath, *refPath, err))
+		}
 	} else {
 		eng, err = engine.New(*engName, ix.Flat(), engine.Options{Partition: *partition})
 		if err != nil {
@@ -714,6 +739,38 @@ func readAllFastq(path string) ([]seqio.Record, error) {
 	}
 	defer f.Close()
 	return seqio.ReadFastq(f)
+}
+
+// peekHeader reads just the casa-idx/v1 header of an index file.
+func peekHeader(path string) (idxio.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return idxio.Header{}, err
+	}
+	defer f.Close()
+	_, hdr, err := idxio.NewReader(f)
+	return hdr, err
+}
+
+// checkChromosomes requires the index header's chromosome table to match
+// the one -ref resolved to, name for name and coordinate for coordinate.
+// An index written without a chromosome table (chroms omitted at build
+// time) passes — there is nothing to cross-check.
+func checkChromosomes(got []idxio.Chromosome, want []refidx.Chromosome) error {
+	if len(got) == 0 {
+		return nil
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("index has %d sequences, reference has %d", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Name != w.Name || g.Start != int64(w.Start) || g.Length != int64(w.Length) {
+			return fmt.Errorf("sequence %d: index has %s [%d,+%d), reference has %s [%d,+%d)",
+				i, g.Name, g.Start, g.Length, w.Name, w.Start, w.Length)
+		}
+	}
+	return nil
 }
 
 func loadRef(path string) (*refidx.Index, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"casa/internal/buildinfo"
+	"casa/internal/engine"
 )
 
 func benchDoc(rows ...row) doc {
@@ -175,20 +176,24 @@ func TestCompareHost(t *testing.T) {
 // reaches the comparison gates.
 func TestHostBlockRoundTrip(t *testing.T) {
 	build := buildinfo.Current()
-	d := benchDoc(
-		row{Engine: "casa", Workers: 1, HostSeconds: 1, HostReadsPerS: 200,
-			HostRepSeconds: []float64{1.2, 1.0, 1.1}, ModelSeconds: 0.01, ModelCycles: 1000, ModelReadsPerS: 20000},
-		row{Engine: "ert", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
-		row{Engine: "genax", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
-		row{Engine: "gencache", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
-		row{Engine: "cpu", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
-		row{Engine: "fmindex", Workers: 1, HostSeconds: 1, HostReadsPerS: 200},
-	)
+	// One row per non-Golden registry engine (validateFile requires full
+	// coverage, and the roster includes the sharded composites here); the
+	// casa row carries the model and per-rep fields under test.
+	rows := []row{{Engine: "casa", Workers: 1, HostSeconds: 1, HostReadsPerS: 200,
+		HostRepSeconds: []float64{1.2, 1.0, 1.1}, ModelSeconds: 0.01, ModelCycles: 1000, ModelReadsPerS: 20000}}
+	for _, f := range engine.List() {
+		if f.Golden || f.Name == "casa" {
+			continue
+		}
+		rows = append(rows, row{Engine: f.Name, Workers: 1, HostSeconds: 1, HostReadsPerS: 200})
+	}
+	d := benchDoc(rows...)
 	d.Host = currentHostEnv()
 	d.Host.Phases = &hostPhases{
 		RefGenSeconds:     0.1,
 		ReadSimSeconds:    0.05,
 		IndexBuildSeconds: map[string]float64{"casa": 0.2},
+		IndexLoadSeconds:  map[string]float64{"casa": 0.01},
 		SeedingSeconds:    3.3,
 	}
 	if d.Host.Build == nil || d.Host.Build.GoVersion != build.GoVersion {

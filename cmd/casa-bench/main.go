@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"casa/internal/dna"
 	"casa/internal/engine"
 	"casa/internal/readsim"
+	_ "casa/internal/shard" // registers the sharded:<name> composites
 )
 
 // benchSchema identifies the document layout.
@@ -80,7 +82,12 @@ type hostPhases struct {
 	RefGenSeconds     float64            `json:"ref_gen_seconds"`
 	ReadSimSeconds    float64            `json:"read_sim_seconds"`
 	IndexBuildSeconds map[string]float64 `json:"index_build_seconds"` // engine -> build wall time
-	SeedingSeconds    float64            `json:"seeding_seconds"`     // all reps, all rows
+	// IndexLoadSeconds times engine.LoadIndex over an in-memory
+	// casa-idx/v1 serialization of each freshly built index — the
+	// load-instead-of-rebuild path casa-smem -index and casa-serve -index
+	// take. Only persisting engines appear.
+	IndexLoadSeconds map[string]float64 `json:"index_load_seconds"`
+	SeedingSeconds   float64            `json:"seeding_seconds"` // all reps, all rows
 }
 
 // hostEnv records the machine a benchmark ran on. Host throughput is
@@ -194,7 +201,10 @@ func runBench(scale string, ws []int, reps int) doc {
 	if scale == "quick" {
 		refBases, nReads = 1<<16, 200
 	}
-	phases := &hostPhases{IndexBuildSeconds: map[string]float64{}}
+	phases := &hostPhases{
+		IndexBuildSeconds: map[string]float64{},
+		IndexLoadSeconds:  map[string]float64{},
+	}
 	refStart := time.Now()
 	ref := readsim.GenerateReference(readsim.DefaultGenome(refBases, 21))
 	phases.RefGenSeconds = time.Since(refStart).Seconds()
@@ -213,7 +223,7 @@ func runBench(scale string, ws []int, reps int) doc {
 	d.Host.Phases = phases
 
 	seedStart := time.Now()
-	for _, e := range buildEngines(ref, minSMEM, phases.IndexBuildSeconds) {
+	for _, e := range buildEngines(ref, minSMEM, phases) {
 		for _, w := range ws {
 			opts := batch.Options{Workers: w}
 			var m model
@@ -239,8 +249,9 @@ func runBench(scale string, ws []int, reps int) doc {
 		}
 	}
 	phases.SeedingSeconds = time.Since(seedStart).Seconds()
-	log.Printf("host phases: ref_gen=%.3fs read_sim=%.3fs index_build=%.3fs seeding=%.3fs",
-		phases.RefGenSeconds, phases.ReadSimSeconds, sumValues(phases.IndexBuildSeconds), phases.SeedingSeconds)
+	log.Printf("host phases: ref_gen=%.3fs read_sim=%.3fs index_build=%.3fs index_load=%.3fs seeding=%.3fs",
+		phases.RefGenSeconds, phases.ReadSimSeconds, sumValues(phases.IndexBuildSeconds),
+		sumValues(phases.IndexLoadSeconds), phases.SeedingSeconds)
 	return d
 }
 
@@ -293,10 +304,12 @@ type benchEngine struct {
 // buildEngines constructs every registered engine over ref, scaled to
 // bench size (small segments so multi-partition paths are exercised,
 // table k-mers kept small enough for CI memory), recording each engine's
-// index-build wall time into buildSecs. The golden oracle is skipped —
-// quadratic, validation only — so a newly registered engine is
-// benchmarked automatically.
-func buildEngines(ref dna.Sequence, minSMEM int, buildSecs map[string]float64) []benchEngine {
+// index-build wall time into phases. For persisting engines it also
+// times engine.LoadIndex over an in-memory casa-idx/v1 serialization —
+// the build-vs-load ratio is what justifies shipping index files at all.
+// The golden oracle is skipped — quadratic, validation only — so a newly
+// registered engine is benchmarked automatically.
+func buildEngines(ref dna.Sequence, minSMEM int, phases *hostPhases) []benchEngine {
 	opt := engine.Options{
 		MinSMEM:    minSMEM,
 		Partition:  len(ref) / 4,
@@ -313,7 +326,18 @@ func buildEngines(ref dna.Sequence, minSMEM int, buildSecs map[string]float64) [
 		if err != nil {
 			log.Fatal(err)
 		}
-		buildSecs[f.Name] = time.Since(buildStart).Seconds()
+		phases.IndexBuildSeconds[f.Name] = time.Since(buildStart).Seconds()
+		if f.NewEmpty != nil {
+			var buf bytes.Buffer
+			if err := engine.SaveIndex(&buf, e, opt, nil); err != nil {
+				log.Fatal(err)
+			}
+			loadStart := time.Now()
+			if _, _, err := engine.LoadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+				log.Fatal(err)
+			}
+			phases.IndexLoadSeconds[f.Name] = time.Since(loadStart).Seconds()
+		}
 		out = append(out, benchEngine{f.Name, func(reads []dna.Sequence, o batch.Options) model {
 			res := batch.SeedEngine(e, reads, o)
 			if mod, ok := e.(engine.Modeler); ok {

@@ -23,16 +23,31 @@ func TestParseArgsFlagMatrix(t *testing.T) {
 			name: "build with defaults",
 			args: []string{"-ref", "ref.fa"},
 			check: func(t *testing.T, o *options) {
-				if o.ref != "ref.fa" || o.out != "ref.casaidx" || o.k != 19 || o.m != 10 {
+				if o.ref != "ref.fa" || o.out != "ref.casaidx" || o.eng != "casa" ||
+					o.minSMEM != 19 || o.partition != 0 || o.shards != 0 {
 					t.Errorf("options = %+v", o)
+				}
+				if o.kSet || o.mSet {
+					t.Errorf("default -k/-m must not count as explicitly set: %+v", o)
 				}
 			},
 		},
 		{
 			name: "build with every knob",
-			args: []string{"-ref", "ref.fa", "-out", "x.casaidx", "-partition", "1024", "-k", "15", "-m", "8"},
+			args: []string{"-ref", "ref.fa", "-out", "x.casaidx", "-engine", "fmindex",
+				"-min-smem", "25", "-partition", "1024", "-shards", "4", "-shard-overlap", "300"},
 			check: func(t *testing.T, o *options) {
-				if o.out != "x.casaidx" || o.partition != 1024 || o.k != 15 || o.m != 8 {
+				if o.out != "x.casaidx" || o.eng != "fmindex" || o.minSMEM != 25 ||
+					o.partition != 1024 || o.shards != 4 || o.shardOverlap != 300 {
+					t.Errorf("options = %+v", o)
+				}
+			},
+		},
+		{
+			name: "explicit casa geometry is recorded",
+			args: []string{"-ref", "ref.fa", "-k", "15", "-m", "8"},
+			check: func(t *testing.T, o *options) {
+				if o.k != 15 || o.m != 8 || !o.kSet || !o.mSet {
 					t.Errorf("options = %+v", o)
 				}
 			},
@@ -58,6 +73,11 @@ func TestParseArgsFlagMatrix(t *testing.T) {
 			wantErr: []string{"-out"},
 		},
 		{
+			name:    "inspect with -engine",
+			args:    []string{"-info", "idx", "-engine", "fmindex"},
+			wantErr: []string{"-engine"},
+		},
+		{
 			name:    "inspect with -partition",
 			args:    []string{"-partition", "4096", "-info", "idx"},
 			wantErr: []string{"-partition"},
@@ -71,6 +91,21 @@ func TestParseArgsFlagMatrix(t *testing.T) {
 			name:    "inspect with -m",
 			args:    []string{"-info", "idx", "-m", "10"},
 			wantErr: []string{"-m"},
+		},
+		{
+			name:    "inspect with -shards",
+			args:    []string{"-info", "idx", "-shards", "2"},
+			wantErr: []string{"-shards"},
+		},
+		{
+			name:    "inspect with -shard-overlap",
+			args:    []string{"-info", "idx", "-shard-overlap", "512"},
+			wantErr: []string{"-shard-overlap"},
+		},
+		{
+			name:    "inspect with -min-smem",
+			args:    []string{"-info", "idx", "-min-smem", "19"},
+			wantErr: []string{"-min-smem"},
 		},
 		{
 			name:    "inspect with several build flags names each",

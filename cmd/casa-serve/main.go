@@ -25,6 +25,7 @@
 // Usage:
 //
 //	casa-serve -ref ref.fa [-addr :8844] [-engine casa] [-min-smem 19] [-workers 8] [-queue 8] [-metrics] [-trace run.json] [-log-format json]
+//	casa-serve -index ref.casaidx [-addr :8844]
 package main
 
 import (
@@ -40,9 +41,12 @@ import (
 	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
+	"casa/internal/idxio"
 	"casa/internal/progress"
+	"casa/internal/refidx"
 	"casa/internal/seqio"
 	"casa/internal/serve"
+	_ "casa/internal/shard" // registers the sharded:<name> composites
 )
 
 // newLogger builds the command's stderr slog.Logger from the -log-level
@@ -65,7 +69,8 @@ func newLogger(level, format string) (*slog.Logger, error) {
 
 func main() {
 	var (
-		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		refPath    = flag.String("ref", "", "reference FASTA (required unless -index)")
+		indexPath  = flag.String("index", "", "prebuilt casa-idx/v1 index (casa-index output); replaces -ref, and the engine and min-smem come from its header")
 		addr       = flag.String("addr", "127.0.0.1:8844", "listen address (port 0 picks a free port)")
 		engName    = flag.String("engine", "casa", "seeding engine (any registered name; \"list\" prints them)")
 		minSMEM    = flag.Int("min-smem", 19, "minimum SMEM length")
@@ -90,10 +95,16 @@ func main() {
 		engine.WriteList(os.Stdout)
 		return
 	}
-	if *refPath == "" {
+	if (*refPath == "") == (*indexPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var engSet bool
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engSet = true
+		}
+	})
 	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casa-serve:", err)
@@ -105,13 +116,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	ref, err := loadRef(*refPath)
-	if err != nil {
-		fatal(err)
-	}
-	logger.Info("reference loaded", "path", *refPath, "bases", len(ref), "engine", *engName)
-
-	s, err := serve.Start(*addr, ref, serve.Config{
+	cfg := serve.Config{
 		Engine:            *engName,
 		EngineOptions:     engine.Options{MinSMEM: *minSMEM, Partition: *partition},
 		Workers:           *workers,
@@ -120,9 +125,40 @@ func main() {
 		EventInterval:     *eventEvery,
 		TraceSpanCapacity: *traceCap,
 		Log:               logger,
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var s *serve.Server
+	if *indexPath != "" {
+		loadStart := time.Now()
+		eng, hdr, err := loadIndexEngine(*indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		if f, ok := engine.Lookup(*engName); ok {
+			*engName = f.Name
+		}
+		if engSet && *engName != hdr.Engine {
+			fatal(fmt.Errorf("%s holds a %s index; it cannot seed with -engine %s", *indexPath, hdr.Engine, *engName))
+		}
+		cfg.Engine = hdr.Engine
+		if hdr.MinSMEM > 0 {
+			cfg.EngineOptions.MinSMEM = int(hdr.MinSMEM)
+		}
+		logger.Info("index loaded", "path", *indexPath, "engine", hdr.Engine,
+			"load_seconds", fmt.Sprintf("%.3f", time.Since(loadStart).Seconds()))
+		s, err = serve.StartEngine(*addr, eng, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		ref, err := loadRef(*refPath)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("reference loaded", "path", *refPath, "bases", len(ref), "engine", *engName)
+		s, err = serve.Start(*addr, ref, cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	logger.Info("seeding server listening", "addr", s.Addr())
 
@@ -170,8 +206,9 @@ func writeRunTrace(s *serve.Server, path string) error {
 	return f.Close()
 }
 
-// loadRef concatenates the reference FASTA's records into the flat
-// sequence the engines index, the same way casa-smem loads it.
+// loadRef builds the flat reference sequence the engines index, the same
+// way casa-smem and casa-index load it (refidx.Build: records
+// concatenated with spacers).
 func loadRef(path string) (dna.Sequence, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -182,9 +219,20 @@ func loadRef(path string) (dna.Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ref dna.Sequence
-	for _, r := range recs {
-		ref = append(ref, r.Seq...)
+	ix, err := refidx.Build(recs)
+	if err != nil {
+		return nil, err
 	}
-	return ref, nil
+	return ix.Flat(), nil
+}
+
+// loadIndexEngine materializes a casa-idx/v1 index file's engine via the
+// registry, returning the header for labels and option resolution.
+func loadIndexEngine(path string) (engine.Engine, idxio.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, idxio.Header{}, err
+	}
+	defer f.Close()
+	return engine.LoadIndex(f)
 }

@@ -18,6 +18,7 @@ import (
 	"casa/internal/core"
 	"casa/internal/dna"
 	"casa/internal/engine"
+	"casa/internal/refidx"
 	"casa/internal/seqio"
 )
 
@@ -26,7 +27,7 @@ func main() {
 	log.SetPrefix("casa-sim: ")
 	var (
 		refPath   = flag.String("ref", "", "reference FASTA (required unless -index)")
-		indexPath = flag.String("index", "", "prebuilt CASA index (casa-index output); overrides -ref and geometry flags")
+		indexPath = flag.String("index", "", "prebuilt casa-idx/v1 index holding a casa accelerator (casa-index output); overrides -ref and geometry flags")
 		readsPath = flag.String("reads", "", "reads FASTQ (required)")
 		partition = flag.Int("partition", 4<<20, "partition size in bases")
 		k         = flag.Int("k", 19, "seed k-mer size")
@@ -58,10 +59,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc, err = core.ReadIndex(f)
+		eng, hdr, err := engine.LoadIndex(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
+		}
+		// The simulator models the paper's accelerator specifically: any
+		// casa-idx/v1 container works as long as it unwraps to one.
+		u, ok := eng.(engine.Unwrapper)
+		if ok {
+			acc, ok = u.Unwrap().(*core.Accelerator)
+		}
+		if !ok {
+			log.Fatalf("%s holds a %s index; casa-sim needs a casa index", *indexPath, hdr.Engine)
 		}
 	} else {
 		ref, err := loadRef(*refPath)
@@ -109,6 +119,9 @@ func main() {
 	fmt.Println(res.Energy.String())
 }
 
+// loadRef builds the flat reference the same way casa-index and
+// casa-smem do (refidx.Build), so a -ref run and an -index run over the
+// same FASTA model the identical coordinate space.
 func loadRef(path string) (dna.Sequence, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -119,14 +132,11 @@ func loadRef(path string) (dna.Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ref dna.Sequence
-	for _, r := range recs {
-		ref = append(ref, r.Seq...)
+	ix, err := refidx.Build(recs)
+	if err != nil {
+		return nil, fmt.Errorf("casa-sim: %s: %w", path, err)
 	}
-	if len(ref) == 0 {
-		return nil, fmt.Errorf("casa-sim: %s contains no sequence", path)
-	}
-	return ref, nil
+	return ix.Flat(), nil
 }
 
 func loadReads(path string, maxReads int) ([]dna.Sequence, error) {

@@ -30,6 +30,7 @@
 // Usage:
 //
 //	casa-smem -ref ref.fa -reads reads.fq -engine casa [-verify fmindex] [-min-smem 19] [-workers 8] [-json] [-metrics] [-trace out.json] [-trace-sample slowest:100] [-walltrace wall.json] [-http localhost:6060] [-progress 5s] [-stall-timeout 1m] [-log-format json]
+//	casa-smem -index ref.casaidx -reads reads.fq [-json]
 package main
 
 import (
@@ -46,11 +47,14 @@ import (
 	"casa/internal/buildinfo"
 	"casa/internal/dna"
 	"casa/internal/engine"
+	"casa/internal/idxio"
 	"casa/internal/metrics"
 	"casa/internal/obshttp"
 	"casa/internal/progress"
+	"casa/internal/refidx"
 	"casa/internal/seqio"
 	"casa/internal/serve"
+	_ "casa/internal/shard" // registers the sharded:<name> composites
 	"casa/internal/smem"
 	"casa/internal/trace"
 )
@@ -100,11 +104,14 @@ func findAll(ctx context.Context, e engine.Engine, reads []dna.Sequence, pool ba
 
 func main() {
 	var (
-		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		refPath    = flag.String("ref", "", "reference FASTA (required unless -index)")
+		indexPath  = flag.String("index", "", "prebuilt casa-idx/v1 index (casa-index output); replaces -ref, and the engine and min-smem come from its header")
 		readsPath  = flag.String("reads", "", "reads FASTQ (required)")
 		engName    = flag.String("engine", "casa", "seeding engine (any registered name; \"list\" prints them)")
 		verify     = flag.String("verify", "", "second engine to cross-check against (\"list\" prints the choices)")
 		minSMEM    = flag.Int("min-smem", 19, "minimum SMEM length")
+		shards     = flag.Int("shards", 0, "reference shards for sharded:* engines (0 = engine default; ignored with -index)")
+		shardOver  = flag.Int("shard-overlap", 0, "shard overlap in bases for sharded:* engines (0 = engine default; ignored with -index)")
 		maxReads   = flag.Int("max-reads", 1000, "cap the number of reads (0 = all)")
 		workers    = flag.Int("workers", 0, "seeding worker goroutines (0 = one per CPU)")
 		quiet      = flag.Bool("quiet", false, "suppress per-read output (counts only)")
@@ -137,9 +144,46 @@ func main() {
 	if f, ok := engine.Lookup(*verify); ok {
 		*verify = f.Name
 	}
-	if *refPath == "" || *readsPath == "" {
+	if (*refPath == "") == (*indexPath == "") || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *indexPath != "" && *verify != "" {
+		fmt.Fprintln(os.Stderr, "casa-smem: -verify rebuilds a second engine from FASTA and needs -ref, not -index")
+		os.Exit(2)
+	}
+	// With -index the engine identity and reporting floor come from the
+	// container header (resolved below, after the header is read); an
+	// explicit conflicting -engine is an error, not a silent override.
+	var engSet, minSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "engine":
+			engSet = true
+		case "min-smem":
+			minSet = true
+		}
+	})
+	if *indexPath != "" {
+		hdr, err := peekHeader(*indexPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casa-smem:", err)
+			os.Exit(1)
+		}
+		if engSet && *engName != hdr.Engine {
+			fmt.Fprintf(os.Stderr, "casa-smem: %s holds a %s index; it cannot seed with -engine %s\n",
+				*indexPath, hdr.Engine, *engName)
+			os.Exit(2)
+		}
+		*engName = hdr.Engine
+		if hdr.MinSMEM > 0 {
+			if minSet && *minSMEM != int(hdr.MinSMEM) {
+				fmt.Fprintf(os.Stderr, "casa-smem: -min-smem %d conflicts with the index header's %d\n",
+					*minSMEM, hdr.MinSMEM)
+				os.Exit(2)
+			}
+			*minSMEM = int(hdr.MinSMEM)
+		}
 	}
 	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
@@ -179,7 +223,14 @@ func main() {
 	}
 
 	loadStart := time.Now()
-	ref, reads, names, err := load(*refPath, *readsPath, *maxReads)
+	var ref dna.Sequence
+	if *indexPath == "" {
+		ref, err = loadRef(*refPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	reads, names, err := loadReads(*readsPath, *maxReads)
 	if err != nil {
 		fatal(err)
 	}
@@ -230,8 +281,18 @@ func main() {
 		}()
 	}
 
+	// The build phase either constructs the engine from the reference or
+	// loads the prebuilt index — the wall trace labels both "build" so
+	// the two flows compare directly in casa-trace -wall.
 	buildStart := time.Now()
-	eng, err := engine.New(*engName, ref, engine.Options{MinSMEM: *minSMEM})
+	var eng engine.Engine
+	if *indexPath != "" {
+		eng, err = loadIndexEngine(*indexPath)
+	} else {
+		eng, err = engine.New(*engName, ref, engine.Options{
+			MinSMEM: *minSMEM, Shards: *shards, ShardOverlap: *shardOver,
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -249,7 +310,9 @@ func main() {
 	var want [][]smem.Match
 	vdone := 0
 	if *verify != "" && !interrupted {
-		ver, err := engine.New(*verify, ref, engine.Options{MinSMEM: *minSMEM})
+		ver, err := engine.New(*verify, ref, engine.Options{
+			MinSMEM: *minSMEM, Shards: *shards, ShardOverlap: *shardOver,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -355,23 +418,30 @@ func main() {
 	}
 }
 
-func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence, []string, error) {
+// loadRef builds the flat reference the same way casa-index does
+// (refidx.Build: records concatenated with spacers), so an index-loaded
+// run and a FASTA rebuild seed the identical coordinate space.
+func loadRef(refPath string) (dna.Sequence, error) {
 	rf, err := os.Open(refPath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	defer rf.Close()
 	recs, err := seqio.ReadFasta(rf)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	var ref dna.Sequence
-	for _, r := range recs {
-		ref = append(ref, r.Seq...)
+	ix, err := refidx.Build(recs)
+	if err != nil {
+		return nil, err
 	}
+	return ix.Flat(), nil
+}
+
+func loadReads(readsPath string, maxReads int) ([]dna.Sequence, []string, error) {
 	qf, err := os.Open(readsPath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	defer qf.Close()
 	var reads []dna.Sequence
@@ -384,5 +454,28 @@ func load(refPath, readsPath string, maxReads int) (dna.Sequence, []dna.Sequence
 		names = append(names, rec.Name)
 		return nil
 	})
-	return ref, reads, names, err
+	return reads, names, err
+}
+
+// peekHeader reads just the casa-idx/v1 header of an index file, to
+// resolve the engine label and reporting floor before the run starts.
+func peekHeader(path string) (idxio.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return idxio.Header{}, err
+	}
+	defer f.Close()
+	_, hdr, err := idxio.NewReader(f)
+	return hdr, err
+}
+
+// loadIndexEngine materializes the index's engine via the registry.
+func loadIndexEngine(path string) (engine.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	eng, _, err := engine.LoadIndex(f)
+	return eng, err
 }

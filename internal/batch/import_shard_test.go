@@ -1,0 +1,5 @@
+package batch_test
+
+// Registers the "sharded:<name>" composites so the pool determinism and
+// metrics suites drive them at every worker count like any flat engine.
+import _ "casa/internal/shard"

@@ -79,6 +79,22 @@ func New(ref dna.Sequence, cfg Config) (*Seeder, error) {
 	return &Seeder{cfg: cfg, finder: smem.NewBidirectional(ref)}, nil
 }
 
+// FromFinder wraps an already-built FM-index finder (e.g. one
+// deserialized from a persistent index) with the CPU cost model, so
+// loading an index skips suffix-array construction entirely.
+func FromFinder(f *smem.Bidirectional, cfg Config) (*Seeder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if f == nil || f.Index == nil || f.Index.Len() == 0 {
+		return nil, fmt.Errorf("cpu: empty finder")
+	}
+	return &Seeder{cfg: cfg, finder: f}, nil
+}
+
+// Finder exposes the underlying FM-index finder for persistence.
+func (s *Seeder) Finder() *smem.Bidirectional { return s.finder }
+
 // Clone returns a seeder sharing the FM-indexes (read-only during
 // search) with its own step counter, so clones can seed concurrently.
 func (s *Seeder) Clone() *Seeder {

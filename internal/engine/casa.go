@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"io"
 
 	"casa/internal/core"
 	"casa/internal/dna"
+	"casa/internal/idxio"
 	"casa/internal/smem"
 	"casa/internal/trace"
 )
@@ -15,20 +17,20 @@ type casaEngine struct{ a *core.Accelerator }
 
 // CASA wraps an already-built CASA accelerator (e.g. one loaded from a
 // serialized index) as an Engine.
-func CASA(a *core.Accelerator) Engine { return casaEngine{a} }
+func CASA(a *core.Accelerator) Engine { return &casaEngine{a} }
 
-func (e casaEngine) Name() string  { return "casa" }
-func (e casaEngine) Clone() Engine { return casaEngine{e.a.Clone()} }
+func (e *casaEngine) Name() string  { return "casa" }
+func (e *casaEngine) Clone() Engine { return &casaEngine{e.a.Clone()} }
 
-func (e casaEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
+func (e *casaEngine) SeedTrace(reads []dna.Sequence, tb *trace.Buffer, base int) Activity {
 	return e.a.SeedTrace(reads, tb, base)
 }
 
-func (e casaEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
+func (e *casaEngine) Reduce(_ []dna.Sequence, acts []Activity) Result {
 	return e.a.Reduce(typedActs[*core.Activity](acts)...)
 }
 
-func (e casaEngine) SMEMs(res Result) [][]smem.Match {
+func (e *casaEngine) SMEMs(res Result) [][]smem.Match {
 	r := res.(*core.Result)
 	out := make([][]smem.Match, len(r.Reads))
 	for i, rr := range r.Reads {
@@ -40,21 +42,21 @@ func (e casaEngine) SMEMs(res Result) [][]smem.Match {
 // SeedReadInto implements ReadSeeder: the accelerator's per-read sweep
 // runs against per-clone scratch and appends the merged strand SMEM sets
 // into dst's reused buffers.
-func (e casaEngine) SeedReadInto(dst *Seeds, read dna.Sequence) bool {
+func (e *casaEngine) SeedReadInto(dst *Seeds, read dna.Sequence) bool {
 	dst.Forward, dst.Reverse = e.a.SeedReadInto(dst.Forward[:0], dst.Reverse[:0], read)
 	return true
 }
 
-func (e casaEngine) ActivityCycles(act Activity) int64 {
+func (e *casaEngine) ActivityCycles(act Activity) int64 {
 	return e.a.ActivityCycles(act.(*core.Activity))
 }
 
-func (e casaEngine) Model(res Result) Model {
+func (e *casaEngine) Model(res Result) Model {
 	r := res.(*core.Result)
 	return Model{Seconds: r.Seconds, Cycles: r.Cycles, ReadsPerS: r.Throughput()}
 }
 
-func (e casaEngine) ReadSeeds(res Result) []Seeds {
+func (e *casaEngine) ReadSeeds(res Result) []Seeds {
 	r := res.(*core.Result)
 	out := make([]Seeds, len(r.Reads))
 	for i, rr := range r.Reads {
@@ -63,11 +65,34 @@ func (e casaEngine) ReadSeeds(res Result) []Seeds {
 	return out
 }
 
-func (e casaEngine) HitPositions(strand dna.Sequence, m smem.Match, maxHits int) []int32 {
+func (e *casaEngine) HitPositions(strand dna.Sequence, m smem.Match, maxHits int) []int32 {
 	return e.a.HitPositions(strand, m, maxHits)
 }
 
-func (e casaEngine) Unwrap() any { return e.a }
+func (e *casaEngine) Unwrap() any { return e.a }
+
+// SaveIndex implements IndexPersister with a single section holding the
+// core package's native serialization (configuration, partitioning and
+// per-partition filter tables).
+func (e *casaEngine) SaveIndex(w *idxio.Writer) error {
+	return w.Section("casa/accelerator", func(sw io.Writer) error {
+		return e.a.WriteIndex(sw)
+	})
+}
+
+// LoadIndex implements IndexPersister on a NewEmpty instance.
+func (e *casaEngine) LoadIndex(r *idxio.Reader) error {
+	sec, err := r.Section("casa/accelerator")
+	if err != nil {
+		return err
+	}
+	a, err := core.ReadIndex(sec)
+	if err != nil {
+		return err
+	}
+	e.a = a
+	return nil
+}
 
 func casaFactory() Factory {
 	return Factory{
@@ -107,7 +132,12 @@ func casaFactory() Factory {
 			if err != nil {
 				return nil, err
 			}
-			return casaEngine{a}, nil
+			return &casaEngine{a}, nil
+		},
+		NewEmpty: func(Options) (Engine, error) {
+			// The serialized accelerator carries its full configuration;
+			// the header options are informational for casa.
+			return &casaEngine{}, nil
 		},
 	}
 }

@@ -166,6 +166,16 @@ type Options struct {
 	// way.
 	Exact bool
 
+	// Shards is the shard count of the sharded composite engines
+	// (sharded:<inner>); 0 = their default. The flat engines ignore it.
+	Shards int
+
+	// ShardOverlap is the inter-shard overlap in bases of the sharded
+	// composite engines; it must be at least the longest read seeded, or
+	// SMEMs spanning a shard boundary are lost. 0 = their default. The
+	// flat engines ignore it.
+	ShardOverlap int
+
 	// Config, when non-nil, must hold the engine's native configuration
 	// (core.Config for casa, ert.AccelConfig for ert, ...) and is used
 	// verbatim; every other knob is ignored.

@@ -17,13 +17,21 @@ func testRef(t *testing.T) dna.Sequence {
 }
 
 func TestListOrderAndGolden(t *testing.T) {
-	want := []string{"casa", "ert", "genax", "gencache", "cpu", "fmindex", "brute"}
+	base := []string{"casa", "ert", "genax", "gencache", "cpu", "fmindex", "brute"}
+	want := append([]string{}, base...)
+	// package shard's init registers one composite per flat engine, in
+	// the flat registration order.
+	for _, n := range base {
+		want = append(want, "sharded:"+n)
+	}
 	got := engine.Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("registration order %v, want %v", got, want)
 	}
 	for _, f := range engine.List() {
-		if f.Golden != (f.Name == "brute") {
+		// Golden-ness propagates through the sharded composite: the
+		// sharded oracle is still an oracle.
+		if f.Golden != (strings.TrimPrefix(f.Name, "sharded:") == "brute") {
 			t.Errorf("%s: Golden=%v", f.Name, f.Golden)
 		}
 		if f.Description == "" {
@@ -35,6 +43,7 @@ func TestListOrderAndGolden(t *testing.T) {
 func TestLookupAliases(t *testing.T) {
 	for alias, name := range map[string]string{
 		"bruteforce": "brute", "golden": "brute", "bwa": "cpu", "fm": "fmindex",
+		"sharded:golden": "sharded:brute", "sharded:fm": "sharded:fmindex",
 	} {
 		f, ok := engine.Lookup(alias)
 		if !ok || f.Name != name {
@@ -77,7 +86,7 @@ func TestBuildUnwrapsConcreteType(t *testing.T) {
 
 func TestConfigTypeMismatch(t *testing.T) {
 	ref := testRef(t)
-	for _, name := range []string{"casa", "ert", "genax", "gencache", "cpu"} {
+	for _, name := range []string{"casa", "ert", "genax", "gencache", "cpu", "sharded:casa"} {
 		if _, err := engine.New(name, ref, engine.Options{Config: 42}); err == nil {
 			t.Errorf("%s: accepted a bogus Config", name)
 		}
@@ -120,13 +129,19 @@ func TestOptionalInterfaces(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
-		if _, ok := e.(engine.Modeler); ok != modeled[f.Name] {
-			t.Errorf("%s: Modeler=%v, want %v", f.Name, ok, modeled[f.Name])
+		// Sharded composites forward every capability dynamically, so
+		// they satisfy Modeler and CycleCoster for any inner engine
+		// (reporting zero when the inner has no model).
+		sharded := strings.HasPrefix(f.Name, "sharded:")
+		if _, ok := e.(engine.Modeler); ok != (modeled[f.Name] || sharded) {
+			t.Errorf("%s: Modeler=%v, want %v", f.Name, ok, modeled[f.Name] || sharded)
 		}
+		// Positioner stays casa-only: sharded per-shard hit positions are
+		// shard-local and deliberately not exposed as global positions.
 		if _, ok := e.(engine.Positioner); ok != (f.Name == "casa") {
 			t.Errorf("%s: Positioner=%v", f.Name, ok)
 		}
-		if _, ok := e.(engine.CycleCoster); ok != (f.Name == "casa") {
+		if _, ok := e.(engine.CycleCoster); ok != (f.Name == "casa" || sharded) {
 			t.Errorf("%s: CycleCoster=%v", f.Name, ok)
 		}
 		if _, ok := e.(engine.Unwrapper); !ok {

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"fmt"
+
 	"casa/internal/dna"
+	"casa/internal/idxio"
 	"casa/internal/metrics"
 	"casa/internal/smem"
 	"casa/internal/trace"
@@ -45,6 +48,12 @@ type finderEngine struct {
 	// publish folds one instance's cumulative counters into a registry;
 	// nil for finders that count nothing.
 	publish func(smem.Finder, *metrics.Registry)
+
+	// save/load serialize the finder into / out of a casa-idx container;
+	// nil marks a finder with nothing worth persisting (brute scans the
+	// raw reference), whose SaveIndex reports a clean error.
+	save func(*finderEngine, *idxio.Writer) error
+	load func(*finderEngine, *idxio.Reader) error
 
 	// buf is the per-instance search destination for append-capable
 	// finders; retained results are exact-size copies of it.
@@ -117,6 +126,23 @@ func (e *finderEngine) PublishWorkerMetrics(reg *metrics.Registry) {
 
 func (e *finderEngine) Unwrap() any { return e.finder }
 
+// SaveIndex / LoadIndex implement IndexPersister for finders with
+// persistence hooks; hook-less finders (brute) fail with a clear error
+// and rebuild from FASTA instead.
+func (e *finderEngine) SaveIndex(w *idxio.Writer) error {
+	if e.save == nil {
+		return fmt.Errorf("engine: %s does not support index persistence", e.name)
+	}
+	return e.save(e, w)
+}
+
+func (e *finderEngine) LoadIndex(r *idxio.Reader) error {
+	if e.load == nil {
+		return fmt.Errorf("engine: %s does not support index persistence", e.name)
+	}
+	return e.load(e, r)
+}
+
 // minSMEMOrDefault resolves the finder engines' reporting floor; the
 // accelerator engines get theirs from their configs' defaults.
 func minSMEMOrDefault(opt Options) int {
@@ -127,22 +153,42 @@ func minSMEMOrDefault(opt Options) int {
 }
 
 func fmindexFactory() Factory {
+	// shell builds the engine around a finder-to-be: New fills it with a
+	// fresh build, NewEmpty leaves it for LoadIndex.
+	shell := func(opt Options) *finderEngine {
+		return &finderEngine{
+			name:   "fmindex",
+			minLen: minSMEMOrDefault(opt),
+			clone: func(f smem.Finder) smem.Finder {
+				return f.(*smem.Bidirectional).Clone()
+			},
+			publish: func(f smem.Finder, reg *metrics.Registry) {
+				f.(*smem.Bidirectional).PublishMetrics(reg)
+			},
+			save: func(e *finderEngine, w *idxio.Writer) error {
+				return saveBidirectional(w, "fmindex/", e.finder.(*smem.Bidirectional))
+			},
+			load: func(e *finderEngine, r *idxio.Reader) error {
+				f, err := loadBidirectional(r, "fmindex/")
+				if err != nil {
+					return err
+				}
+				e.finder = f
+				return nil
+			},
+		}
+	}
 	return Factory{
 		Name:        "fmindex",
 		Aliases:     []string{"fm"},
 		Description: "bidirectional FM-index SMEM search (behavioural reference, no timing model)",
 		New: func(ref dna.Sequence, opt Options) (Engine, error) {
-			return &finderEngine{
-				name:   "fmindex",
-				minLen: minSMEMOrDefault(opt),
-				finder: smem.NewBidirectional(ref),
-				clone: func(f smem.Finder) smem.Finder {
-					return f.(*smem.Bidirectional).Clone()
-				},
-				publish: func(f smem.Finder, reg *metrics.Registry) {
-					f.(*smem.Bidirectional).PublishMetrics(reg)
-				},
-			}, nil
+			e := shell(opt)
+			e.finder = smem.NewBidirectional(ref)
+			return e, nil
+		},
+		NewEmpty: func(opt Options) (Engine, error) {
+			return shell(opt), nil
 		},
 	}
 }

@@ -1,0 +1,7 @@
+package engine_test
+
+// The sharded composites register themselves on import; pulling them in
+// here makes every registry-wide suite in this package (list order,
+// optional interfaces, persistence, zero-alloc) cover "sharded:<name>"
+// alongside the flat engines.
+import _ "casa/internal/shard"

@@ -27,6 +27,14 @@ type Factory struct {
 
 	// New constructs an engine over ref with the given options.
 	New func(ref dna.Sequence, opt Options) (Engine, error)
+
+	// NewEmpty constructs an unbound engine instance for LoadIndex to
+	// fill from a serialized index; the returned engine must implement
+	// IndexPersister. nil marks an engine that does not persist — cheap
+	// to rebuild from FASTA (brute, and the table engines whose tables
+	// build in one linear pass); TestIndexPersistenceCoverage documents
+	// each excuse.
+	NewEmpty func(opt Options) (Engine, error)
 }
 
 var (

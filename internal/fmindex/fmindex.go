@@ -66,8 +66,13 @@ type FMIndex struct {
 // Build constructs the index over text. The sentinel is implicit; text is
 // retained (not copied) for match verification and slicing.
 func Build(text dna.Sequence) *FMIndex {
+	return build(text, suffixarray.Build(text))
+}
+
+// build derives the occ planes and C table from a text and its suffix
+// array (which Build computes and BuildFromSA validates).
+func build(text dna.Sequence, sa []int32) *FMIndex {
 	n := len(text)
-	sa := suffixarray.Build(text)
 	f := &FMIndex{text: text, sa: sa, n: n}
 
 	nb := (n + 1 + 63) / 64

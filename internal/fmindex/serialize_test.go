@@ -1,0 +1,138 @@
+package fmindex
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"casa/internal/dna"
+)
+
+func randomSeq(n int, seed int64) dna.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 63, 64, 65, 1000, 4096} {
+		text := randomSeq(n, int64(n)+1)
+		f := Build(text)
+		var buf bytes.Buffer
+		if err := f.Serialize(&buf); err != nil {
+			t.Fatalf("n=%d: Serialize: %v", n, err)
+		}
+		g, err := Deserialize(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: Deserialize: %v", n, err)
+		}
+		if g.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, g.Len())
+		}
+		if !bytes.Equal(byteSeq(g.Text()), byteSeq(text)) {
+			t.Fatalf("n=%d: text mismatch", n)
+		}
+		if err := g.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The rebuilt index must answer queries identically.
+		for r := int32(0); r <= int32(n); r++ {
+			if f.SuffixAt(r) != g.SuffixAt(r) || f.BWTAt(r) != g.BWTAt(r) {
+				t.Fatalf("n=%d row %d: sa/bwt mismatch", n, r)
+			}
+		}
+		if n >= 10 {
+			pat := text[3:9]
+			if f.Count(pat) != g.Count(pat) {
+				t.Fatalf("n=%d: Count mismatch", n)
+			}
+		}
+	}
+}
+
+func byteSeq(s dna.Sequence) []byte {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+func TestDeserializeRejectsCorruption(t *testing.T) {
+	text := randomSeq(256, 7)
+	var buf bytes.Buffer
+	if err := Build(text).Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 4, 8, 20, len(valid) / 2, len(valid) - 1} {
+			if _, err := Deserialize(bytes.NewReader(valid[:cut])); err == nil {
+				t.Fatalf("cut=%d: no error", cut)
+			}
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		for i := 0; i < 8; i++ {
+			bad[i] = 0xFF
+		}
+		if _, err := Deserialize(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "limit") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("suffix array not a permutation", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		// Duplicate the last SA row over the one before it.
+		copy(bad[len(bad)-8:len(bad)-4], bad[len(bad)-4:])
+		if _, err := Deserialize(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "suffix array") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("out of range row", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		for i := len(bad) - 4; i < len(bad); i++ {
+			bad[i] = 0x7F
+		}
+		if _, err := Deserialize(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestBuildFromSAValidates(t *testing.T) {
+	text := randomSeq(32, 3)
+	f := Build(text)
+	sa := make([]int32, 33)
+	for i := range sa {
+		sa[i] = f.SuffixAt(int32(i))
+	}
+	if _, err := BuildFromSA(text, sa); err != nil {
+		t.Fatalf("valid SA rejected: %v", err)
+	}
+	if _, err := BuildFromSA(text, sa[:32]); err == nil {
+		t.Fatal("short SA accepted")
+	}
+	sa[5], sa[6] = sa[6], sa[5] // still a permutation: structural check passes
+	if _, err := BuildFromSA(text, sa); err != nil {
+		t.Fatalf("permutation rejected: %v", err)
+	}
+}
+
+// Deserialize must not trust the claimed text length with a huge upfront
+// allocation: feeding a header that promises gigabytes but carries a few
+// bytes must fail quickly and cheaply.
+func TestDeserializeBoundedAllocOnLyingLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}) // n = 2^31-1
+	buf.Write(bytes.Repeat([]byte{0xAA}, 100))
+	if _, err := Deserialize(io.LimitReader(&buf, 108)); err == nil {
+		t.Fatal("no error for truncated giant index")
+	}
+}

@@ -1,0 +1,138 @@
+package idxio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzIndexRoundTrip writes a container from fuzz-chosen header fields
+// and payloads, then requires the reader to reproduce them exactly.
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add("casa", int64(19), int64(4096), true, "chr1", int64(1000), []byte("payload-a"), []byte{})
+	f.Add("sharded:fmindex", int64(0), int64(-1), false, "", int64(0), []byte{}, bytes.Repeat([]byte{7}, 5000))
+	f.Fuzz(func(t *testing.T, eng string, minSMEM, part int64, exact bool,
+		chromName string, chromLen int64, payloadA, payloadB []byte) {
+		if len(eng) > maxNameLen || len(chromName) > maxNameLen {
+			t.Skip()
+		}
+		hdr := Header{
+			Engine:    eng,
+			MinSMEM:   int(minSMEM),
+			Partition: int(part),
+			Exact:     exact,
+			Chromosomes: []Chromosome{
+				{Name: chromName, Start: 0, Length: chromLen},
+			},
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, hdr)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		if err := w.Section("a", func(w io.Writer) error {
+			_, err := w.Write(payloadA)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Prefixed("p/").Section("b", func(w io.Writer) error {
+			_, err := w.Write(payloadB)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, got, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		if got.Engine != eng || got.MinSMEM != int(minSMEM) ||
+			got.Partition != int(part) || got.Exact != exact {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if len(got.Chromosomes) != 1 || got.Chromosomes[0].Name != chromName ||
+			got.Chromosomes[0].Length != chromLen {
+			t.Fatalf("chromosomes mismatch: %+v", got.Chromosomes)
+		}
+		sec, err := r.Section("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, err := io.ReadAll(sec); err != nil || !bytes.Equal(b, payloadA) {
+			t.Fatalf("payload a mismatch (%v)", err)
+		}
+		sec, err = r.Prefixed("p/").Section("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, err := io.ReadAll(sec); err != nil || !bytes.Equal(b, payloadB) {
+			t.Fatalf("payload b mismatch (%v)", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzIndexCorrupted feeds arbitrary bytes — seeded with mutations of a
+// valid container — to every reader entry point. The contract: errors,
+// never panics, and never allocations proportional to lying on-disk
+// lengths rather than actual input size.
+func FuzzIndexCorrupted(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{
+		Engine:      "fmindex",
+		MinSMEM:     19,
+		Chromosomes: []Chromosome{{Name: "chr1", Start: 0, Length: 100}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Section("fmindex/fwd", func(w io.Writer) error {
+		_, err := w.Write([]byte("some payload bytes"))
+		return err
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])               // truncated
+	f.Add([]byte("casa-idx"))                 // preamble only
+	f.Add([]byte{})                           // empty
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))     // garbage
+	flipped := append([]byte(nil), valid...)  //
+	flipped[len(flipped)-4] ^= 0xFF           // payload corruption
+	f.Add(flipped)                            //
+	oversize := append([]byte(nil), valid...) //
+	for i := 0; i < 8; i++ {                  // forge a huge section
+		oversize[len(oversize)-2-18-8+i] = 0xFE //   length field
+	}
+	f.Add(oversize)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// ReadInfo exercises the full walk (header, every section, CRC).
+		hdr, infos, err := ReadInfo(bytes.NewReader(data))
+		_ = hdr
+		_ = infos
+		_ = err
+
+		// The streaming path: open, read a section if it exists, close.
+		r, _, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		sec, err := r.Section("fmindex/fwd")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, sec)
+		}
+		_ = r.Close()
+	})
+}

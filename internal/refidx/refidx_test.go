@@ -134,6 +134,96 @@ func TestFlatPreservesSequences(t *testing.T) {
 	}
 }
 
+// TestBoundaryProperties pins the spacer-boundary invariants over
+// randomized layouts: every flat position resolves to exactly one
+// chromosome or to no chromosome (a spacer), the resolvable positions
+// count to exactly the input bases, Resolve and FlatPos are inverses,
+// and ResolveSpan accepts a span iff it lies entirely inside one
+// chromosome — checked against a brute-force predicate.
+func TestBoundaryProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		lens := make([]int, 1+rng.Intn(6))
+		sum := 0
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(300)
+			sum += lens[i]
+		}
+		ix, err := Build(recs(lens...))
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, lens, err)
+		}
+		wantFlat := sum + (len(lens)-1)*SpacerLen
+		if len(ix.Flat()) != wantFlat {
+			t.Fatalf("trial %d (%v): flat length %d, want %d", trial, lens, len(ix.Flat()), wantFlat)
+		}
+
+		// inChrom is the ground truth: chromosome index per flat position,
+		// -1 for spacers.
+		inChrom := make([]int, wantFlat)
+		for i := range inChrom {
+			inChrom[i] = -1
+		}
+		for ci, c := range ix.Chromosomes() {
+			for p := c.Start; p < c.Start+c.Length; p++ {
+				if inChrom[p] != -1 {
+					t.Fatalf("trial %d: position %d covered by two chromosomes", trial, p)
+				}
+				inChrom[p] = ci
+			}
+		}
+
+		resolved := 0
+		for p := 0; p < wantFlat; p++ {
+			c, local, ok := ix.Resolve(p)
+			if ok != (inChrom[p] != -1) {
+				t.Fatalf("trial %d: Resolve(%d) ok=%v, want %v", trial, p, ok, inChrom[p] != -1)
+			}
+			if !ok {
+				continue
+			}
+			resolved++
+			want := ix.Chromosomes()[inChrom[p]]
+			if c.Name != want.Name || local != p-want.Start {
+				t.Fatalf("trial %d: Resolve(%d) = %s:%d, want %s:%d",
+					trial, p, c.Name, local, want.Name, p-want.Start)
+			}
+			flat, err := ix.FlatPos(c.Name, local)
+			if err != nil || flat != p {
+				t.Fatalf("trial %d: FlatPos(%s, %d) = %d, %v; want %d", trial, c.Name, local, flat, err, p)
+			}
+		}
+		if resolved != sum {
+			t.Fatalf("trial %d: %d resolvable positions, want %d input bases", trial, resolved, sum)
+		}
+
+		// ResolveSpan against the brute predicate, probing around every
+		// chromosome boundary plus random interior spans.
+		probe := func(pos, length int) {
+			_, _, ok := ix.ResolveSpan(pos, length)
+			want := pos >= 0 && pos < wantFlat && length >= 0 && pos+length <= wantFlat && inChrom[pos] != -1
+			for p := pos; want && p < pos+length; p++ {
+				if inChrom[p] != inChrom[pos] {
+					want = false
+				}
+			}
+			if ok != want {
+				t.Fatalf("trial %d: ResolveSpan(%d, %d) ok=%v, want %v", trial, pos, length, ok, want)
+			}
+		}
+		for _, c := range ix.Chromosomes() {
+			for _, pos := range []int{c.Start - 1, c.Start, c.Start + c.Length - 1, c.Start + c.Length} {
+				for _, length := range []int{0, 1, 2, SpacerLen, SpacerLen + 1} {
+					probe(pos, length)
+				}
+			}
+		}
+		for i := 0; i < 100; i++ {
+			probe(rng.Intn(wantFlat), rng.Intn(wantFlat+1))
+		}
+	}
+}
+
 func TestSpacerDeterministicAndNonConstant(t *testing.T) {
 	a, _ := Build(recs(50, 50))
 	b, _ := Build(recs(50, 50))

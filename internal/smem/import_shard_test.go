@@ -1,0 +1,6 @@
+package smem_test
+
+// Registers the "sharded:<name>" composites so the registry conformance
+// harness and FuzzSMEMEnginesAgree compare them against the golden
+// oracle with zero per-engine switches.
+import _ "casa/internal/shard"

@@ -303,6 +303,12 @@ func NewBidirectional(ref dna.Sequence) *Bidirectional {
 	return &Bidirectional{Index: fmindex.BuildBidirectional(ref)}
 }
 
+// FromIndex wraps already-built FM-indexes (e.g. deserialized from a
+// persistent index) as a finder; scratch grows on first use.
+func FromIndex(ix *fmindex.Bidirectional) *Bidirectional {
+	return &Bidirectional{Index: ix}
+}
+
 // Clone returns a finder sharing the FM-indexes (read-only during search)
 // with its own Steps counter, so clones can search concurrently.
 func (f *Bidirectional) Clone() *Bidirectional {

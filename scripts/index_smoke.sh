@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Index-persistence smoke test: generate a multi-chromosome workload,
+# then for every persisting engine build a casa-idx/v1 index with
+# casa-index and require a casa-smem -index run to produce a report
+# byte-identical (modulo the random run_id) to a fresh -ref rebuild over
+# the same FASTA — the load path must change nothing but the build time.
+# Sharded composites get the same check with explicit shard geometry
+# (the index header pins it), plus a sharded-vs-unsharded parity pass:
+# casa-smem -verify cross-checks per-read SMEM sets at shard counts
+# 1, 2 and 5. Finally -info must read every index back and the atomic
+# writer must leave no temp files behind. Run by CI's index-smoke job
+# and by `make index-smoke`.
+set -euo pipefail
+
+GO=${GO:-go}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+echo "== building casa-gen, casa-index and casa-smem =="
+(cd "$ROOT" && $GO build -o "$WORKDIR/" ./cmd/casa-gen ./cmd/casa-index ./cmd/casa-smem)
+
+echo "== generating workload =="
+./casa-gen -bases $((1 << 18)) -chroms 3 -reads 500 -read-len 101 -seed 11 \
+    -out ref.fa -reads-out reads.fq
+
+# The engines offering IndexPersister (Factory.NewEmpty != nil): the
+# registry's other engines rebuild from FASTA by design and have no
+# index file to smoke.
+for ENG in casa cpu fmindex; do
+    echo "== $ENG: loaded index matches FASTA rebuild =="
+    ./casa-index -ref ref.fa -engine "$ENG" -out e.casaidx
+    ./casa-index -info e.casaidx >info.txt
+    grep -q "^casa-idx/v1 " info.txt || { cat info.txt; echo "$ENG: -info prints no container line"; exit 1; }
+    grep -q "engine: $ENG\$" info.txt || { cat info.txt; echo "$ENG: -info names the wrong engine"; exit 1; }
+    ./casa-smem -ref ref.fa -reads reads.fq -engine "$ENG" -max-reads 0 -quiet -json >fresh.json
+    ./casa-smem -index e.casaidx -reads reads.fq -max-reads 0 -quiet -json >loaded.json
+    diff <(grep -v '"run_id"' fresh.json) <(grep -v '"run_id"' loaded.json) \
+        || { echo "$ENG: loaded-index report differs from FASTA rebuild"; exit 1; }
+done
+
+# Sharded composites persist one sub-index per shard; the fresh run must
+# use the same geometry the index was built with (the header carries it,
+# so the -index run needs no flags).
+for ENG in sharded:casa sharded:cpu sharded:fmindex; do
+    echo "== $ENG: loaded index matches FASTA rebuild (3 shards) =="
+    ./casa-index -ref ref.fa -engine "$ENG" -shards 3 -shard-overlap 256 -out e.casaidx
+    ./casa-index -info e.casaidx >info.txt
+    grep -q "^casa-idx/v1 " info.txt || { cat info.txt; echo "$ENG: -info prints no container line"; exit 1; }
+    grep -q "engine: $ENG\$" info.txt || { cat info.txt; echo "$ENG: -info names the wrong engine"; exit 1; }
+    grep -q "shards=3 shard-overlap=256" info.txt || { cat info.txt; echo "$ENG: -info does not report the shard geometry"; exit 1; }
+    ./casa-smem -ref ref.fa -reads reads.fq -engine "$ENG" -shards 3 -shard-overlap 256 \
+        -max-reads 0 -quiet -json >fresh.json
+    ./casa-smem -index e.casaidx -reads reads.fq -max-reads 0 -quiet -json >loaded.json
+    diff <(grep -v '"run_id"' fresh.json) <(grep -v '"run_id"' loaded.json) \
+        || { echo "$ENG: loaded-index report differs from FASTA rebuild"; exit 1; }
+done
+
+echo "== sharded-vs-unsharded per-read SMEM parity =="
+for N in 1 2 5; do
+    for INNER in casa fmindex; do
+        ./casa-smem -ref ref.fa -reads reads.fq -engine "sharded:$INNER" -shards "$N" \
+            -verify "$INNER" -max-reads 0 -quiet -json >parity.json \
+            || { echo "sharded:$INNER at $N shards disagrees with $INNER"; exit 1; }
+        grep -q '"mismatches": 0' parity.json \
+            || { cat parity.json; echo "sharded:$INNER at $N shards reported mismatches"; exit 1; }
+        echo "sharded:$INNER == $INNER at $N shards"
+    done
+done
+
+echo "== atomic writer left no temp files =="
+LEFTOVER=$(find . -name '*.tmp-*' | wc -l)
+[ "$LEFTOVER" = "0" ] || { find . -name '*.tmp-*'; echo "casa-index left $LEFTOVER temp file(s)"; exit 1; }
+
+echo "index smoke OK"
